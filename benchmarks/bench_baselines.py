@@ -1,0 +1,63 @@
+"""A5 — all samplers head-to-head on one instance (per-witness latency).
+
+UniGen vs UniWit vs XORSample' (well- and badly-parameterized) vs the
+enumerative uniform oracle.  The oracle's near-zero latency is the price
+floor; the interesting comparison is UniGen vs UniWit and the sensitivity
+of XORSample' to its ``s`` parameter.
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    EnumerativeUniformSampler,
+    UniGen,
+    UniWit,
+    XorSamplePrime,
+)
+from repro.counting import count_models_exact
+from repro.suite import build
+
+NAME = "case121"
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return build(NAME, "quick")
+
+
+@pytest.fixture(scope="module")
+def log_count(instance):
+    return max(1, int(math.log2(count_models_exact(instance.cnf))))
+
+
+def test_unigen(benchmark, instance):
+    sampler = UniGen(instance.cnf, epsilon=6.0, rng=1,
+                     approxmc_search="galloping")
+    sampler.prepare()
+    benchmark.pedantic(sampler.sample, rounds=5, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["success"] = sampler.stats.success_probability
+
+
+def test_uniwit(benchmark, instance):
+    sampler = UniWit(instance.cnf, rng=2)
+    benchmark.pedantic(sampler.sample, rounds=5, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["success"] = sampler.stats.success_probability
+
+
+def test_xorsample_good_s(benchmark, instance, log_count):
+    sampler = XorSamplePrime(instance.cnf, s=log_count - 2, rng=3)
+    benchmark.pedantic(sampler.sample, rounds=5, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["success"] = sampler.stats.success_probability
+
+
+def test_xorsample_bad_s(benchmark, instance, log_count):
+    sampler = XorSamplePrime(instance.cnf, s=log_count + 4, rng=4)
+    benchmark.pedantic(sampler.sample, rounds=5, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["success"] = sampler.stats.success_probability
+
+
+def test_uniform_oracle(benchmark, instance):
+    sampler = EnumerativeUniformSampler(instance.cnf, rng=5)
+    benchmark.pedantic(sampler.sample, rounds=5, iterations=1, warmup_rounds=1)

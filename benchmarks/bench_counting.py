@@ -1,0 +1,56 @@
+"""Counting benchmarks: the exact counter and ApproxMC (both cores).
+
+ApproxMC is the dominant cost of UniGen's prepare(); the linear-vs-galloping
+comparison quantifies what the ApproxMC2-style search buys.
+"""
+
+import pytest
+
+from repro.cnf import exactly_k_solutions_formula, random_ksat
+from repro.counting import ApproxMC, ExactCounter
+from repro.suite import build
+
+
+def test_exact_counter_random_3sat(benchmark):
+    cnf = random_ksat(35, 80, 3, rng=5)
+
+    def count():
+        return ExactCounter(cnf).count()
+
+    result = benchmark.pedantic(count, rounds=3, iterations=1)
+    assert result > 0
+
+
+def test_exact_counter_benchmark_instance(benchmark):
+    instance = build("case121", "quick")
+
+    def count():
+        return ExactCounter(instance.cnf).count()
+
+    result = benchmark.pedantic(count, rounds=3, iterations=1)
+    assert result > 0
+
+
+@pytest.mark.parametrize("search", ["linear", "galloping"])
+def test_approxmc_search_modes(benchmark, search):
+    cnf = exactly_k_solutions_formula(14, 12_000)
+    cnf.sampling_set = range(1, 15)
+
+    def count():
+        return ApproxMC(cnf, iterations=5, rng=9, search=search).count()
+
+    result = benchmark.pedantic(count, rounds=3, iterations=1)
+    assert result.count is not None
+    assert 12_000 / 1.8 <= result.count <= 1.8 * 12_000
+
+
+def test_approxmc_on_circuit_benchmark(benchmark):
+    instance = build("LoginService2", "quick")
+
+    def count():
+        return ApproxMC(
+            instance.cnf, iterations=5, rng=10, search="galloping"
+        ).count()
+
+    result = benchmark.pedantic(count, rounds=3, iterations=1)
+    assert result.count is not None

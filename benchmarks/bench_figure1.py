@@ -1,0 +1,63 @@
+"""E3 — Figure 1 regeneration: uniformity of UniGen vs the ideal US.
+
+Times a batch of draws from each sampler on the power-of-two fixture and
+records the χ² uniformity statistics in extra_info.  The paper's claim:
+the two distributions "can hardly be distinguished in practice".
+"""
+
+import pytest
+
+from repro.core import UniGen
+from repro.core.us import IdealUniformSampler
+from repro.stats import chi_square_uniform, witness_key
+
+BATCH = 60
+
+
+def test_unigen_batch(benchmark, figure1_instance):
+    instance = figure1_instance
+    sampler = UniGen(instance.cnf, epsilon=6.0, rng=110,
+                     approxmc_search="galloping")
+    sampler.prepare()
+    svars = instance.sampling_set
+    collected = []
+
+    def draw_batch():
+        for _ in range(BATCH):
+            witness = sampler.sample()
+            if witness is not None:
+                collected.append(witness_key(witness, svars))
+
+    benchmark.pedantic(draw_batch, rounds=3, iterations=1)
+    from repro.counting import count_models_exact
+
+    universe = count_models_exact(instance.cnf)
+    chi2 = chi_square_uniform(collected, universe)
+    benchmark.extra_info.update({
+        "batch": BATCH,
+        "witness_count": universe,
+        "chi2": chi2.statistic,
+        "chi2_p": chi2.p_value,
+        "success": sampler.stats.success_probability,
+    })
+    # At these sample sizes a grossly non-uniform sampler is rejected with
+    # p < 1e-6; UniGen must not be.
+    assert chi2.p_value > 1e-4
+
+
+def test_us_batch(benchmark, figure1_instance):
+    us = IdealUniformSampler(figure1_instance.cnf, rng=110)
+    collected = []
+
+    def draw_batch():
+        collected.extend(us.sample_many_indices(BATCH))
+
+    benchmark.pedantic(draw_batch, rounds=3, iterations=1)
+    chi2 = chi_square_uniform(collected, us.count)
+    benchmark.extra_info.update({
+        "batch": BATCH,
+        "witness_count": us.count,
+        "chi2": chi2.statistic,
+        "chi2_p": chi2.p_value,
+    })
+    assert chi2.p_value > 1e-4

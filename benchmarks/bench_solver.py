@@ -1,0 +1,82 @@
+"""Substrate benchmarks: the CDCL solver and BSAT enumeration.
+
+Not a paper artifact per se, but the cost model every experiment rests on:
+plain CNF solving, XOR-augmented solving with and without Gauss
+preprocessing, and sampling-set-restricted enumeration.
+"""
+
+import pytest
+
+from repro.cnf import CNF, XorClause, php, random_ksat
+from repro.rng import RandomSource
+from repro.sat import Solver, bsat
+from repro.suite import build
+
+
+def _hashed_instance(seed: int = 7, n: int = 40, m: int = 100, xors: int = 10):
+    rng = RandomSource(seed)
+    cnf = random_ksat(n, m, 3, rng=rng)
+    for _ in range(xors):
+        vs = [v for v in range(1, n + 1) if rng.random() < 0.5]
+        cnf.add_xor(XorClause.from_vars(vs, bool(rng.bit())))
+    return cnf
+
+
+def test_solve_random_3sat_sat(benchmark):
+    cnf = random_ksat(60, 240, 3, rng=11)
+
+    def solve():
+        return Solver(cnf, rng=1).solve()
+
+    result = benchmark(solve)
+    assert result.status == "SAT"
+
+
+def test_solve_php_unsat(benchmark):
+    cnf = php(6, 5)
+
+    def solve():
+        return Solver(cnf, rng=1).solve()
+
+    result = benchmark(solve)
+    assert result.status == "UNSAT"
+
+
+@pytest.mark.parametrize("gauss", [True, False], ids=["gauss", "no_gauss"])
+def test_bsat_hashed_enumeration(benchmark, gauss):
+    """The UniGen inner loop shape: CNF + dense XORs, enumerate a cell."""
+    cnf = _hashed_instance()
+
+    def enumerate_cell():
+        return bsat(cnf, 25, rng=2, gauss=gauss)
+
+    result = benchmark.pedantic(enumerate_cell, rounds=3, iterations=1)
+    assert len(result.models) > 0
+
+
+def test_bsat_benchmark_instance(benchmark):
+    instance = build("s1238a_7_4", "quick")
+
+    def enumerate_some():
+        return bsat(instance.cnf, 30, rng=3)
+
+    result = benchmark.pedantic(enumerate_some, rounds=3, iterations=1)
+    assert len(result.models) == 30
+
+
+def test_incremental_blocking(benchmark):
+    """Blocking-clause enumeration through one persistent solver."""
+    cnf = CNF(12, sampling_set=range(1, 13))
+    cnf.add_clause(list(range(1, 13)))
+
+    def enumerate_100():
+        solver = Solver(cnf, rng=4)
+        for _ in range(100):
+            result = solver.solve()
+            if result.status != "SAT":
+                break
+            solver.add_clause(
+                [-v if result.model[v] else v for v in range(1, 13)]
+            )
+
+    benchmark.pedantic(enumerate_100, rounds=3, iterations=1)

@@ -1,0 +1,25 @@
+"""E2 — Table 2 regeneration: UniGen per-witness runtime on all 31 rows.
+
+The extended table of the paper's appendix.  Each row times one prepared
+UniGen sample; extra_info records the paper's reference numbers for the
+row so the JSON output is a complete paper-vs-measured record.
+"""
+
+import pytest
+
+from repro.suite import entries
+
+ALL_NAMES = [e.name for e in entries()]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_unigen_sample_table2(benchmark, prepared_unigen, name):
+    sampler = prepared_unigen(name)
+    benchmark.pedantic(sampler.sample, rounds=3, iterations=1, warmup_rounds=1)
+    entry = next(e for e in entries() if e.name == name)
+    benchmark.extra_info.update({
+        "success_probability": sampler.stats.success_probability,
+        "avg_xor_len": sampler.stats.avg_xor_length,
+        "support_size": len(sampler.sampling_set),
+        "paper": {k: v for k, v in entry.paper.items() if v is not None},
+    })

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Samplers are prepared once per session (UniGen's lines 1–11 are amortized
+across witnesses in the paper's protocol, so timing loops measure only the
+per-witness work of lines 12–22).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import UniGen
+from repro.suite import build, build_figure1
+
+
+@pytest.fixture(scope="session")
+def prepared_unigen():
+    """Factory: benchmark name -> prepared UniGen sampler (cached)."""
+    cache: dict[str, UniGen] = {}
+
+    def factory(name: str, scale: str = "quick") -> UniGen:
+        key = f"{name}:{scale}"
+        if key not in cache:
+            instance = build(name, scale)
+            sampler = UniGen(
+                instance.cnf, epsilon=6.0, rng=2014,
+                approxmc_search="galloping",
+            )
+            sampler.prepare()
+            cache[key] = sampler
+        return cache[key]
+
+    return factory
+
+
+@pytest.fixture(scope="session")
+def figure1_instance():
+    return build_figure1("quick")

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""ApproxMC in action — the counter inside UniGen (Algorithm 1, line 9).
+
+UniGen derives its window of candidate hash sizes from one (0.8, 0.8)
+ApproxMC call.  This demo runs ApproxMC standalone against formulas with
+known model counts and shows the (ε, δ) guarantee holding, for both the
+CP'13 linear-search core and the ApproxMC2-style galloping core.
+
+Run:  python examples/approximate_counting.py
+"""
+
+import time
+
+from repro.cnf import exactly_k_solutions_formula
+from repro.counting import ApproxMC, count_models_exact
+
+print(f"{'true count':>10s} {'search':>10s} {'estimate':>9s} "
+      f"{'ratio':>6s} {'time':>7s}  in tolerance (1.8x)?")
+
+for true_count in (100, 1000, 10_000, 60_000):
+    n = max(8, true_count.bit_length() + 2)
+    cnf = exactly_k_solutions_formula(n, true_count)
+    cnf.sampling_set = range(1, n + 1)
+    assert count_models_exact(cnf) == true_count
+    for search in ("linear", "galloping"):
+        counter = ApproxMC(
+            cnf, epsilon=0.8, delta=0.2, iterations=7, rng=7, search=search
+        )
+        t0 = time.time()
+        result = counter.count()
+        elapsed = time.time() - t0
+        ratio = result.count / true_count
+        ok = 1 / 1.8 <= ratio <= 1.8
+        print(f"{true_count:10d} {search:>10s} {result.count:9d} "
+              f"{ratio:6.2f} {elapsed:6.1f}s  {ok}")
+
+print("\nPr[count within (1+0.8)x of truth] >= 0.8 is the guarantee "
+      "Lemma 3 of the paper builds on; galloping (ApproxMC2, 2016) finds "
+      "the same boundary with O(log n) BSAT calls instead of O(n).")

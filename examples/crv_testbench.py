@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Constrained-random verification (CRV) — the paper's motivating workload.
+
+Section 1: in CRV, a verification engineer declares constraints on circuit
+inputs; a constraint solver then generates random input patterns satisfying
+them.  Because the bug distribution is unknown, *every* solution should be
+equally likely — biased stimulus generators systematically miss corners.
+
+This example builds a small DUT (an ALU-ish datapath with a planted
+corner-case bug), declares environment constraints on its inputs, and
+compares two stimulus generators:
+
+* UniGen (almost-uniform, Theorem 1 guarantees), and
+* a naive "default-phase SAT solver" generator (the skew the paper's
+  Section 3 attributes to random-seeded DPLL solvers [20]).
+
+The uniform generator hits the bug corner reliably; the biased one rarely
+does.
+
+Run:  python examples/crv_testbench.py
+"""
+
+from repro.circuits import Netlist, encode_combinational
+from repro.core import UniGen
+from repro.sat import Solver
+from repro.rng import RandomSource
+
+WIDTH = 5
+
+# --- 1. The design under test ----------------------------------------------
+# out = (a + b) if mode else (a XOR b); BUG: when a == b and mode == 1 the
+# carry chain output is wrong (we simulate the buggy netlist separately).
+nl = Netlist("alu")
+a_bits = nl.inputs("a", WIDTH)
+b_bits = nl.inputs("b", WIDTH)
+mode = nl.input("mode")
+sum_bits = nl.ripple_add(a_bits, b_bits)[:WIDTH]
+xor_bits = [nl.xor(x, y) for x, y in zip(a_bits, b_bits)]
+out_bits = [nl.mux(mode, s, x) for s, x in zip(sum_bits, xor_bits)]
+nl.outputs(out_bits)
+dut = nl.circuit
+
+
+def dut_reference(a: int, b: int, m: int) -> int:
+    return (a + b) % (1 << WIDTH) if m else a ^ b
+
+
+def dut_buggy(a: int, b: int, m: int) -> int:
+    if m and a == b:  # the planted corner-case bug
+        return (a + b + 1) % (1 << WIDTH)
+    return dut_reference(a, b, m)
+
+
+# --- 2. Environment constraints on the inputs -------------------------------
+# The testbench only drives "legal" traffic:  a != 0, and in add mode the
+# operands must not overflow (a + b < 2^WIDTH).  The constraint circuit is
+# built separately from the DUT — the testbench constrains inputs only.
+nl2 = Netlist("env")
+a2 = nl2.inputs("a", WIDTH)
+b2 = nl2.inputs("b", WIDTH)
+m2 = nl2.input("mode")
+carry = nl2.ripple_add(a2, b2)[WIDTH]
+bad = nl2.and_(m2, carry)
+nl2.outputs([bad])
+env = encode_combinational(nl2.circuit)
+env_cnf = env.cnf
+env_cnf.add_unit(-env.var_of[bad])  # never overflow in add mode
+env_cnf.add_clause([env.var_of[x] for x in a2])  # a != 0
+env_cnf.sampling_set = [env.var_of[s] for s in a2 + b2 + [m2]]
+
+in_vars = {name: env.var_of[name] for name in a2 + b2 + [m2]}
+
+
+def decode(witness) -> tuple[int, int, int]:
+    a = sum(1 << i for i, s in enumerate(a2) if witness[in_vars[s]])
+    b = sum(1 << i for i, s in enumerate(b2) if witness[in_vars[s]])
+    m = int(witness[in_vars[m2]])
+    return a, b, m
+
+
+def run_campaign(name: str, stimuli) -> None:
+    bug_hits = 0
+    corners = set()
+    for a, b, m in stimuli:
+        assert a != 0 and (not m or a + b < (1 << WIDTH)), "illegal stimulus"
+        if dut_buggy(a, b, m) != dut_reference(a, b, m):
+            bug_hits += 1
+        corners.add((a == b, m))
+    print(f"{name:24s} bug hits: {bug_hits:4d}   corners covered: "
+          f"{len(corners)}/4")
+
+
+N = 400
+
+# --- 3a. UniGen-driven stimuli ----------------------------------------------
+sampler = UniGen(env_cnf, epsilon=6.0, rng=7)
+uniform_stimuli = []
+while len(uniform_stimuli) < N:
+    witness = sampler.sample()
+    if witness is not None:
+        uniform_stimuli.append(decode(witness))
+
+# --- 3b. Naive solver-driven stimuli (default phase => heavily skewed) ------
+naive_stimuli = []
+rng = RandomSource(7)
+solver_cnf = env_cnf
+while len(naive_stimuli) < N:
+    solver = Solver(solver_cnf, rng=rng.spawn())
+    result = solver.solve()
+    assert result.status == "SAT"
+    naive_stimuli.append(decode(result.model))
+
+print(f"CRV campaign: {N} stimuli each, DUT bug lives at (a == b, mode=1)\n")
+run_campaign("UniGen (almost-uniform)", uniform_stimuli)
+run_campaign("naive SAT solver", naive_stimuli)
+print(
+    "\nThe uniform generator exercises the a==b/add-mode corner in rough\n"
+    "proportion to its share of the legal space; the naive generator keeps\n"
+    "finding the same few witnesses, which is exactly the skew the paper\n"
+    "cites as motivation for almost-uniform generation."
+)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Independent supports: the insight that makes UniGen scale (Section 4).
+
+The paper's key observation: hashing only over an independent support S —
+often orders of magnitude smaller than the full variable set X — shortens
+every XOR clause from ≈|X|/2 to ≈|S|/2 variables while preserving all
+guarantees (Lemmas 1-2).
+
+This demo
+
+1. Tseitin-encodes a formula (aux variables = dependent support),
+2. verifies the inputs are an independent support and minimizes it further
+   with the greedy MIS algorithm,
+3. compares UniGen's XOR lengths and runtime when hashing over S vs X.
+
+Run:  python examples/independent_support_demo.py
+"""
+
+import time
+
+from repro.circuits import Netlist, encode_combinational
+from repro.core import UniGen
+from repro.support import find_independent_support, is_independent_support
+
+# --- 1. A Tseitin-encoded circuit constraint -------------------------------
+nl = Netlist("demo")
+xs = nl.inputs("x", 10)
+# out = majority-ish mixing; constraint: out must be true, plus x duplicated
+# through an equivalence so the *minimal* support is smaller than the inputs.
+m1 = nl.and_(nl.or_(xs[0], xs[1]), nl.xor(xs[2], xs[3]))
+m2 = nl.or_(nl.and_(xs[4], xs[5]), nl.xor(xs[6], xs[7]))
+dup = nl.xnor(xs[8], xs[9])  # ties x8 to x9 when asserted
+out = nl.and_(m1, nl.or_(m2, dup))
+nl.outputs([out])
+enc = encode_combinational(nl.circuit)
+cnf = enc.cnf
+cnf.add_unit(enc.lit(out, True))
+cnf.add_unit(enc.lit(dup, True))  # x8 <-> x9: one of them is redundant
+
+X = cnf.num_vars
+S_inputs = list(cnf.sampling_set)
+print(f"formula: |X| = {X} variables after Tseitin encoding")
+print(f"circuit inputs: |S| = {len(S_inputs)} (independent by construction: "
+      f"{is_independent_support(cnf, S_inputs)})")
+
+# --- 2. Greedy minimization --------------------------------------------------
+t0 = time.time()
+mis = find_independent_support(cnf, start=S_inputs, rng=1)
+print(f"greedy MIS: |S'| = {len(mis)} (still independent: "
+      f"{is_independent_support(cnf, mis)}; {time.time() - t0:.2f}s)")
+
+# --- 3. Effect on UniGen -----------------------------------------------------
+print(f"\n{'hash set':22s} {'avg XOR len':>12s} {'ms/sample':>10s} {'succ':>6s}")
+for label, sset in (
+    (f"minimal S' ({len(mis)})", mis),
+    (f"inputs S ({len(S_inputs)})", S_inputs),
+    (f"full X ({X})", list(range(1, X + 1))),
+):
+    sampler = UniGen(cnf, epsilon=6.0, sampling_set=sset, rng=3,
+                     approxmc_search="galloping")
+    sampler.sample_many(15)
+    stats = sampler.stats
+    print(f"{label:22s} {stats.avg_xor_length:12.1f} "
+          f"{stats.avg_time_per_sample * 1000:10.1f} "
+          f"{stats.success_probability:6.2f}")
+
+print("\nXOR length tracks |hash set|/2 — the mechanism behind the "
+      "two-to-three orders of magnitude in the paper's Table 1.")

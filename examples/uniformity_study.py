@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Figure 1 in miniature: UniGen vs an ideal uniform sampler.
+
+Reproduces the paper's uniformity experiment (Section 5, Figure 1) at
+laptop scale: draw N samples from a formula with a known witness count
+using UniGen and using the idealized US sampler (exact count + uniform
+index), then overlay the occurrence-count histograms.  The two curves
+should be visually and statistically indistinguishable.
+
+Run:  python examples/uniformity_study.py  [mean_count]
+"""
+
+import sys
+
+from repro.experiments import run_figure1
+
+mean_count = float(sys.argv[1]) if len(sys.argv) > 1 else 15.0
+
+print("Running the Figure 1 protocol (this samples a few thousand "
+      "witnesses; ~a minute)...\n")
+result = run_figure1(scale="quick", mean_count=mean_count, rng=110)
+print(result.render())
+print()
+print("Paper reference: on case110 (16,384 witnesses, 4M samples) the "
+      "UniGen and US curves 'can hardly be distinguished' — the chi-square "
+      "statistics above quantify the same statement here.")

@@ -1,0 +1,55 @@
+"""repro — a full reproduction of UniGen (Chakraborty, Meel, Vardi, DAC 2014).
+
+Almost-uniform generation of SAT witnesses with strong two-sided guarantees,
+built on a from-scratch CDCL solver with native XOR support, an ApproxMC
+approximate model counter, and the baselines the paper compares against.
+
+Quickstart::
+
+    from repro import CNF, UniGen
+
+    cnf = CNF()
+    cnf.add_clause([1, 2, 3])
+    cnf.add_clause([-1, -2])
+    sampler = UniGen(cnf, epsilon=6.0, rng=42)
+    witness = sampler.sample()          # dict var -> bool, or None (⊥)
+"""
+
+from .cnf import CNF, XorClause, parse_dimacs, read_dimacs, to_dimacs, write_dimacs
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CNF",
+    "XorClause",
+    "parse_dimacs",
+    "read_dimacs",
+    "to_dimacs",
+    "write_dimacs",
+    "__version__",
+]
+
+
+def __getattr__(name):  # pragma: no cover - thin lazy-import shim
+    """Lazily expose the heavier subsystems at the package root."""
+    from importlib import import_module
+
+    lazy = {
+        "UniGen": "repro.core",
+        "UniWit": "repro.core",
+        "XorSamplePrime": "repro.core",
+        "PawsStyle": "repro.core",
+        "IdealUniformSampler": "repro.core",
+        "compute_kappa_pivot": "repro.core",
+        "ApproxMC": "repro.counting",
+        "ExactCounter": "repro.counting",
+        "Solver": "repro.sat",
+        "bsat": "repro.sat",
+        "Budget": "repro.sat",
+        "HxorFamily": "repro.hashing",
+        "find_independent_support": "repro.support",
+    }
+    if name in lazy:
+        module = import_module(lazy[name])
+        return getattr(module, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,24 @@
+"""Gate-level circuit substrate: netlists, encoders, BMC, ISCAS-style gen."""
+
+from .bmc import unroll
+from .build import Netlist
+from .encode import CircuitEncoding, encode_combinational
+from .gates import GATE_KINDS, Circuit, Gate
+from .iscas import (
+    add_parity_conditions,
+    iscas_parity_benchmark,
+    synthetic_sequential,
+)
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "GATE_KINDS",
+    "Netlist",
+    "CircuitEncoding",
+    "encode_combinational",
+    "unroll",
+    "synthetic_sequential",
+    "add_parity_conditions",
+    "iscas_parity_benchmark",
+]

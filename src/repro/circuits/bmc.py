@@ -1,0 +1,75 @@
+"""Bounded-model-checking unrolling.
+
+The paper's first benchmark class is "bit-blasted versions of constraints
+arising in bounded model checking of circuits".  :func:`unroll` produces
+exactly that: ``k`` time-frames of a sequential circuit, latches chained by
+variable aliasing (frame ``t``'s latch output *is* frame ``t-1``'s data
+variable), with the sampling set being the primary inputs of every frame
+plus (optionally) the free initial state — an independent support by
+construction.
+"""
+
+from __future__ import annotations
+
+from ..cnf.formula import CNF
+from .encode import CircuitEncoding, _emit_gate
+from .gates import Circuit
+
+
+def unroll(
+    circuit: Circuit,
+    frames: int,
+    initial_state: str = "zero",
+) -> CircuitEncoding:
+    """Unroll ``circuit`` for ``frames`` cycles into one CNF.
+
+    Parameters
+    ----------
+    circuit:
+        A (validated) sequential or combinational circuit.
+    frames:
+        Number of time frames (>= 1).
+    initial_state:
+        ``"zero"`` — latches start at False (unit clauses);
+        ``"free"``  — initial state is unconstrained and joins the
+        sampling set (the common CRV setup).
+
+    Keys of ``var_of`` are ``(signal_name, frame_index)``.
+    """
+    if frames < 1:
+        raise ValueError("frames must be >= 1")
+    if initial_state not in ("zero", "free"):
+        raise ValueError("initial_state must be 'zero' or 'free'")
+    circuit.validate()
+    cnf = CNF(name=f"{circuit.name}-bmc{frames}")
+    var_of: dict[tuple[str, int], int] = {}
+    order = circuit.topological_order()
+    sampling: list[int] = []
+
+    for t in range(frames):
+        for name in circuit.inputs:
+            var_of[(name, t)] = cnf.new_var()
+            sampling.append(var_of[(name, t)])
+        for q, d in circuit.latches.items():
+            if t == 0:
+                v = cnf.new_var()
+                var_of[(q, 0)] = v
+                if initial_state == "zero":
+                    cnf.add_unit(-v)
+                else:
+                    sampling.append(v)
+            else:
+                # Alias: latch output this frame = data signal last frame.
+                var_of[(q, t)] = var_of[(d, t - 1)]
+        for gname in order:
+            var_of[(gname, t)] = cnf.new_var()
+        for gname in order:
+            gate = circuit.gates[gname]
+            _emit_gate(
+                cnf,
+                gate,
+                var_of[(gname, t)],
+                [var_of[(f, t)] for f in gate.fanins],
+            )
+    cnf.sampling_set = sampling
+    return CircuitEncoding(cnf=cnf, var_of=var_of)

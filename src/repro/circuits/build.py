@@ -1,0 +1,150 @@
+"""Fluent netlist construction and word-level arithmetic blocks.
+
+The paper's "squaring" benchmarks are bit-blasted arithmetic circuits and the
+program-synthesis sketches bottom out in adders/comparators/multiplexers.
+:class:`Netlist` wraps :class:`~repro.circuits.gates.Circuit` with fresh-name
+management and provides the standard blocks: ripple-carry adders, shift-add
+multipliers (and squarers), equality/comparison, and bit-vector plumbing.
+
+Bit vectors are ``list[str]`` of signal names, **LSB first**.
+"""
+
+from __future__ import annotations
+
+from .gates import Circuit
+
+
+class Netlist:
+    """Builder with automatic fresh gate names."""
+
+    def __init__(self, name: str = "netlist"):
+        self.circuit = Circuit(name=name)
+        self._counter = 0
+        self._const0: str | None = None
+
+    # ------------------------------------------------------------------
+    def fresh(self, prefix: str = "n") -> str:
+        self._counter += 1
+        return f"{prefix}_{self._counter}"
+
+    def inputs(self, prefix: str, n: int) -> list[str]:
+        """``n`` fresh primary inputs, LSB first."""
+        return self.circuit.add_inputs(prefix, n)
+
+    def input(self, name: str) -> str:
+        return self.circuit.add_input(name)
+
+    def gate(self, kind: str, *fanins: str) -> str:
+        name = self.fresh(kind)
+        self.circuit.add_gate(name, kind, fanins)
+        return name
+
+    # Logic shorthands -------------------------------------------------
+    def and_(self, *xs: str) -> str:
+        return self.gate("and", *xs)
+
+    def or_(self, *xs: str) -> str:
+        return self.gate("or", *xs)
+
+    def xor(self, *xs: str) -> str:
+        return self.gate("xor", *xs)
+
+    def xnor(self, *xs: str) -> str:
+        return self.gate("xnor", *xs)
+
+    def not_(self, x: str) -> str:
+        return self.gate("not", x)
+
+    def mux(self, sel: str, a: str, b: str) -> str:
+        """``a`` if ``sel`` else ``b``."""
+        return self.gate("mux", sel, a, b)
+
+    def const0(self) -> str:
+        """A constant-False signal (requires at least one source signal)."""
+        if self._const0 is None:
+            sources = self.circuit.sources()
+            if not sources:
+                raise ValueError("const0 needs at least one input first")
+            s = sources[0]
+            self._const0 = self.gate("xor", s, s)
+        return self._const0
+
+    def const1(self) -> str:
+        return self.not_(self.const0())
+
+    # Arithmetic blocks --------------------------------------------------
+    def half_adder(self, a: str, b: str) -> tuple[str, str]:
+        """Returns ``(sum, carry)``."""
+        return self.xor(a, b), self.and_(a, b)
+
+    def full_adder(self, a: str, b: str, cin: str) -> tuple[str, str]:
+        s1, c1 = self.half_adder(a, b)
+        s2, c2 = self.half_adder(s1, cin)
+        return s2, self.or_(c1, c2)
+
+    def ripple_add(self, xs: list[str], ys: list[str]) -> list[str]:
+        """Sum of two equal-width vectors; result has width+1 bits."""
+        if len(xs) != len(ys):
+            raise ValueError("ripple_add requires equal widths")
+        out: list[str] = []
+        carry: str | None = None
+        for a, b in zip(xs, ys):
+            if carry is None:
+                s, carry = self.half_adder(a, b)
+            else:
+                s, carry = self.full_adder(a, b, carry)
+            out.append(s)
+        out.append(carry if carry is not None else self.const0())
+        return out
+
+    def zero_extend(self, xs: list[str], width: int) -> list[str]:
+        if len(xs) >= width:
+            return list(xs[:width])
+        return list(xs) + [self.const0()] * (width - len(xs))
+
+    def multiply(self, xs: list[str], ys: list[str]) -> list[str]:
+        """Shift-and-add product, width ``len(xs) + len(ys)`` bits."""
+        width = len(xs) + len(ys)
+        acc = [self.const0()] * width
+        for i, y in enumerate(ys):
+            partial = [self.const0()] * i
+            partial += [self.and_(x, y) for x in xs]
+            partial = self.zero_extend(partial, width)
+            acc = self.ripple_add(acc, partial)[:width]
+        return acc
+
+    def square(self, xs: list[str]) -> list[str]:
+        """``x * x`` — the paper's "squaring" benchmark core."""
+        return self.multiply(xs, xs)
+
+    # Predicates ---------------------------------------------------------
+    def equals_const(self, xs: list[str], value: int) -> str:
+        """Signal true iff the vector equals the constant (LSB first)."""
+        bits = []
+        for i, x in enumerate(xs):
+            if (value >> i) & 1:
+                bits.append(x)
+            else:
+                bits.append(self.not_(x))
+        return self.and_(*bits)
+
+    def equals(self, xs: list[str], ys: list[str]) -> str:
+        if len(xs) != len(ys):
+            raise ValueError("equals requires equal widths")
+        return self.and_(*[self.xnor(a, b) for a, b in zip(xs, ys)])
+
+    def less_than(self, xs: list[str], ys: list[str]) -> str:
+        """Unsigned ``x < y`` (LSB-first vectors)."""
+        if len(xs) != len(ys):
+            raise ValueError("less_than requires equal widths")
+        lt = self.const0()
+        for a, b in zip(xs, ys):  # LSB to MSB; MSB decided last wins
+            bit_lt = self.and_(self.not_(a), b)
+            bit_eq = self.xnor(a, b)
+            lt = self.or_(bit_lt, self.and_(bit_eq, lt))
+        return lt
+
+    # Outputs -------------------------------------------------------------
+    def outputs(self, signals: list[str]) -> None:
+        for s in signals:
+            self.circuit.add_output(s)

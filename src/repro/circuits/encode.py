@@ -1,0 +1,101 @@
+"""Circuit → CNF encoding (gate-level Tseitin).
+
+Every signal gets a CNF variable; every gate contributes its defining
+clauses.  The resulting formula's **sampling set is the primary inputs**
+(plus latch outputs for a single-cycle encode) — an independent support by
+construction, since input values determine every other signal.  This is
+precisely the provenance the paper ascribes to its benchmarks' supports
+("the variables introduced by the encoding form a dependent support",
+Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..cnf.formula import CNF
+from .gates import Circuit, Gate
+
+
+@dataclass
+class CircuitEncoding:
+    """A CNF plus the signal-to-variable map that produced it.
+
+    ``var_of`` maps signal name → CNF variable.  For unrolled (BMC)
+    encodings the map key is ``(signal, frame)`` — see
+    :mod:`repro.circuits.bmc`.
+    """
+
+    cnf: CNF
+    var_of: dict = field(default_factory=dict)
+
+    def lit(self, signal, value: bool = True) -> int:
+        v = self.var_of[signal]
+        return v if value else -v
+
+    def assignment_of(self, model: Mapping[int, bool]) -> dict:
+        """Pull a solver model back to signal space."""
+        return {sig: model[var] for sig, var in self.var_of.items()}
+
+
+def _emit_gate(cnf: CNF, gate: Gate, out: int, fanins: list[int]) -> None:
+    """Defining clauses for ``out <-> gate(fanins)``."""
+    kind = gate.kind
+    if kind in ("and", "nand"):
+        target = out if kind == "and" else -out
+        for a in fanins:
+            cnf.add_clause((-target, a))
+        cnf.add_clause(tuple([target] + [-a for a in fanins]))
+        return
+    if kind in ("or", "nor"):
+        target = out if kind == "or" else -out
+        for a in fanins:
+            cnf.add_clause((target, -a))
+        cnf.add_clause(tuple([-target] + list(fanins)))
+        return
+    if kind in ("xor", "xnor"):
+        # out xor a1 xor ... xor ak = 0 (xor) / 1 (xnor) — use a native
+        # XOR clause; the solver and counters handle it directly.
+        cnf.add_xor([out] + list(fanins), rhs=(kind == "xnor"))
+        return
+    if kind == "not":
+        (a,) = fanins
+        cnf.add_clause((-out, -a))
+        cnf.add_clause((out, a))
+        return
+    if kind == "buf":
+        (a,) = fanins
+        cnf.add_clause((-out, a))
+        cnf.add_clause((out, -a))
+        return
+    if kind == "mux":
+        sel, a, b = fanins
+        cnf.add_clause((-out, -sel, a))
+        cnf.add_clause((-out, sel, b))
+        cnf.add_clause((out, -sel, -a))
+        cnf.add_clause((out, sel, -b))
+        return
+    raise ValueError(f"unknown gate kind {kind!r}")  # pragma: no cover
+
+
+def encode_combinational(circuit: Circuit) -> CircuitEncoding:
+    """Encode one evaluation of ``circuit`` (latch outputs become free
+    pseudo-inputs).  Sampling set = inputs + latch outputs."""
+    circuit.validate()
+    cnf = CNF(name=circuit.name)
+    var_of: dict[str, int] = {}
+    for name in circuit.sources():
+        var_of[name] = cnf.new_var()
+    for gname in circuit.topological_order():
+        var_of[gname] = cnf.new_var()
+    for gname in circuit.topological_order():
+        gate = circuit.gates[gname]
+        _emit_gate(cnf, gate, var_of[gname], [var_of[f] for f in gate.fanins])
+    cnf.sampling_set = [var_of[s] for s in circuit.sources()]
+    return CircuitEncoding(cnf=cnf, var_of=var_of)
+
+
+def xor_clause_is_native(cnf: CNF) -> bool:
+    """True iff the encoding used native XOR clauses (diagnostic helper)."""
+    return cnf.num_xor_clauses > 0

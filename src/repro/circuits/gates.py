@@ -1,0 +1,224 @@
+"""Gate-level netlists — the substrate the paper's benchmarks come from.
+
+The evaluation section draws its CNF constraints from hardware domains:
+bit-blasted bounded model checking of circuits, ISCAS89 circuits with parity
+conditions, and bit-blasted arithmetic ("squaring").  This module provides
+the circuit model those generators build on: named signals, a small gate
+vocabulary, optional latches (flip-flops) for sequential circuits, a
+topological evaluator, and structural queries.
+
+Signals are strings; a :class:`Circuit` is a DAG of gates over primary
+inputs and latch outputs.  Encoding to CNF lives in
+:mod:`repro.circuits.encode`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+#: Gate kinds and their semantics (variadic unless noted).
+GATE_KINDS = ("and", "or", "xor", "not", "buf", "nand", "nor", "xnor", "mux")
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate: ``output = kind(fanins)``.
+
+    ``mux`` takes fanins ``(sel, a, b)`` and computes ``a if sel else b``.
+    ``not``/``buf`` take exactly one fanin.
+    """
+
+    name: str
+    kind: str
+    fanins: tuple[str, ...]
+
+    def __post_init__(self):
+        if self.kind not in GATE_KINDS:
+            raise ValueError(f"unknown gate kind {self.kind!r}")
+        if self.kind in ("not", "buf") and len(self.fanins) != 1:
+            raise ValueError(f"{self.kind} gate takes exactly one fanin")
+        if self.kind == "mux" and len(self.fanins) != 3:
+            raise ValueError("mux gate takes exactly (sel, a, b)")
+        if self.kind in ("and", "or", "xor", "nand", "nor", "xnor") and not self.fanins:
+            raise ValueError(f"{self.kind} gate needs at least one fanin")
+
+
+def _eval_gate(kind: str, values: list[bool]) -> bool:
+    if kind == "and":
+        return all(values)
+    if kind == "nand":
+        return not all(values)
+    if kind == "or":
+        return any(values)
+    if kind == "nor":
+        return not any(values)
+    if kind in ("xor", "xnor"):
+        acc = False
+        for v in values:
+            acc ^= v
+        return acc if kind == "xor" else not acc
+    if kind == "not":
+        return not values[0]
+    if kind == "buf":
+        return values[0]
+    if kind == "mux":
+        sel, a, b = values
+        return a if sel else b
+    raise ValueError(f"unknown gate kind {kind!r}")  # pragma: no cover
+
+
+@dataclass
+class Circuit:
+    """A (possibly sequential) gate-level circuit.
+
+    ``latches`` maps the latch *output* signal (a pseudo-input each cycle)
+    to its *next-state* (data) signal.  Purely combinational circuits simply
+    have no latches.
+    """
+
+    name: str = "circuit"
+    inputs: list[str] = field(default_factory=list)
+    gates: dict[str, Gate] = field(default_factory=dict)
+    outputs: list[str] = field(default_factory=list)
+    latches: dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> str:
+        self._check_fresh(name)
+        self.inputs.append(name)
+        return name
+
+    def add_inputs(self, prefix: str, n: int) -> list[str]:
+        """Add ``n`` inputs named ``prefix0 .. prefix{n-1}`` (LSB first)."""
+        return [self.add_input(f"{prefix}{i}") for i in range(n)]
+
+    def add_gate(self, name: str, kind: str, fanins: Iterable[str]) -> str:
+        self._check_fresh(name)
+        gate = Gate(name=name, kind=kind, fanins=tuple(fanins))
+        self.gates[name] = gate
+        return name
+
+    def add_latch(self, q_name: str, d_signal: str) -> str:
+        """A flip-flop: ``q_name`` reads the previous cycle's ``d_signal``."""
+        self._check_fresh(q_name)
+        self.latches[q_name] = d_signal
+        return q_name
+
+    def add_output(self, signal: str) -> None:
+        self.outputs.append(signal)
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self.gates or name in self.inputs or name in self.latches:
+            raise ValueError(f"signal {name!r} already defined")
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def sources(self) -> list[str]:
+        """Signals with no driver inside the combinational core."""
+        return list(self.inputs) + list(self.latches)
+
+    def signals(self) -> list[str]:
+        return self.sources() + list(self.gates)
+
+    def validate(self) -> None:
+        """Check every fanin/output/next-state reference resolves."""
+        known = set(self.signals())
+        for gate in self.gates.values():
+            for f in gate.fanins:
+                if f not in known:
+                    raise ValueError(f"gate {gate.name!r} references unknown {f!r}")
+        for out in self.outputs:
+            if out not in known:
+                raise ValueError(f"output references unknown signal {out!r}")
+        for q, d in self.latches.items():
+            if d not in known:
+                raise ValueError(f"latch {q!r} references unknown {d!r}")
+        self.topological_order()  # raises on combinational cycles
+
+    def topological_order(self) -> list[str]:
+        """Gate names in dependency order (sources excluded)."""
+        order: list[str] = []
+        state: dict[str, int] = {}  # 0 = visiting, 1 = done
+        sources = set(self.sources())
+
+        for root in self.gates:
+            if root in state:
+                continue
+            stack: list[tuple[str, int]] = [(root, 0)]
+            while stack:
+                node, phase = stack.pop()
+                if phase == 0:
+                    if node in sources:
+                        continue
+                    if node in state:
+                        if state[node] == 0:
+                            raise ValueError(f"combinational cycle at {node!r}")
+                        continue
+                    state[node] = 0
+                    stack.append((node, 1))
+                    for f in self.gates[node].fanins:
+                        if f not in state and f not in sources:
+                            stack.append((f, 0))
+                        elif state.get(f) == 0:
+                            raise ValueError(f"combinational cycle at {f!r}")
+                else:
+                    state[node] = 1
+                    order.append(node)
+        return order
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        input_values: Mapping[str, bool],
+        state: Mapping[str, bool] | None = None,
+    ) -> dict[str, bool]:
+        """Evaluate one cycle; returns values of *all* signals.
+
+        ``state`` supplies latch-output values (default all-False reset).
+        The next-state values can be read off the returned dict at the
+        latches' data signals.
+        """
+        values: dict[str, bool] = {}
+        for name in self.inputs:
+            values[name] = bool(input_values[name])
+        for q in self.latches:
+            values[q] = bool(state[q]) if state is not None else False
+        for gname in self.topological_order():
+            gate = self.gates[gname]
+            values[gname] = _eval_gate(gate.kind, [values[f] for f in gate.fanins])
+        return values
+
+    def next_state(self, values: Mapping[str, bool]) -> dict[str, bool]:
+        """Extract the next latch state from a full evaluation."""
+        return {q: values[d] for q, d in self.latches.items()}
+
+    def simulate(
+        self,
+        input_sequence: list[Mapping[str, bool]],
+        initial_state: Mapping[str, bool] | None = None,
+    ) -> list[dict[str, bool]]:
+        """Multi-cycle simulation; returns per-cycle full valuations."""
+        state = dict(initial_state) if initial_state else {q: False for q in self.latches}
+        trace: list[dict[str, bool]] = []
+        for step_inputs in input_sequence:
+            values = self.evaluate(step_inputs, state)
+            trace.append(values)
+            state = self.next_state(values)
+        return trace
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Circuit({self.name!r}, inputs={len(self.inputs)}, "
+            f"gates={len(self.gates)}, latches={len(self.latches)}, "
+            f"outputs={len(self.outputs)})"
+        )

@@ -1,0 +1,127 @@
+"""ISCAS89-style synthetic sequential circuits with parity conditions.
+
+The paper's fourth benchmark class is "constraints arising from ISCAS89
+circuits with parity conditions on randomly chosen subsets of outputs and
+next-state variables" (Section 5) — names like ``s526_3_2`` encode the base
+circuit plus the parity parameters.  The original netlists are not bundled
+here, so we generate synthetic sequential circuits with the same structural
+profile (random gate soup over inputs and flip-flop outputs, shallow
+next-state logic) and instrument them identically:
+
+* pick ``n_parity`` random subsets of the encoded output/next-state
+  variables,
+* constrain each subset's XOR to the value it takes under a concrete
+  simulated execution — guaranteeing satisfiability while slicing the
+  witness space the way the paper's parity conditions do.
+"""
+
+from __future__ import annotations
+
+from ..cnf.formula import CNF
+from ..cnf.xor import XorClause
+from ..rng import RandomSource, as_random_source
+from .encode import CircuitEncoding, encode_combinational
+from .gates import Circuit
+
+_COMB_KINDS = ("and", "or", "nand", "nor", "xor", "not")
+
+
+def synthetic_sequential(
+    name: str,
+    n_inputs: int,
+    n_ffs: int,
+    n_gates: int,
+    n_outputs: int,
+    rng: RandomSource | int | None = None,
+) -> Circuit:
+    """A random ISCAS89-shaped sequential circuit.
+
+    Gates draw 1–3 fanins from already-defined signals (inputs, flip-flops,
+    earlier gates); each flip-flop's next-state is a late gate, and outputs
+    are drawn from the last quarter of the gate list.
+    """
+    rng = as_random_source(rng)
+    circuit = Circuit(name=name)
+    circuit.add_inputs("pi", n_inputs)
+    # Flip-flop outputs act as pseudo-inputs of the combinational core.
+    ff_names = [f"ff{i}" for i in range(n_ffs)]
+    pool: list[str] = list(circuit.inputs) + ff_names
+    # Temporarily register latches with placeholder data; fixed up below.
+    gate_names: list[str] = []
+    for q in ff_names:
+        circuit.latches[q] = q  # placeholder, rewritten after gates exist
+    for g in range(n_gates):
+        kind = rng.choice(_COMB_KINDS)
+        arity = 1 if kind == "not" else rng.randint(2, 3)
+        fanins = [rng.choice(pool) for _ in range(arity)]
+        gname = f"g{g}"
+        circuit.add_gate(gname, kind, fanins)
+        gate_names.append(gname)
+        pool.append(gname)
+    late = gate_names[len(gate_names) // 2 :] or list(circuit.inputs)
+    for q in ff_names:
+        circuit.latches[q] = rng.choice(late)
+    for _ in range(n_outputs):
+        circuit.add_output(rng.choice(late))
+    circuit.validate()
+    return circuit
+
+
+def add_parity_conditions(
+    encoding: CircuitEncoding,
+    circuit: Circuit,
+    n_parity: int,
+    rng: RandomSource | int | None = None,
+    subset_density: float = 0.5,
+) -> CNF:
+    """Constrain random output/next-state parities, keeping the CNF SAT.
+
+    The parity right-hand sides are read off a concrete execution with
+    random inputs, so at least one witness survives; inputs remain free
+    otherwise, so typically very many do.  Returns a new CNF (the encoding
+    is not mutated).
+    """
+    rng = as_random_source(rng)
+    # Candidate observation points: outputs and next-state data signals.
+    observed: list[str] = list(dict.fromkeys(list(circuit.outputs) + list(circuit.latches.values())))
+    if not observed:
+        raise ValueError("circuit exposes no outputs or next-state signals")
+    # One concrete execution fixes consistent parity targets.
+    concrete_inputs = {name: bool(rng.bit()) for name in circuit.inputs}
+    concrete_state = {q: bool(rng.bit()) for q in circuit.latches}
+    values = circuit.evaluate(concrete_inputs, concrete_state)
+
+    out = encoding.cnf.copy()
+    for _ in range(n_parity):
+        subset = [s for s in observed if rng.random() < subset_density]
+        if not subset:
+            subset = [rng.choice(observed)]
+        rhs = False
+        for s in subset:
+            rhs ^= values[s]
+        out.add_xor(XorClause.from_vars([encoding.var_of[s] for s in subset], rhs))
+    return out
+
+
+def iscas_parity_benchmark(
+    name: str,
+    n_inputs: int,
+    n_ffs: int,
+    n_gates: int,
+    n_outputs: int,
+    n_parity: int,
+    seed: int,
+) -> CNF:
+    """End-to-end: synthesize circuit → encode → add parity conditions.
+
+    The sampling set of the result is the circuit's inputs plus flip-flop
+    outputs (an independent support of the encoding).
+    """
+    rng = RandomSource(seed)
+    circuit = synthetic_sequential(
+        name, n_inputs, n_ffs, n_gates, n_outputs, rng=rng
+    )
+    encoding = encode_combinational(circuit)
+    cnf = add_parity_conditions(encoding, circuit, n_parity, rng=rng)
+    cnf.name = name
+    return cnf

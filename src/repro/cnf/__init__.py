@@ -1,0 +1,72 @@
+"""CNF substrate: formulas, XOR clauses, DIMACS I/O, Tseitin, generators."""
+
+from .dimacs import parse_dimacs, read_dimacs, to_dimacs, write_dimacs
+from .formula import CNF
+from .generators import (
+    chain_implication,
+    exactly_k_solutions_formula,
+    parity_funnel,
+    php,
+    random_ksat,
+    random_xor_system,
+)
+from .literals import (
+    check_clause,
+    clause_is_tautology,
+    is_positive,
+    lit_from,
+    lit_value,
+    max_var,
+    negate,
+    var_of,
+)
+from .simplify import SimplifyResult, simplify
+from .tseitin import (
+    Const,
+    Expr,
+    Op,
+    TseitinResult,
+    Var,
+    and_,
+    evaluate_expr,
+    or_,
+    tseitin_encode,
+    xor_,
+)
+from .xor import XorClause, xor_to_cnf
+
+__all__ = [
+    "CNF",
+    "XorClause",
+    "xor_to_cnf",
+    "parse_dimacs",
+    "read_dimacs",
+    "to_dimacs",
+    "write_dimacs",
+    "simplify",
+    "SimplifyResult",
+    "tseitin_encode",
+    "TseitinResult",
+    "Expr",
+    "Var",
+    "Const",
+    "Op",
+    "and_",
+    "or_",
+    "xor_",
+    "evaluate_expr",
+    "var_of",
+    "negate",
+    "is_positive",
+    "lit_from",
+    "lit_value",
+    "check_clause",
+    "clause_is_tautology",
+    "max_var",
+    "random_ksat",
+    "random_xor_system",
+    "parity_funnel",
+    "exactly_k_solutions_formula",
+    "php",
+    "chain_implication",
+]

@@ -1,0 +1,140 @@
+"""DIMACS reader/writer.
+
+Supports the conventions used across the model-counting and sampling
+community:
+
+* standard ``p cnf <vars> <clauses>`` headers and clause lines;
+* ``c ind v1 v2 ... 0`` comment lines declaring the sampling set (the format
+  UniGen/ApproxMC consume — independent-support hints travel with the file);
+* CryptoMiniSAT-style ``x`` lines for native XOR clauses: ``x1 -2 3 0``
+  asserts ``x1 ⊕ ¬x2 ⊕ x3 = true`` (signs fold into the right-hand side).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+from ..errors import DimacsParseError
+from .formula import CNF
+from .xor import XorClause
+
+
+def parse_dimacs(text: str, name: str = "") -> CNF:
+    """Parse DIMACS from a string. See module docstring for dialect."""
+    return _parse(io.StringIO(text), name=name)
+
+
+def read_dimacs(path: str | Path) -> CNF:
+    """Parse DIMACS from a file path."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        return _parse(handle, name=path.stem)
+
+
+def _parse(handle: TextIO, name: str = "") -> CNF:
+    declared_vars: int | None = None
+    declared_clauses: int | None = None
+    cnf = CNF(name=name)
+    sampling: list[int] = []
+    saw_sampling = False
+
+    for line_no, raw in enumerate(handle, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("c"):
+            tokens = line.split()
+            if len(tokens) >= 2 and tokens[1] == "ind":
+                saw_sampling = True
+                for tok in tokens[2:]:
+                    v = _int_token(tok, line_no)
+                    if v == 0:
+                        continue
+                    if v < 0:
+                        raise DimacsParseError(
+                            "sampling set entries must be positive", line_no
+                        )
+                    sampling.append(v)
+            continue
+        if line.startswith("p"):
+            tokens = line.split()
+            if len(tokens) != 4 or tokens[1] != "cnf":
+                raise DimacsParseError(f"malformed problem line: {line!r}", line_no)
+            declared_vars = _int_token(tokens[2], line_no)
+            declared_clauses = _int_token(tokens[3], line_no)
+            if declared_vars < 0 or declared_clauses < 0:
+                raise DimacsParseError("negative counts in problem line", line_no)
+            if declared_vars > cnf.num_vars:
+                cnf.num_vars = declared_vars
+            continue
+        if line.startswith("x"):
+            body = line[1:].strip()
+            lits = _read_lits(body, line_no)
+            cnf.add_xor(XorClause.from_literals(lits, True))
+            continue
+        lits = _read_lits(line, line_no)
+        cnf.add_clause(lits)
+
+    if declared_vars is None:
+        raise DimacsParseError("missing 'p cnf' problem line")
+    if declared_clauses is not None and declared_clauses != len(cnf.clauses) + len(
+        cnf.xor_clauses
+    ):
+        # Many real-world files get this wrong; tolerate but do not grow vars.
+        pass
+    if saw_sampling:
+        cnf.sampling_set = sampling
+    return cnf
+
+
+def _read_lits(body: str, line_no: int) -> list[int]:
+    tokens = body.split()
+    if not tokens:
+        raise DimacsParseError("empty clause line", line_no)
+    if tokens[-1] != "0":
+        raise DimacsParseError("clause line must end in 0", line_no)
+    lits = [_int_token(tok, line_no) for tok in tokens[:-1]]
+    if any(l == 0 for l in lits):
+        raise DimacsParseError("literal 0 inside clause body", line_no)
+    return lits
+
+
+def _int_token(tok: str, line_no: int) -> int:
+    try:
+        return int(tok)
+    except ValueError:
+        raise DimacsParseError(f"expected integer, got {tok!r}", line_no) from None
+
+
+def to_dimacs(cnf: CNF) -> str:
+    """Serialize to DIMACS text (inverse of :func:`parse_dimacs`)."""
+    out: list[str] = []
+    if cnf.name:
+        out.append(f"c {cnf.name}")
+    if cnf.sampling_set is not None:
+        # Chunk the ind line the way real tools do, 10 vars per line.
+        vs = list(cnf.sampling_set)
+        for i in range(0, max(len(vs), 1), 10):
+            chunk = vs[i : i + 10]
+            out.append("c ind " + " ".join(str(v) for v in chunk) + " 0")
+    out.append(f"p cnf {cnf.num_vars} {len(cnf.clauses) + len(cnf.xor_clauses)}")
+    for clause in cnf.clauses:
+        out.append(" ".join(str(l) for l in clause) + " 0")
+    for xor in cnf.xor_clauses:
+        if not xor.vars:
+            # Constant xor; emit an equivalent plain clause pair or nothing.
+            if xor.rhs:
+                out.append("x 0")  # unsatisfiable marker line
+            continue
+        lits = list(xor.vars)
+        if not xor.rhs:
+            lits[0] = -lits[0]
+        out.append("x " + " ".join(str(l) for l in lits) + " 0")
+    return "\n".join(out) + "\n"
+
+
+def write_dimacs(cnf: CNF, path: str | Path) -> None:
+    """Write DIMACS text to ``path``."""
+    Path(path).write_text(to_dimacs(cnf), encoding="utf-8")

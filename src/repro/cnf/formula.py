@@ -1,0 +1,240 @@
+"""The :class:`CNF` container.
+
+A :class:`CNF` holds ordinary clauses, native XOR clauses, a variable count,
+and an optional **sampling set** — the set ``S`` of variables that UniGen
+hashes and blocks over (Section 4 of the paper).  When the sampling set is an
+independent support of the formula, every model is uniquely determined by its
+projection onto ``S``, which is exactly the property UniGen exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .literals import check_clause, max_var, var_of
+from .xor import XorClause
+
+
+class CNF:
+    """A CNF formula with optional native XOR clauses and a sampling set.
+
+    Variables are positive integers ``1..num_vars``; literals are signed ints.
+    The class is a plain mutable container: algorithms never mutate a caller's
+    formula — they :meth:`copy` first or build fresh ones.
+    """
+
+    def __init__(
+        self,
+        num_vars: int = 0,
+        clauses: Iterable[Iterable[int]] = (),
+        xor_clauses: Iterable[XorClause] = (),
+        sampling_set: Iterable[int] | None = None,
+        name: str = "",
+    ):
+        self.num_vars = int(num_vars)
+        self.clauses: list[tuple[int, ...]] = []
+        self.xor_clauses: list[XorClause] = []
+        self.name = name
+        self._sampling_set: tuple[int, ...] | None = None
+        for clause in clauses:
+            self.add_clause(clause)
+        for xor in xor_clauses:
+            self.add_xor(xor)
+        if sampling_set is not None:
+            self.sampling_set = sampling_set  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable index."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, n: int) -> list[int]:
+        """Allocate ``n`` fresh variables, returned in increasing order."""
+        return [self.new_var() for _ in range(n)]
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        """Append a clause, growing ``num_vars`` as needed."""
+        clause = check_clause(lits)
+        m = max_var(clause)
+        if m > self.num_vars:
+            self.num_vars = m
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def add_xor(self, xor: XorClause | Iterable[int], rhs: bool | None = None) -> None:
+        """Append an XOR clause.
+
+        Accepts either an :class:`XorClause` or a literal iterable plus
+        ``rhs`` (literals' signs fold into the right-hand side).
+        """
+        if not isinstance(xor, XorClause):
+            xor = XorClause.from_literals(xor, True if rhs is None else rhs)
+        elif rhs is not None:
+            raise ValueError("rhs only valid when passing raw literals")
+        m = max(xor.vars, default=0)
+        if m > self.num_vars:
+            self.num_vars = m
+        self.xor_clauses.append(xor)
+
+    def add_unit(self, lit: int) -> None:
+        """Append a unit clause asserting ``lit``."""
+        self.add_clause((lit,))
+
+    # ------------------------------------------------------------------
+    # Sampling set
+    # ------------------------------------------------------------------
+    @property
+    def sampling_set(self) -> tuple[int, ...] | None:
+        """The declared sampling set ``S`` (sorted), or ``None`` if unset."""
+        return self._sampling_set
+
+    @sampling_set.setter
+    def sampling_set(self, variables: Iterable[int] | None) -> None:
+        if variables is None:
+            self._sampling_set = None
+            return
+        vs = sorted(set(int(v) for v in variables))
+        if vs and vs[0] <= 0:
+            raise ValueError("sampling set must contain positive variables")
+        if vs and vs[-1] > self.num_vars:
+            self.num_vars = vs[-1]
+        self._sampling_set = tuple(vs)
+
+    def sampling_set_or_support(self) -> tuple[int, ...]:
+        """The sampling set if declared, else the full syntactic support."""
+        if self._sampling_set is not None:
+            return self._sampling_set
+        return tuple(sorted(self.support()))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def support(self) -> set[int]:
+        """Variables that actually occur in some clause or XOR."""
+        seen: set[int] = set()
+        for clause in self.clauses:
+            for lit in clause:
+                seen.add(var_of(lit))
+        for xor in self.xor_clauses:
+            seen.update(xor.vars)
+        return seen
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    @property
+    def num_xor_clauses(self) -> int:
+        return len(self.xor_clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses) + len(self.xor_clauses)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self.clauses)
+
+    def evaluate(self, assignment: Mapping[int, bool] | Sequence[bool]) -> bool:
+        """Evaluate under a total assignment.
+
+        ``assignment`` is either a mapping ``var -> bool`` or a sequence where
+        index ``v`` (1-based: position ``v``) holds the value of variable
+        ``v`` (index 0 is ignored for sequences of length ``num_vars + 1``,
+        otherwise index ``v - 1`` is used).
+        """
+        lookup = _assignment_lookup(assignment, self.num_vars)
+        for clause in self.clauses:
+            if not any(lookup(var_of(lit)) == (lit > 0) for lit in clause):
+                return False
+        for xor in self.xor_clauses:
+            acc = False
+            for v in xor.vars:
+                acc ^= lookup(v)
+            if acc != xor.rhs:
+                return False
+        return True
+
+    def project(self, model: Mapping[int, bool], variables: Iterable[int] | None = None) -> tuple[int, ...]:
+        """Project a model onto ``variables`` (default: the sampling set).
+
+        Returns the sorted tuple of literals over those variables — the
+        canonical "witness key" used for blocking and for uniformity
+        statistics.
+        """
+        if variables is None:
+            variables = self.sampling_set_or_support()
+        return tuple(v if model[v] else -v for v in sorted(variables))
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def copy(self) -> "CNF":
+        """Deep-enough copy (clauses are immutable tuples, so sharing is safe)."""
+        out = CNF(self.num_vars, name=self.name)
+        out.clauses = list(self.clauses)
+        out.xor_clauses = list(self.xor_clauses)
+        out._sampling_set = self._sampling_set
+        return out
+
+    def with_xors_expanded(self, max_arity: int = 4) -> "CNF":
+        """Return an equisatisfiable plain-CNF formula (XORs expanded).
+
+        Long XORs are first cut with fresh auxiliary variables (arity
+        <= ``max_arity``), then each piece is expanded into its
+        ``2^{arity-1}`` clauses.  Models of the result, projected onto the
+        original variables, are exactly the models of ``self``.
+        """
+        out = CNF(self.num_vars, name=self.name)
+        out.clauses = list(self.clauses)
+        out._sampling_set = self._sampling_set
+        next_free = self.num_vars + 1
+        for xor in self.xor_clauses:
+            pieces, next_free = xor.cut(next_free, max_arity=max_arity)
+            for piece in pieces:
+                for clause in piece.to_cnf_clauses():
+                    if len(clause) == 0:
+                        # Trivially-false XOR: encode as two contradictory units.
+                        fresh = next_free
+                        next_free += 1
+                        out.clauses.append((fresh,))
+                        out.clauses.append((-fresh,))
+                    else:
+                        out.clauses.append(clause)
+        out.num_vars = max(out.num_vars, next_free - 1)
+        return out
+
+    def conjoined_with(self, clauses: Iterable[Iterable[int]] = (), xors: Iterable[XorClause] = ()) -> "CNF":
+        """A copy of ``self`` with extra clauses / XORs appended."""
+        out = self.copy()
+        for clause in clauses:
+            out.add_clause(clause)
+        for xor in xors:
+            out.add_xor(xor)
+        return out
+
+    def __repr__(self) -> str:
+        s = len(self._sampling_set) if self._sampling_set is not None else None
+        label = f" name={self.name!r}" if self.name else ""
+        return (
+            f"CNF(vars={self.num_vars}, clauses={len(self.clauses)}, "
+            f"xors={len(self.xor_clauses)}, sampling={s}{label})"
+        )
+
+
+def _assignment_lookup(assignment, num_vars: int):
+    """Normalize the two accepted assignment shapes into a ``var -> bool``."""
+    if isinstance(assignment, Mapping):
+        return lambda v: bool(assignment[v])
+    seq = assignment
+    if len(seq) == num_vars + 1:
+        return lambda v: bool(seq[v])
+    if len(seq) >= num_vars:
+        return lambda v: bool(seq[v - 1])
+    raise ValueError(
+        f"assignment of length {len(seq)} cannot cover {num_vars} variables"
+    )

@@ -1,0 +1,137 @@
+"""Random and structured CNF generators.
+
+Used by the test suite (differential testing against brute force) and by the
+benchmark families in :mod:`repro.suite`.
+"""
+
+from __future__ import annotations
+
+from ..rng import RandomSource, as_random_source
+from .formula import CNF
+from .xor import XorClause
+
+
+def random_ksat(
+    num_vars: int,
+    num_clauses: int,
+    k: int = 3,
+    rng: RandomSource | int | None = None,
+) -> CNF:
+    """Uniform random k-SAT: each clause draws ``k`` distinct variables and
+    random signs."""
+    rng = as_random_source(rng)
+    if k > num_vars:
+        raise ValueError("clause width k cannot exceed num_vars")
+    cnf = CNF(num_vars, name=f"random-{k}sat-{num_vars}v-{num_clauses}c")
+    variables = list(range(1, num_vars + 1))
+    for _ in range(num_clauses):
+        chosen = rng.sample(variables, k)
+        clause = [v if rng.bit() else -v for v in chosen]
+        cnf.add_clause(clause)
+    return cnf
+
+
+def random_xor_system(
+    num_vars: int,
+    num_xors: int,
+    density: float = 0.5,
+    rng: RandomSource | int | None = None,
+) -> CNF:
+    """A random system of XOR constraints (affine space of solutions).
+
+    With density 0.5 this matches a draw from ``Hxor``; solution count is a
+    power of two (or zero), which makes these ideal uniformity fixtures.
+    """
+    rng = as_random_source(rng)
+    cnf = CNF(num_vars, name=f"random-xor-{num_vars}v-{num_xors}x")
+    for _ in range(num_xors):
+        vs = [v for v in range(1, num_vars + 1) if rng.random() < density]
+        cnf.add_xor(XorClause.from_vars(vs, bool(rng.bit())))
+    return cnf
+
+
+def parity_funnel(width: int, rng: RandomSource | int | None = None) -> CNF:
+    """A satisfiable formula whose solutions are an affine subspace.
+
+    ``width`` input variables, with ``width // 2`` random parity constraints
+    guaranteed consistent (rhs derived from a hidden solution), so the formula
+    has exactly ``2^(width - rank)`` solutions.  Sampling set = all inputs.
+    """
+    rng = as_random_source(rng)
+    hidden = [bool(rng.bit()) for _ in range(width + 1)]
+    cnf = CNF(width, name=f"parity-funnel-{width}")
+    for _ in range(width // 2):
+        vs = [v for v in range(1, width + 1) if rng.random() < 0.5]
+        rhs = False
+        for v in vs:
+            rhs ^= hidden[v]
+        cnf.add_xor(XorClause.from_vars(vs, rhs))
+    cnf.sampling_set = range(1, width + 1)
+    return cnf
+
+
+def exactly_k_solutions_formula(num_vars: int, k: int) -> CNF:
+    """A formula over ``num_vars`` variables with exactly ``k`` models.
+
+    The first ``k`` assignments in lexicographic order (viewing the variable
+    vector as a binary number, var 1 = MSB) are the models: we add clauses
+    asserting ``value(x) < k``.  Handy for exact-count fixtures.
+    """
+    if not (0 <= k <= 2**num_vars):
+        raise ValueError("k out of range")
+    cnf = CNF(num_vars, name=f"exactly-{k}-of-{num_vars}")
+    if k == 0:
+        cnf.add_clause((1,))
+        cnf.add_clause((-1,))
+        return cnf
+    if k == 2**num_vars:
+        return cnf  # empty formula: all assignments are models
+    # Assert x < k (x read as a big-endian binary number, var 1 = MSB).
+    # ``accum`` carries literals asserting "x agrees with k on all higher
+    # bits"; wherever k has a 0 bit, agreeing-so-far forces that bit to 0.
+    bits = [(k >> (num_vars - 1 - i)) & 1 for i in range(num_vars)]
+    accum: list[int] = []
+    for i, b in enumerate(bits):
+        v = i + 1
+        if b == 0:
+            # To stay < k when all higher bits equal k's bits, this bit must
+            # not exceed 0 *if* equality held so far; encode:
+            # (accum literals all at k's values) -> ¬v  when that prefix makes
+            # x's prefix equal to k's prefix.
+            cnf.add_clause(tuple([-l for l in accum] + [-v]))
+            accum.append(-v)
+        else:
+            accum.append(v)
+    # Assignments equal to k on all bits are excluded because x < k strictly:
+    cnf.add_clause(tuple(-l for l in accum))
+    cnf.sampling_set = range(1, num_vars + 1)
+    return cnf
+
+
+def php(pigeons: int, holes: int) -> CNF:
+    """Pigeonhole principle PHP(p, h): p pigeons into h holes.
+
+    UNSAT iff ``pigeons > holes``.  Classic hard instance family for
+    resolution; used to exercise solver learning and UNSAT paths.
+    """
+    cnf = CNF(pigeons * holes, name=f"php-{pigeons}-{holes}")
+
+    def var(p: int, h: int) -> int:
+        return p * holes + h + 1
+
+    for p in range(pigeons):
+        cnf.add_clause([var(p, h) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                cnf.add_clause((-var(p1, h), -var(p2, h)))
+    return cnf
+
+
+def chain_implication(length: int) -> CNF:
+    """x1 -> x2 -> ... -> xn with x1 asserted; single model, deep propagation."""
+    cnf = CNF(length, name=f"chain-{length}")
+    cnf.add_unit(1)
+    for v in range(1, length):
+        cnf.add_clause((-v, v + 1))
+    return cnf

@@ -1,0 +1,82 @@
+"""Literal and variable conventions.
+
+Throughout the library, the *public* representation follows DIMACS:
+
+* a **variable** is a positive integer ``1, 2, 3, ...``;
+* a **literal** is a non-zero integer — ``v`` for the positive literal of
+  variable ``v`` and ``-v`` for its negation.
+
+The CDCL solver uses a dense internal encoding (see :mod:`repro.sat.solver`);
+these helpers are for code that manipulates the public form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def var_of(lit: int) -> int:
+    """Variable underlying a literal: ``var_of(-7) == 7``."""
+    return lit if lit > 0 else -lit
+
+
+def is_positive(lit: int) -> bool:
+    """True iff ``lit`` is a positive (un-negated) literal."""
+    return lit > 0
+
+
+def negate(lit: int) -> int:
+    """The complementary literal."""
+    return -lit
+
+
+def lit_from(var: int, value: bool) -> int:
+    """Literal asserting ``var == value``."""
+    return var if value else -var
+
+
+def lit_value(lit: int, assignment: dict[int, bool]) -> bool:
+    """Truth value of ``lit`` under a total-enough assignment.
+
+    Raises ``KeyError`` if the underlying variable is unassigned.
+    """
+    value = assignment[var_of(lit)]
+    return value if lit > 0 else not value
+
+
+def check_clause(lits: Iterable[int]) -> tuple[int, ...]:
+    """Validate and normalize a clause given as an iterable of literals.
+
+    Duplicate literals are removed (keeping first occurrence order);
+    a ``ValueError`` is raised for literal ``0`` or non-int entries.
+    Tautologies (``v`` and ``-v`` both present) are *kept* — removing them is
+    the simplifier's job, and some callers (e.g. the DIMACS round-trip tests)
+    need byte-faithful behaviour.
+    """
+    seen: set[int] = set()
+    out: list[int] = []
+    for lit in lits:
+        if not isinstance(lit, int) or isinstance(lit, bool):
+            raise ValueError(f"literal must be an int, got {lit!r}")
+        if lit == 0:
+            raise ValueError("literal 0 is not allowed inside a clause")
+        if lit not in seen:
+            seen.add(lit)
+            out.append(lit)
+    return tuple(out)
+
+
+def clause_is_tautology(lits: Iterable[int]) -> bool:
+    """True iff the clause contains some literal and its negation."""
+    s = set(lits)
+    return any(-lit in s for lit in s)
+
+
+def max_var(lits: Iterable[int]) -> int:
+    """Largest variable index mentioned (0 for the empty iterable)."""
+    m = 0
+    for lit in lits:
+        v = lit if lit > 0 else -lit
+        if v > m:
+            m = v
+    return m

@@ -1,0 +1,122 @@
+"""Lightweight CNF preprocessing.
+
+Unit propagation to fixpoint plus tautology/duplicate cleanup.  Variable
+numbering is preserved (no renumbering), so sampling sets remain valid; fixed
+variables are reported separately.  This is deliberately conservative — it
+never eliminates variables by resolution, because that could silently change
+the projection semantics the samplers rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .formula import CNF
+from .literals import clause_is_tautology, var_of
+from .xor import XorClause
+
+
+@dataclass
+class SimplifyResult:
+    """Outcome of :func:`simplify`.
+
+    ``cnf``
+        The simplified formula (same variable numbering).
+    ``fixed``
+        Mapping of variables forced by unit propagation (var -> bool).
+    ``unsat``
+        True iff propagation derived a contradiction; ``cnf`` then contains
+        the empty clause marker (two contradictory units).
+    """
+
+    cnf: CNF
+    fixed: dict[int, bool] = field(default_factory=dict)
+    unsat: bool = False
+
+
+def simplify(cnf: CNF) -> SimplifyResult:
+    """Propagate units and scrub trivial clauses. Pure function."""
+    fixed: dict[int, bool] = {}
+    clauses = [c for c in cnf.clauses if not clause_is_tautology(c)]
+    xors = list(cnf.xor_clauses)
+
+    changed = True
+    while changed:
+        changed = False
+        new_clauses: list[tuple[int, ...]] = []
+        for clause in clauses:
+            lits: list[int] = []
+            satisfied = False
+            for lit in clause:
+                v = var_of(lit)
+                if v in fixed:
+                    if fixed[v] == (lit > 0):
+                        satisfied = True
+                        break
+                    continue  # falsified literal drops out
+                lits.append(lit)
+            if satisfied:
+                changed = True
+                continue
+            if not lits:
+                return _unsat_result(cnf)
+            if len(lits) == 1:
+                lit = lits[0]
+                v = var_of(lit)
+                if v in fixed and fixed[v] != (lit > 0):
+                    return _unsat_result(cnf)
+                if v not in fixed:
+                    fixed[v] = lit > 0
+                changed = True
+                continue
+            if len(lits) != len(clause):
+                changed = True
+            new_clauses.append(tuple(lits))
+        clauses = new_clauses
+
+        new_xors: list[XorClause] = []
+        for xor in xors:
+            vs = [v for v in xor.vars if v not in fixed]
+            rhs = xor.rhs
+            for v in xor.vars:
+                if v in fixed and fixed[v]:
+                    rhs = not rhs
+            if len(vs) == len(xor.vars) and rhs == xor.rhs:
+                new_xors.append(xor)
+                continue
+            changed = True
+            if not vs:
+                if rhs:
+                    return _unsat_result(cnf)
+                continue  # trivially true, drop
+            if len(vs) == 1:
+                v = vs[0]
+                if v in fixed and fixed[v] != rhs:
+                    return _unsat_result(cnf)
+                if v not in fixed:
+                    fixed[v] = rhs
+                continue
+            new_xors.append(XorClause.from_vars(vs, rhs))
+        xors = new_xors
+
+    out = CNF(cnf.num_vars, name=cnf.name)
+    seen: set[tuple[int, ...]] = set()
+    for clause in clauses:
+        key = tuple(sorted(clause))
+        if key not in seen:
+            seen.add(key)
+            out.clauses.append(clause)
+    out.xor_clauses = xors
+    for v, value in fixed.items():
+        out.add_unit(v if value else -v)
+    out.sampling_set = cnf.sampling_set
+    return SimplifyResult(cnf=out, fixed=fixed, unsat=False)
+
+
+def _unsat_result(cnf: CNF) -> SimplifyResult:
+    out = CNF(cnf.num_vars, name=cnf.name)
+    marker = 1 if cnf.num_vars >= 1 else out.new_var()
+    out.add_unit(marker)
+    out.add_unit(-marker)
+    out.sampling_set = cnf.sampling_set
+    return SimplifyResult(cnf=out, fixed={}, unsat=True)

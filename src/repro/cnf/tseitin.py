@@ -1,0 +1,229 @@
+"""Boolean expression trees and Tseitin encoding.
+
+The paper motivates independent supports via Tseitin encoding: when a non-CNF
+formula ``G`` is converted to an equisatisfiable CNF ``F``, the auxiliary
+variables introduced by the encoding form a *dependent* support — the original
+variables of ``G`` are an independent support of ``F`` (Section 4).  This
+module provides exactly that pipeline: build an expression, Tseitin-encode it,
+and get back a :class:`~repro.cnf.formula.CNF` whose sampling set is the set
+of original variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .formula import CNF
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for Boolean expression nodes.
+
+    Operators are overloaded for readability: ``a & b``, ``a | b``, ``a ^ b``,
+    ``~a``, ``a >> b`` (implies), ``a.iff(b)``.
+    """
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return Op("and", (self, other))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Op("or", (self, other))
+
+    def __xor__(self, other: "Expr") -> "Expr":
+        return Op("xor", (self, other))
+
+    def __invert__(self) -> "Expr":
+        return Op("not", (self,))
+
+    def __rshift__(self, other: "Expr") -> "Expr":
+        return Op("or", (Op("not", (self,)), other))
+
+    def iff(self, other: "Expr") -> "Expr":
+        return Op("iff", (self, other))
+
+    def ite(self, then: "Expr", els: "Expr") -> "Expr":
+        """If-then-else with ``self`` as the condition."""
+        return Op("ite", (self, then, els))
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A named input variable."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A Boolean constant."""
+
+    value: bool
+
+
+@dataclass(frozen=True)
+class Op(Expr):
+    """An operator node: and/or/xor/not/iff/ite over child expressions."""
+
+    kind: str
+    args: tuple[Expr, ...] = field(default=())
+
+    def __post_init__(self):
+        arities = {"not": 1, "iff": 2, "ite": 3}
+        want = arities.get(self.kind)
+        if self.kind not in ("and", "or", "xor", "not", "iff", "ite"):
+            raise ValueError(f"unknown operator {self.kind!r}")
+        if want is not None and len(self.args) != want:
+            raise ValueError(f"{self.kind} expects {want} args, got {len(self.args)}")
+        if self.kind in ("and", "or", "xor") and len(self.args) < 1:
+            raise ValueError(f"{self.kind} expects at least one argument")
+
+
+def and_(*args: Expr) -> Expr:
+    """N-ary conjunction of expressions."""
+    return Op("and", tuple(args))
+
+
+def or_(*args: Expr) -> Expr:
+    """N-ary disjunction of expressions."""
+    return Op("or", tuple(args))
+
+
+def xor_(*args: Expr) -> Expr:
+    """N-ary parity (xor) of expressions."""
+    return Op("xor", tuple(args))
+
+
+@dataclass
+class TseitinResult:
+    """Output of :func:`tseitin_encode`.
+
+    ``cnf``
+        The equisatisfiable CNF; its sampling set is the input variables.
+    ``var_map``
+        Mapping from input-variable name to CNF variable index.
+    ``root_var``
+        The CNF variable representing the root expression (asserted true
+        unless ``assert_root=False`` was passed).
+    """
+
+    cnf: CNF
+    var_map: dict[str, int]
+    root_var: int
+
+
+def tseitin_encode(root: Expr, assert_root: bool = True) -> TseitinResult:
+    """Tseitin-encode ``root`` into CNF.
+
+    Structural sharing is respected: each distinct subexpression (by value)
+    gets one auxiliary variable.  The returned CNF's sampling set is the set
+    of input variables — an independent support by construction.
+    """
+    cnf = CNF()
+    var_map: dict[str, int] = {}
+    cache: dict[Expr, int] = {}
+    const_cache: dict[bool, int] = {}
+
+    def lit_of(expr: Expr) -> int:
+        if expr in cache:
+            return cache[expr]
+        if isinstance(expr, Var):
+            if expr.name not in var_map:
+                var_map[expr.name] = cnf.new_var()
+            out = var_map[expr.name]
+        elif isinstance(expr, Const):
+            if expr.value not in const_cache:
+                v = cnf.new_var()
+                cnf.add_unit(v if expr.value else -v)
+                const_cache[expr.value] = v
+            out = const_cache[expr.value]
+        elif isinstance(expr, Op):
+            args = [lit_of(a) for a in expr.args]
+            out = _encode_op(cnf, expr.kind, args)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"not an Expr: {expr!r}")
+        cache[expr] = out
+        return out
+
+    root_var = lit_of(root)
+    if assert_root:
+        cnf.add_unit(root_var)
+    cnf.sampling_set = sorted(var_map.values())
+    return TseitinResult(cnf=cnf, var_map=var_map, root_var=root_var)
+
+
+def _encode_op(cnf: CNF, kind: str, args: list[int]) -> int:
+    """Emit defining clauses for ``out <-> kind(args)``; return ``out``."""
+    if kind == "not":
+        (a,) = args
+        out = cnf.new_var()
+        cnf.add_clause((-out, -a))
+        cnf.add_clause((out, a))
+        return out
+    if kind == "and":
+        out = cnf.new_var()
+        for a in args:
+            cnf.add_clause((-out, a))
+        cnf.add_clause(tuple([out] + [-a for a in args]))
+        return out
+    if kind == "or":
+        out = cnf.new_var()
+        for a in args:
+            cnf.add_clause((out, -a))
+        cnf.add_clause(tuple([-out] + list(args)))
+        return out
+    if kind == "xor":
+        # Chain binary xors: out_i <-> out_{i-1} ^ a_i.
+        acc = args[0]
+        for a in args[1:]:
+            out = cnf.new_var()
+            cnf.add_clause((-out, acc, a))
+            cnf.add_clause((-out, -acc, -a))
+            cnf.add_clause((out, -acc, a))
+            cnf.add_clause((out, acc, -a))
+            acc = out
+        return acc
+    if kind == "iff":
+        a, b = args
+        out = cnf.new_var()
+        cnf.add_clause((-out, -a, b))
+        cnf.add_clause((-out, a, -b))
+        cnf.add_clause((out, a, b))
+        cnf.add_clause((out, -a, -b))
+        return out
+    if kind == "ite":
+        c, t, e = args
+        out = cnf.new_var()
+        cnf.add_clause((-out, -c, t))
+        cnf.add_clause((-out, c, e))
+        cnf.add_clause((out, -c, -t))
+        cnf.add_clause((out, c, -e))
+        return out
+    raise ValueError(f"unknown operator {kind!r}")  # pragma: no cover
+
+
+def evaluate_expr(expr: Expr, env: Mapping[str, bool]) -> bool:
+    """Evaluate an expression under an environment of named inputs."""
+    if isinstance(expr, Var):
+        return bool(env[expr.name])
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Op):
+        vals = [evaluate_expr(a, env) for a in expr.args]
+        if expr.kind == "not":
+            return not vals[0]
+        if expr.kind == "and":
+            return all(vals)
+        if expr.kind == "or":
+            return any(vals)
+        if expr.kind == "xor":
+            acc = False
+            for v in vals:
+                acc ^= v
+            return acc
+        if expr.kind == "iff":
+            return vals[0] == vals[1]
+        if expr.kind == "ite":
+            return vals[1] if vals[0] else vals[2]
+    raise TypeError(f"not an Expr: {expr!r}")  # pragma: no cover

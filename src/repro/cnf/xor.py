@@ -1,0 +1,154 @@
+"""XOR (parity) constraints.
+
+An :class:`XorClause` represents the constraint
+
+    ``x_{i1} ⊕ x_{i2} ⊕ ... ⊕ x_{ik} = rhs``
+
+over *variables* (not literals).  Negated literals in the surface syntax are
+normalized into the right-hand side: ``¬a ⊕ b = 1`` is the same constraint as
+``a ⊕ b = 0``.  This is the canonical form used by the XOR engine in
+:mod:`repro.sat.xor_engine`, by the hash family in :mod:`repro.hashing`, and
+by the DIMACS ``x``-line reader/writer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class XorClause:
+    """A parity constraint ``xor(vars) = rhs`` over distinct variables.
+
+    ``vars`` is kept sorted and duplicate-free; ``rhs`` is a bool.  The empty
+    XOR with ``rhs=False`` is trivially true, with ``rhs=True`` trivially
+    false (an immediate conflict).
+    """
+
+    vars: tuple[int, ...]
+    rhs: bool
+
+    @staticmethod
+    def from_literals(lits: Iterable[int], rhs: bool = True) -> "XorClause":
+        """Build from a literal list, folding negations into ``rhs``.
+
+        Each negative literal flips the right-hand side; repeated variables
+        cancel in pairs (``a ⊕ a = 0``).
+        """
+        parity_flip = False
+        counts: dict[int, int] = {}
+        for lit in lits:
+            if lit == 0:
+                raise ValueError("literal 0 is not allowed in an xor clause")
+            v = lit if lit > 0 else -lit
+            if lit < 0:
+                parity_flip = not parity_flip
+            counts[v] = counts.get(v, 0) + 1
+        kept = tuple(sorted(v for v, c in counts.items() if c % 2 == 1))
+        return XorClause(kept, bool(rhs) ^ parity_flip)
+
+    @staticmethod
+    def from_vars(vars: Iterable[int], rhs: bool) -> "XorClause":
+        """Build from variable indices (all positive), cancelling duplicates."""
+        return XorClause.from_literals(list(vars), rhs)
+
+    def __post_init__(self):
+        if any(v <= 0 for v in self.vars):
+            raise ValueError("xor clause variables must be positive ints")
+        if list(self.vars) != sorted(set(self.vars)):
+            object.__setattr__(self, "vars", tuple(sorted(set(self.vars))))
+
+    def __len__(self) -> int:
+        return len(self.vars)
+
+    def is_trivially_true(self) -> bool:
+        return not self.vars and not self.rhs
+
+    def is_trivially_false(self) -> bool:
+        return not self.vars and self.rhs
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        """Truth of the constraint under a (sufficiently defined) assignment."""
+        acc = False
+        for v in self.vars:
+            acc ^= assignment[v]
+        return acc == self.rhs
+
+    def to_cnf_clauses(self) -> Iterator[tuple[int, ...]]:
+        """Expand into the equivalent CNF clauses (2^{k-1} of them).
+
+        A clause is emitted for every sign pattern that *falsifies* the
+        parity: patterns with an even number of positive literals when
+        ``rhs`` is true need a clause ruling them out, etc.  Intended only
+        for short XORs (cross-checking, solvers without native XOR support);
+        use :meth:`cut` first for long constraints.
+        """
+        k = len(self.vars)
+        if k == 0:
+            if self.rhs:
+                yield ()  # empty clause: unsatisfiable
+            return
+        # For xor(vars) = rhs, the falsifying assignments are those with
+        # parity(vars) != rhs. Each yields a clause that is the negation of
+        # that assignment.
+        for neg_positions in _even_or_odd_subsets(k, want_odd=not self.rhs):
+            clause = []
+            for idx, v in enumerate(self.vars):
+                # Falsifying assignment sets v True iff idx in neg_positions;
+                # the blocking clause contains the negation of that literal.
+                if idx in neg_positions:
+                    clause.append(-v)
+                else:
+                    clause.append(v)
+            yield tuple(clause)
+
+    def cut(self, next_aux_var: int, max_arity: int = 4) -> tuple[list["XorClause"], int]:
+        """Split a long XOR into a chain of short ones using fresh variables.
+
+        Returns ``(pieces, next_free_var)``.  Every piece has arity at most
+        ``max_arity`` (>= 3).  Semantics are preserved: the conjunction of
+        the pieces, projected onto the original variables, equals the
+        original constraint.  This mirrors CryptoMiniSAT's XOR cutting and is
+        what keeps :meth:`to_cnf_clauses` expansions polynomial.
+        """
+        if max_arity < 3:
+            raise ValueError("max_arity must be >= 3")
+        if len(self.vars) <= max_arity:
+            return [self], next_aux_var
+        pieces: list[XorClause] = []
+        pool = list(self.vars)
+        while len(pool) > max_arity:
+            head, pool = pool[: max_arity - 1], pool[max_arity - 1 :]
+            aux = next_aux_var
+            next_aux_var += 1
+            # head xor aux = 0  <=>  aux = xor(head)
+            pieces.append(XorClause.from_vars(head + [aux], False))
+            pool.insert(0, aux)
+        pieces.append(XorClause.from_vars(pool, self.rhs))
+        return pieces, next_aux_var
+
+    def __str__(self) -> str:
+        body = " ^ ".join(f"x{v}" for v in self.vars) or "0"
+        return f"{body} = {int(self.rhs)}"
+
+
+def _even_or_odd_subsets(k: int, want_odd: bool) -> Iterator[frozenset[int]]:
+    """All subsets of ``range(k)`` with odd (or even) cardinality."""
+    start = 1 if want_odd else 0
+    for size in range(start, k + 1, 2):
+        for combo in combinations(range(k), size):
+            yield frozenset(combo)
+
+
+def xor_to_cnf(xor: XorClause, next_aux_var: int, max_arity: int = 4) -> tuple[list[tuple[int, ...]], int]:
+    """Convenience: cut a (possibly long) XOR and expand all pieces to CNF.
+
+    Returns ``(clauses, next_free_var)``.
+    """
+    pieces, next_free = xor.cut(next_aux_var, max_arity=max_arity)
+    clauses: list[tuple[int, ...]] = []
+    for piece in pieces:
+        clauses.extend(piece.to_cnf_clauses())
+    return clauses, next_free

@@ -1,0 +1,27 @@
+"""The paper's samplers: UniGen plus the baselines it is evaluated against."""
+
+from .base import SamplerStats, Witness, WitnessSampler
+from .kappa_pivot import EPSILON_MIN, KappaPivot, compute_kappa_pivot
+from .paws import PawsStyle
+from .unigen import UniGen
+from .unigen2 import UniGen2
+from .uniwit import UNIWIT_PIVOT, UniWit
+from .us import EnumerativeUniformSampler, IdealUniformSampler
+from .xorsample import XorSamplePrime
+
+__all__ = [
+    "UniGen",
+    "UniGen2",
+    "UniWit",
+    "UNIWIT_PIVOT",
+    "XorSamplePrime",
+    "PawsStyle",
+    "IdealUniformSampler",
+    "EnumerativeUniformSampler",
+    "WitnessSampler",
+    "SamplerStats",
+    "Witness",
+    "compute_kappa_pivot",
+    "KappaPivot",
+    "EPSILON_MIN",
+]

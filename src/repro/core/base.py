@@ -1,0 +1,101 @@
+"""Common sampler interface and bookkeeping.
+
+Every generator in :mod:`repro.core` (UniGen, UniWit, XORSample', US) exposes
+
+* ``sample() -> dict[var, bool] | None`` — one witness, or ``None`` for the
+  bounded-probability failure outcome ⊥ (Theorem 1 allows it);
+* ``sample_many(n)`` — a list with one entry per attempt (``None`` kept, so
+  observed success probability — Tables 1/2, column "Succ Prob" — falls out
+  directly);
+* ``stats`` — cumulative :class:`SamplerStats` including the average XOR
+  clause length, the other headline column of Tables 1/2.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+Witness = dict[int, bool]
+
+
+@dataclass
+class SamplerStats:
+    """Cumulative counters across all ``sample()`` calls of one sampler."""
+
+    attempts: int = 0
+    successes: int = 0
+    failures: int = 0
+    bsat_calls: int = 0
+    bsat_timeouts: int = 0
+    xor_clauses_added: int = 0
+    xor_literals_added: int = 0
+    sample_time_seconds: float = 0.0
+    setup_time_seconds: float = 0.0
+
+    @property
+    def success_probability(self) -> float:
+        """Observed success rate (column "Succ Prob" in Tables 1/2)."""
+        if self.attempts == 0:
+            return 0.0
+        return self.successes / self.attempts
+
+    @property
+    def avg_xor_length(self) -> float:
+        """Mean variables per XOR clause (column "Avg XOR len")."""
+        if self.xor_clauses_added == 0:
+            return 0.0
+        return self.xor_literals_added / self.xor_clauses_added
+
+    @property
+    def avg_time_per_sample(self) -> float:
+        """Mean wall-clock seconds per attempt (column "Avg Run Time")."""
+        if self.attempts == 0:
+            return 0.0
+        return self.sample_time_seconds / self.attempts
+
+
+class WitnessSampler(ABC):
+    """Abstract base for witness generators."""
+
+    #: Human-readable algorithm name, used in experiment reports.
+    name: str = "sampler"
+
+    def __init__(self) -> None:
+        self.stats = SamplerStats()
+
+    @abstractmethod
+    def _sample_once(self) -> Witness | None:
+        """Produce one witness or ⊥ (``None``). Subclasses implement this."""
+
+    def sample(self) -> Witness | None:
+        """One witness draw with timing/accounting."""
+        start = time.monotonic()
+        try:
+            witness = self._sample_once()
+        finally:
+            self.stats.sample_time_seconds += time.monotonic() - start
+        self.stats.attempts += 1
+        if witness is None:
+            self.stats.failures += 1
+        else:
+            self.stats.successes += 1
+        return witness
+
+    def sample_many(self, n: int) -> list[Witness | None]:
+        """``n`` independent draws; failed draws stay as ``None`` entries."""
+        return [self.sample() for _ in range(n)]
+
+    def sample_until(self, n: int, max_attempts: int | None = None) -> list[Witness]:
+        """Draw until ``n`` successes (or ``max_attempts`` attempts)."""
+        out: list[Witness] = []
+        attempts = 0
+        while len(out) < n:
+            if max_attempts is not None and attempts >= max_attempts:
+                break
+            witness = self.sample()
+            attempts += 1
+            if witness is not None:
+                out.append(witness)
+        return out

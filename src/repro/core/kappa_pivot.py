@@ -1,0 +1,78 @@
+"""``ComputeKappaPivot`` (Algorithm 2 of the paper).
+
+Given the user tolerance ε (> 1.71), find κ ∈ [0, 1) such that
+
+    ε = (1 + κ)(2.23 + 0.48 / (1 − κ)²) − 1
+
+and set ``pivot = ⌈3·e^{1/2}·(1 + 1/κ)²⌉``.
+
+The right-hand side is strictly increasing in κ on [0, 1): at κ = 0 it equals
+1.71 (hence the ε > 1.71 requirement, see Section 4), and it diverges as
+κ → 1.  We solve by bisection to machine precision — the paper's analysis
+only needs *a* κ satisfying the equation, and downstream thresholds are
+integer-rounded anyway.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ToleranceError
+
+#: Infimum of representable tolerances: ε must strictly exceed this.
+EPSILON_MIN = 1.71
+
+
+def _epsilon_of_kappa(kappa: float) -> float:
+    return (1 + kappa) * (2.23 + 0.48 / (1 - kappa) ** 2) - 1
+
+
+@dataclass(frozen=True)
+class KappaPivot:
+    """Output of :func:`compute_kappa_pivot` plus the derived thresholds.
+
+    ``hi_thresh = 1 + (1+κ)·pivot`` and ``lo_thresh = pivot/(1+κ)`` are the
+    cell-size acceptance window of Algorithm 1 (lines 2–3).
+    """
+
+    epsilon: float
+    kappa: float
+    pivot: int
+
+    @property
+    def hi_thresh(self) -> int:
+        # |Y| is an integer, so "|Y| <= 1 + (1+κ)·pivot" is equivalent to
+        # comparing against the floor.
+        return 1 + math.floor((1 + self.kappa) * self.pivot)
+
+    @property
+    def lo_thresh(self) -> float:
+        return self.pivot / (1 + self.kappa)
+
+
+def compute_kappa_pivot(epsilon: float) -> KappaPivot:
+    """Solve Algorithm 2: κ from ε by bisection, then the pivot.
+
+    Raises :class:`~repro.errors.ToleranceError` for ε ≤ 1.71 (no κ ∈ [0,1)
+    exists — Section 4's "technical reasons").
+    """
+    if epsilon <= EPSILON_MIN:
+        raise ToleranceError(
+            f"UniGen requires epsilon > {EPSILON_MIN}, got {epsilon}"
+        )
+    lo, hi = 0.0, 1.0 - 1e-12
+    if _epsilon_of_kappa(hi) < epsilon:
+        # Enormous ε: κ saturates just below 1; thresholds stay finite
+        # because pivot ≥ 3e^{1/2}·4 for κ ≤ 1.
+        kappa = hi
+    else:
+        for _ in range(200):
+            mid = (lo + hi) / 2
+            if _epsilon_of_kappa(mid) < epsilon:
+                lo = mid
+            else:
+                hi = mid
+        kappa = (lo + hi) / 2
+    pivot = math.ceil(3 * math.sqrt(math.e) * (1 + 1 / kappa) ** 2)
+    return KappaPivot(epsilon=epsilon, kappa=kappa, pivot=pivot)

@@ -1,0 +1,86 @@
+"""``US`` — the idealized uniform sampler of Section 5 (Figure 1), plus a
+true enumerative uniform witness sampler for tests.
+
+The paper's US works like this: determine ``|R_F|`` with an exact model
+counter (they used sharpSAT; we use :class:`~repro.counting.ExactCounter`),
+then "to mimic generating a random witness, US simply generates a random
+number i in {1 .. |R_F|}".  The Figure 1 comparison only needs the
+*distribution of draw counts*, for which the index is enough — and crucially
+US shares the random source with UniGen, as the paper stresses.
+
+:class:`EnumerativeUniformSampler` additionally materializes the witnesses
+(feasible at test scale), giving exactly uniform *witnesses* — the oracle
+against which UniGen's Theorem 1 envelope is checked.
+"""
+
+from __future__ import annotations
+
+from ..cnf.formula import CNF
+from ..counting.exact import ExactCounter
+from ..errors import UnsatisfiableError
+from ..rng import RandomSource, as_random_source
+from ..sat.enumerate import enumerate_all
+from .base import Witness, WitnessSampler
+
+
+class IdealUniformSampler:
+    """US: exact count once, then uniform indices (Section 5).
+
+    ``sample_index()`` returns a uniform draw from ``{0, .., |R_F|-1}``;
+    :meth:`sample_many_indices` batches draws for histogramming.
+    """
+
+    name = "US"
+
+    def __init__(
+        self,
+        cnf: CNF,
+        rng: RandomSource | int | None = None,
+        max_nodes: int = 2_000_000,
+    ):
+        self.cnf = cnf
+        self._rng = as_random_source(rng)
+        self.count = ExactCounter(cnf, max_nodes=max_nodes).count()
+        if self.count == 0:
+            raise UnsatisfiableError("formula has no witnesses")
+
+    def sample_index(self) -> int:
+        """A uniform witness index in ``[0, |R_F|)``."""
+        return self._rng.randint(0, self.count - 1)
+
+    def sample_many_indices(self, n: int) -> list[int]:
+        return [self.sample_index() for _ in range(n)]
+
+
+class EnumerativeUniformSampler(WitnessSampler):
+    """Exactly uniform witness sampler by full enumeration (test oracle).
+
+    Enumerates all witnesses once (distinct on the sampling set), then
+    serves uniform draws.  Only suitable when ``|R_F|`` fits in memory —
+    enforced by ``limit``.
+    """
+
+    name = "UniformEnum"
+
+    def __init__(
+        self,
+        cnf: CNF,
+        rng: RandomSource | int | None = None,
+        limit: int = 200_000,
+        sampling_set=None,
+    ):
+        super().__init__()
+        self.cnf = cnf
+        self._rng = as_random_source(rng)
+        self._witnesses = enumerate_all(
+            cnf, sampling_set=sampling_set, limit=limit, rng=self._rng
+        )
+        if not self._witnesses:
+            raise UnsatisfiableError("formula has no witnesses")
+
+    @property
+    def count(self) -> int:
+        return len(self._witnesses)
+
+    def _sample_once(self) -> Witness | None:
+        return dict(self._rng.choice(self._witnesses))

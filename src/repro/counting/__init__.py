@@ -1,0 +1,15 @@
+"""Model counting: exact (sharpSAT-style) and approximate (ApproxMC)."""
+
+from .approxmc import ApproxMC, approx_count, approxmc_iterations, approxmc_pivot
+from .exact import ExactCounter, count_models_exact
+from .types import CountResult
+
+__all__ = [
+    "ApproxMC",
+    "approx_count",
+    "approxmc_pivot",
+    "approxmc_iterations",
+    "ExactCounter",
+    "count_models_exact",
+    "CountResult",
+]

@@ -1,0 +1,216 @@
+"""Exact model counting — the sharpSAT stand-in.
+
+A DPLL-style counter with the two classic #SAT optimizations:
+
+* **component decomposition** — disjoint clause groups multiply;
+* **component caching** — canonical clause-set keys memoize subcounts.
+
+Native XOR clauses are expanded to CNF first (with cutting, so the expansion
+stays polynomial).  Counts are over *all* ``num_vars`` variables, matching
+``|R_F|`` in the paper; when the formula's sampling set is an independent
+support, this equals the projected count UniGen reasons about.
+
+The paper's ``US`` idealized uniform sampler (Section 5, Figure 1) is built
+on this counter in :mod:`repro.core.us`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..cnf.formula import CNF
+from ..errors import BudgetExhausted
+from .types import CountResult
+
+Clause = tuple[int, ...]
+
+
+class ExactCounter:
+    """Exact #SAT via DPLL + component caching.
+
+    ``max_nodes`` bounds the search-tree size; exceeding it raises
+    :class:`~repro.errors.BudgetExhausted` (exact counting is #P-hard — the
+    bound keeps tests and experiments honest about what it costs).
+    """
+
+    def __init__(self, cnf: CNF, max_nodes: int = 2_000_000):
+        expanded = cnf.with_xors_expanded() if cnf.xor_clauses else cnf
+        self._aux_vars = expanded.num_vars - cnf.num_vars
+        self._num_vars = expanded.num_vars
+        self._public_vars = cnf.num_vars
+        self._clauses = [tuple(c) for c in expanded.clauses]
+        self._cache: dict[frozenset[Clause], int] = {}
+        self._max_nodes = max_nodes
+        self._nodes = 0
+
+    def count(self) -> int:
+        """Number of models over the original formula's variables."""
+        clauses = _dedupe(self._clauses)
+        if any(len(c) == 0 for c in clauses):
+            return 0
+        total = self._count_set(frozenset(clauses))
+        mentioned = {abs(l) for c in clauses for l in c}
+        free = self._num_vars - len(mentioned)
+        total <<= free
+        # Auxiliary variables from XOR cutting are functionally determined by
+        # the originals, so the count over the expanded variable set equals
+        # the count over the original one — no correction needed.
+        return total
+
+    def result(self) -> CountResult:
+        """Count packaged with metadata."""
+        value = self.count()
+        return CountResult(count=value, exact=True, nodes=self._nodes)
+
+    # ------------------------------------------------------------------
+    def _count_set(self, clauses: frozenset[Clause]) -> int:
+        """Count models over exactly the variables mentioned in ``clauses``."""
+        if not clauses:
+            return 1
+        self._nodes += 1
+        if self._nodes > self._max_nodes:
+            raise BudgetExhausted(
+                f"exact counter exceeded {self._max_nodes} search nodes"
+            )
+        components = _components(clauses)
+        if len(components) == 1:
+            return self._count_component(components[0])
+        product = 1
+        for comp in components:
+            product *= self._count_component(comp)
+            if product == 0:
+                return 0
+        return product
+
+    def _count_component(self, clauses: frozenset[Clause]) -> int:
+        cached = self._cache.get(clauses)
+        if cached is not None:
+            return cached
+        if len(clauses) == 1:
+            (clause,) = clauses
+            value = (1 << len(clause)) - 1
+            self._cache[clauses] = value
+            return value
+        v = _branch_var(clauses)
+        total = 0
+        for value_true in (True, False):
+            reduced, conflict, eliminated = _condition(clauses, v, value_true)
+            if conflict:
+                continue
+            sub = self._count_set(reduced)
+            total += sub << eliminated
+        self._cache[clauses] = total
+        return total
+
+
+def count_models_exact(cnf: CNF, max_nodes: int = 2_000_000) -> int:
+    """Convenience wrapper: exact model count of ``cnf``."""
+    return ExactCounter(cnf, max_nodes=max_nodes).count()
+
+
+# ----------------------------------------------------------------------
+# Helpers (module-level, all pure)
+# ----------------------------------------------------------------------
+def _dedupe(clauses: list[Clause]) -> list[Clause]:
+    seen: set[Clause] = set()
+    out: list[Clause] = []
+    for c in clauses:
+        key = tuple(sorted(c))
+        if key not in seen:
+            seen.add(key)
+            out.append(key)
+    return out
+
+
+def _components(clauses: frozenset[Clause]) -> list[frozenset[Clause]]:
+    """Partition clauses into variable-connected components (union-find)."""
+    parent: dict[int, int] = {}
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for clause in clauses:
+        first = abs(clause[0])
+        for lit in clause:
+            v = abs(lit)
+            if v not in parent:
+                parent[v] = v
+            union(first, v)
+    groups: dict[int, list[Clause]] = {}
+    for clause in clauses:
+        root = find(abs(clause[0]))
+        groups.setdefault(root, []).append(clause)
+    return [frozenset(g) for g in groups.values()]
+
+
+def _branch_var(clauses: frozenset[Clause]) -> int:
+    """Most-occurring variable, ties to the smallest index (deterministic)."""
+    occurrences: Counter[int] = Counter()
+    for clause in clauses:
+        for lit in clause:
+            occurrences[abs(lit)] += 1
+    best = max(occurrences.items(), key=lambda kv: (kv[1], -kv[0]))
+    return best[0]
+
+
+def _condition(
+    clauses: frozenset[Clause], var: int, value: bool
+) -> tuple[frozenset[Clause], bool, int]:
+    """Assign ``var=value`` and unit-propagate to fixpoint.
+
+    Returns ``(reduced_clauses, conflict, eliminated_vars)`` where
+    ``eliminated_vars`` counts variables of the input that became *free*
+    (mentioned before, unconstrained after) — each contributes a factor 2;
+    assigned variables contribute factor 1 and are excluded.
+    """
+    assignment: dict[int, bool] = {var: value}
+    queue = [var]
+    current = set(clauses)
+    while queue:
+        queue = []
+        new: set[Clause] = set()
+        conflict = False
+        for clause in current:
+            lits: list[int] = []
+            satisfied = False
+            for lit in clause:
+                v = abs(lit)
+                if v in assignment:
+                    if assignment[v] == (lit > 0):
+                        satisfied = True
+                        break
+                else:
+                    lits.append(lit)
+            if satisfied:
+                continue
+            if not lits:
+                return frozenset(), True, 0
+            if len(lits) == 1:
+                lit = lits[0]
+                v = abs(lit)
+                want = lit > 0
+                if v in assignment:
+                    if assignment[v] != want:
+                        return frozenset(), True, 0
+                else:
+                    assignment[v] = want
+                    queue.append(v)
+                continue
+            new.add(tuple(sorted(lits)))
+        current = new
+        if not queue:
+            break
+    before = {abs(l) for c in clauses for l in c}
+    after = {abs(l) for c in current for l in c}
+    eliminated = len(before - after - set(assignment))
+    return frozenset(current), False, eliminated

@@ -1,0 +1,33 @@
+"""Shared result types for the counting subsystem."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CountResult:
+    """A model count plus provenance.
+
+    ``count``
+        The (estimated or exact) number of models; ``None`` when an
+        approximate counter failed every iteration (the ⊥ outcome).
+    ``exact``
+        True for exact counters and for approximate counts that were
+        obtained by full enumeration (|R_F| below the pivot).
+    ``iterations``
+        Core iterations an approximate counter ran.
+    ``failures``
+        Core iterations that returned ⊥.
+    ``nodes``
+        Search nodes (exact counter) — a cost indicator.
+    """
+
+    count: int | None
+    exact: bool = False
+    iterations: int = 0
+    failures: int = 0
+    nodes: int = 0
+
+    def __bool__(self) -> bool:
+        return self.count is not None

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single type at API boundaries.  Budget exhaustion during solving is
+deliberately an exception (:class:`BudgetExhausted`) rather than a sentinel
+return value: the sampling algorithms in :mod:`repro.core` need to distinguish
+"UNSAT" from "gave up", and exceptions make it impossible to silently confuse
+the two.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class DimacsParseError(ReproError):
+    """Raised when a DIMACS file or string cannot be parsed."""
+
+    def __init__(self, message: str, line_no: int | None = None):
+        self.line_no = line_no
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+class BudgetExhausted(ReproError):
+    """Raised when a solver or counter exceeds its conflict/time budget."""
+
+
+class ToleranceError(ReproError):
+    """Raised when a tolerance parameter is outside its valid range.
+
+    UniGen requires ``epsilon > 1.71`` (Section 4 of the paper); ApproxMC
+    requires ``epsilon > 0`` and ``0 < delta < 1``.
+    """
+
+
+class UnsatisfiableError(ReproError):
+    """Raised when an operation requires a satisfiable formula but got UNSAT."""
+
+
+class SamplingError(ReproError):
+    """Raised for unrecoverable sampler failures (distinct from ``None``
+    returns, which indicate the bounded-probability ⊥ outcome of Theorem 1)."""

@@ -1,0 +1,44 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from .ablations import (
+    AblationResult,
+    ablation_amortization,
+    ablation_baselines,
+    ablation_blocking,
+    ablation_sparse,
+    ablation_support,
+    run_all_ablations,
+)
+from .figure1 import Figure1Result, run_figure1
+from .report import render_histogram_plot, render_table
+from .runner import SamplerMeasurement, run_sampler
+from .tables import (
+    TableConfig,
+    TableRow,
+    render_paper_comparison,
+    render_rows,
+    run_row,
+    run_table,
+)
+
+__all__ = [
+    "run_table",
+    "run_row",
+    "TableConfig",
+    "TableRow",
+    "render_rows",
+    "render_paper_comparison",
+    "run_figure1",
+    "Figure1Result",
+    "run_sampler",
+    "SamplerMeasurement",
+    "render_table",
+    "render_histogram_plot",
+    "AblationResult",
+    "ablation_support",
+    "ablation_amortization",
+    "ablation_blocking",
+    "ablation_sparse",
+    "ablation_baselines",
+    "run_all_ablations",
+]

@@ -1,0 +1,254 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands regenerate every artifact of the paper's evaluation:
+
+* ``repro table1`` / ``repro table2`` — the runtime/uniformity comparison
+  tables (UniGen vs UniWit) with paper-vs-measured summary;
+* ``repro figure1`` — the uniformity histogram comparison (UniGen vs US);
+* ``repro ablations`` — the A1–A5 design-choice studies;
+* ``repro sample FILE.cnf`` — UniGen as a tool: almost-uniform witnesses of
+  a DIMACS file (``c ind`` lines supply the sampling set);
+* ``repro count FILE.cnf`` — ApproxMC as a tool;
+* ``repro benchmarks`` — list the registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..cnf.dimacs import read_dimacs
+from ..counting.approxmc import ApproxMC
+from ..core.unigen import UniGen
+from ..sat.types import Budget
+from ..suite.registry import entries
+from .ablations import run_all_ablations
+from .figure1 import run_figure1
+from .tables import TableConfig, render_paper_comparison, render_rows, run_table
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", choices=("quick", "full"), default="quick")
+    parser.add_argument("--seed", type=int, default=2014)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="UniGen (DAC 2014) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for which in ("table1", "table2"):
+        p = sub.add_parser(which, help=f"regenerate the paper's {which}")
+        _add_common(p)
+        p.add_argument("--samples", type=int, default=20,
+                       help="UniGen samples per benchmark")
+        p.add_argument("--uniwit-samples", type=int, default=5)
+        p.add_argument("--bsat-timeout", type=float, default=10.0,
+                       help="per-BSAT-call timeout in seconds (paper: 2500)")
+        p.add_argument("--instance-timeout", type=float, default=120.0,
+                       help="per-benchmark timeout in seconds (paper: 20h)")
+        p.add_argument("--names", nargs="*", default=None,
+                       help="restrict to specific benchmark names")
+        p.add_argument("--no-uniwit", action="store_true")
+
+    p = sub.add_parser("figure1", help="regenerate Figure 1 (uniformity)")
+    _add_common(p)
+    p.add_argument("--mean-count", type=float, default=25.0,
+                   help="N = mean_count * |R_F| (paper: ~244)")
+    p.add_argument("--epsilon", type=float, default=6.0)
+
+    p = sub.add_parser("ablations", help="run the A1-A5 ablation studies")
+    _add_common(p)
+
+    p = sub.add_parser("benchmarks", help="list the benchmark registry")
+    _add_common(p)
+
+    p = sub.add_parser("sample", help="sample witnesses of a DIMACS file")
+    p.add_argument("cnf_file")
+    p.add_argument("-n", "--num", type=int, default=1)
+    p.add_argument("--epsilon", type=float, default=6.0)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--bsat-timeout", type=float, default=60.0)
+
+    p = sub.add_parser("count", help="approximately count a DIMACS file")
+    p.add_argument("cnf_file")
+    p.add_argument("--epsilon", type=float, default=0.8)
+    p.add_argument("--delta", type=float, default=0.2)
+    p.add_argument("--iterations", type=int, default=9)
+    p.add_argument("--seed", type=int, default=None)
+
+    p = sub.add_parser(
+        "export",
+        help="write the benchmark suite as DIMACS files (c-ind + x lines)",
+    )
+    p.add_argument("out_dir")
+    _add_common(p)
+
+    p = sub.add_parser("solve", help="solve a DIMACS file with the CDCL core")
+    p.add_argument("cnf_file")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--timeout", type=float, default=None)
+
+    p = sub.add_parser(
+        "mis", help="extract a minimal independent support of a DIMACS file"
+    )
+    p.add_argument("cnf_file")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--conflicts", type=int, default=50_000,
+                   help="per-query conflict budget")
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command in ("table1", "table2"):
+        config = TableConfig(
+            scale=args.scale,
+            unigen_samples=args.samples,
+            uniwit_samples=args.uniwit_samples,
+            bsat_timeout_s=args.bsat_timeout,
+            per_instance_timeout_s=args.instance_timeout,
+            seed=args.seed,
+            include_uniwit=not args.no_uniwit,
+        )
+        rows = run_table(args.command, config=config, names=args.names)
+        title = (
+            f"{args.command} reproduction (scale={args.scale}, "
+            f"{config.unigen_samples} UniGen / {config.uniwit_samples} UniWit "
+            "samples per row)"
+        )
+        print(render_rows(rows, title))
+        print()
+        print(render_paper_comparison(rows, "paper-vs-measured shape summary"))
+        return 0
+
+    if args.command == "figure1":
+        result = run_figure1(
+            scale=args.scale,
+            mean_count=args.mean_count,
+            epsilon=args.epsilon,
+            rng=args.seed,
+        )
+        print(result.render())
+        return 0
+
+    if args.command == "ablations":
+        for study in run_all_ablations(scale=args.scale, rng=args.seed):
+            print(study.render())
+            print()
+        return 0
+
+    if args.command == "benchmarks":
+        for entry in entries():
+            instance = entry.build(args.scale)
+            marker = "T1" if entry.in_table1 else "  "
+            print(
+                f"{marker} {entry.name:16s} family={entry.family:9s} "
+                f"|X|={instance.num_vars:6d} |S|={len(instance.sampling_set):3d}  "
+                f"{instance.description}"
+            )
+        return 0
+
+    if args.command == "sample":
+        from ..errors import ReproError, UnsatisfiableError
+
+        cnf = read_dimacs(args.cnf_file)
+        sampler = UniGen(
+            cnf,
+            epsilon=args.epsilon,
+            rng=args.seed,
+            bsat_budget=Budget(timeout_seconds=args.bsat_timeout),
+            approxmc_search="galloping",
+        )
+        try:
+            sampler.prepare()
+        except UnsatisfiableError:
+            print("s UNSATISFIABLE")
+            return 1
+        except ReproError as exc:
+            print(f"c error: {exc}", file=sys.stderr)
+            return 2
+        for _ in range(args.num):
+            witness = sampler.sample()
+            if witness is None:
+                print("BOT")  # the ⊥ outcome
+                continue
+            lits = [v if witness[v] else -v for v in sorted(witness)]
+            print("v " + " ".join(str(l) for l in lits) + " 0")
+        print(
+            f"c success={sampler.stats.success_probability:.3f} "
+            f"avg_xor_len={sampler.stats.avg_xor_length:.1f}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.command == "count":
+        cnf = read_dimacs(args.cnf_file)
+        counter = ApproxMC(
+            cnf,
+            epsilon=args.epsilon,
+            delta=args.delta,
+            iterations=args.iterations,
+            rng=args.seed,
+            search="galloping",
+        )
+        result = counter.count()
+        if result.count is None:
+            print("c ApproxMC failed in every iteration")
+            return 1
+        tag = "exact" if result.exact else "approximate"
+        print(f"s mc {result.count}")
+        print(f"c {tag}; iterations={result.iterations} failures={result.failures}")
+        return 0
+
+    if args.command == "export":
+        from pathlib import Path
+
+        from ..cnf.dimacs import write_dimacs
+
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for entry in entries():
+            instance = entry.build(args.scale)
+            path = out_dir / f"{entry.name}.cnf"
+            write_dimacs(instance.cnf, path)
+            print(f"wrote {path} (|X|={instance.num_vars}, "
+                  f"|S|={len(instance.sampling_set)})")
+        return 0
+
+    if args.command == "solve":
+        from ..sat.solver import Solver
+
+        cnf = read_dimacs(args.cnf_file)
+        budget = Budget(timeout_seconds=args.timeout)
+        result = Solver(cnf, rng=args.seed).solve(budget=budget)
+        print(f"s {result.status}")
+        if result.model:
+            lits = [v if result.model[v] else -v for v in sorted(result.model)]
+            print("v " + " ".join(str(l) for l in lits) + " 0")
+        return 0 if result.status != "UNKNOWN" else 2
+
+    if args.command == "mis":
+        from ..support import find_independent_support
+
+        cnf = read_dimacs(args.cnf_file)
+        start = cnf.sampling_set
+        mis = find_independent_support(
+            cnf,
+            start=start,
+            budget=Budget(max_conflicts=args.conflicts),
+            rng=args.seed,
+        )
+        print("c ind " + " ".join(str(v) for v in mis) + " 0")
+        print(f"c |support| = {len(mis)} of {cnf.num_vars} variables")
+        return 0
+
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

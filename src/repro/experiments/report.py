@@ -1,0 +1,79 @@
+"""Plain-text rendering of experiment results (paper-style tables/plots)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_cell(value, width: int, precision: int = 2) -> str:
+    """Render numbers, the paper's '—' for missing, '*' for insufficient."""
+    if value is None:
+        return "—".rjust(width)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}".rjust(width)
+    return str(value).rjust(width)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Monospace table with right-aligned numeric columns."""
+    widths = [len(h) for h in headers]
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for i, value in enumerate(row):
+            text = value if isinstance(value, str) else format_cell(value, 0)
+            text = text.strip()
+            cells.append(text)
+            widths[i] = max(widths[i], len(text))
+        rendered_rows.append(cells)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in rendered_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def render_histogram_plot(
+    series: dict[str, dict[int, int]],
+    width: int = 68,
+    height: int = 16,
+    x_label: str = "Count",
+    y_label: str = "# of Solutions",
+) -> str:
+    """ASCII scatter of Figure 1-style occurrence histograms.
+
+    ``series`` maps a label to its ``count -> #witnesses`` histogram; each
+    series is drawn with its own glyph, overlaid on a shared grid.
+    """
+    glyphs = "*o+x#@"
+    points: list[tuple[int, int, str]] = []
+    for idx, (label, histogram) in enumerate(series.items()):
+        glyph = glyphs[idx % len(glyphs)]
+        for x, y in histogram.items():
+            if x > 0:
+                points.append((x, y, glyph))
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_max = max(ys)
+    x_span = max(x_max - x_min, 1)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, glyph in points:
+        col = int((x - x_min) / x_span * (width - 1))
+        row = height - 1 - int(y / y_max * (height - 1))
+        grid[row][col] = glyph
+    lines = [f"{y_label} (max {y_max})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min} .. {x_max}")
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} = {label}" for i, label in enumerate(series)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)

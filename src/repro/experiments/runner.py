@@ -1,0 +1,105 @@
+"""Measurement harness: run one sampler against one benchmark instance.
+
+Collects exactly the per-row quantities of Tables 1/2: observed success
+probability, average wall-clock time per generated witness, and average XOR
+clause length — plus failure/timeout accounting that renders as the paper's
+"—" and "*" markers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.base import WitnessSampler
+from ..errors import BudgetExhausted, ReproError
+from ..suite.families import BenchmarkInstance
+
+
+@dataclass
+class SamplerMeasurement:
+    """One (benchmark, sampler) cell group of a results table."""
+
+    benchmark: str
+    sampler: str
+    num_vars: int = 0
+    support_size: int = 0
+    attempts: int = 0
+    successes: int = 0
+    setup_time_s: float | None = None
+    avg_time_s: float | None = None
+    avg_xor_len: float | None = None
+    timed_out: bool = False
+    error: str | None = None
+    witnesses: list = field(default_factory=list)
+
+    @property
+    def success_probability(self) -> float | None:
+        """None renders as the paper's "*" (insufficient data)."""
+        if self.attempts == 0:
+            return None
+        return self.successes / self.attempts
+
+
+def run_sampler(
+    instance: BenchmarkInstance,
+    sampler_factory: Callable[[BenchmarkInstance], WitnessSampler],
+    n_samples: int,
+    overall_timeout_s: float | None = None,
+    keep_witnesses: bool = False,
+) -> SamplerMeasurement:
+    """Draw ``n_samples`` witnesses, respecting an overall wall-clock cap.
+
+    ``overall_timeout_s`` plays the paper's 20-hour-per-instance role: when
+    it expires (or the sampler raises :class:`BudgetExhausted`), the row is
+    reported with whatever was measured so far; a row with zero completed
+    attempts renders as "—".
+    """
+    measurement = SamplerMeasurement(
+        benchmark=instance.name,
+        num_vars=instance.num_vars,
+        support_size=len(instance.sampling_set),
+        sampler="?",
+    )
+    start = time.monotonic()
+    try:
+        sampler = sampler_factory(instance)
+        # One-time preparation (UniGen's lines 1-11) is amortized across all
+        # witnesses of a benchmark in the paper's protocol; account it as
+        # setup, not per-sample time.
+        prepare = getattr(sampler, "prepare", None)
+        if callable(prepare):
+            prepare()
+    except ReproError as exc:
+        measurement.error = f"setup: {exc}"
+        measurement.timed_out = isinstance(exc, BudgetExhausted)
+        return measurement
+    measurement.sampler = sampler.name
+
+    deadline = (
+        start + overall_timeout_s if overall_timeout_s is not None else None
+    )
+    for _ in range(n_samples):
+        if deadline is not None and time.monotonic() > deadline:
+            measurement.timed_out = True
+            break
+        try:
+            witness = sampler.sample()
+        except BudgetExhausted:
+            measurement.timed_out = True
+            break
+        except ReproError as exc:
+            measurement.error = str(exc)
+            break
+        if witness is not None and keep_witnesses:
+            measurement.witnesses.append(witness)
+    stats = sampler.stats
+    measurement.attempts = stats.attempts
+    measurement.successes = stats.successes
+    measurement.setup_time_s = stats.setup_time_seconds
+    if stats.attempts:
+        measurement.avg_time_s = stats.avg_time_per_sample
+    if stats.xor_clauses_added:
+        measurement.avg_xor_len = stats.avg_xor_length
+    return measurement

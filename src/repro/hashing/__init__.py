@@ -1,0 +1,5 @@
+"""Universal XOR hashing used to partition witness spaces."""
+
+from .xor_family import HashConstraint, HxorFamily
+
+__all__ = ["HxorFamily", "HashConstraint"]

@@ -1,0 +1,120 @@
+"""The 3-independent XOR hash family ``Hxor(n, m, 3)`` (Section 4).
+
+A hash function ``h : {0,1}^n -> {0,1}^m`` from the family is
+
+    ``h(y)[i] = a_{i,0} ⊕ (⊕_{k=1..n} a_{i,k} · y[k])``
+
+with all coefficients ``a_{i,j}`` drawn independently and uniformly from
+``{0,1}``.  Gomes, Sabharwal and Selman showed this family is 3-wise
+independent; UniGen draws ``h`` and a random target ``α ∈ {0,1}^m`` and
+conjoins the constraint ``h(S-vars) = α`` — which is just ``m`` XOR clauses,
+each over about half of the sampling variables.
+
+The *expected* number of variables per XOR clause is ``|S| / 2`` — this is
+the quantity reported in the "Avg XOR len" columns of Tables 1 and 2, and it
+is the reason hashing over a small independent support (UniGen) beats
+hashing over the full variable set (UniWit/XORSample'/PAWS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..cnf.xor import XorClause
+from ..rng import RandomSource, as_random_source
+
+
+@dataclass(frozen=True)
+class HashConstraint:
+    """A sampled ``(h, α)`` pair lowered to XOR clauses over given variables.
+
+    ``xors[i]`` is the clause ``⊕_{v in row i} v = α[i] ⊕ a_{i,0}`` — i.e. the
+    coefficient rows with the target already folded into the right-hand side.
+    """
+
+    num_rows: int
+    xors: tuple[XorClause, ...]
+
+    def average_xor_length(self) -> float:
+        """Mean variable count per XOR clause (Tables 1/2, "Avg XOR len")."""
+        if not self.xors:
+            return 0.0
+        return sum(len(x) for x in self.xors) / len(self.xors)
+
+
+class HxorFamily:
+    """Sampler for ``Hxor(|variables|, m, 3)`` over a fixed variable list.
+
+    Parameters
+    ----------
+    variables:
+        The (external) CNF variables being hashed — UniGen passes the
+        sampling set ``S``, UniWit the full support ``X``.
+    density:
+        Probability that a variable appears in a row.  The theoretical family
+        uses 0.5; smaller values give the "short XOR" variant of Gomes et al.
+        (2007) that trades guarantees for speed (ablation A4).
+    """
+
+    def __init__(self, variables: Sequence[int], density: float = 0.5):
+        if not 0.0 < density <= 1.0:
+            raise ValueError("density must be in (0, 1]")
+        self.variables = tuple(sorted(set(int(v) for v in variables)))
+        if any(v <= 0 for v in self.variables):
+            raise ValueError("hash variables must be positive")
+        self.density = density
+
+    @property
+    def n(self) -> int:
+        return len(self.variables)
+
+    def draw(self, m: int, rng: RandomSource | int | None = None) -> HashConstraint:
+        """Draw ``h`` from the family and ``α`` uniformly; return ``h = α``.
+
+        Each of the ``m`` rows selects each variable with probability
+        ``density`` and a uniform constant term; the row's XOR right-hand
+        side is ``α[i] ⊕ a_{i,0}``.  Empty rows are legal: they are the
+        constraints ``0 = α[i] ⊕ a_{i,0}``, which with probability 1/2 make
+        the cell empty — exactly the semantics the analysis expects.
+        """
+        rng = as_random_source(rng)
+        if m < 0:
+            raise ValueError("m must be non-negative")
+        rows: list[XorClause] = []
+        for _ in range(m):
+            if self.density == 0.5:
+                # Fast path: one random word selects the variable subset.
+                word = rng.bits(self.n)
+                vs = [v for k, v in enumerate(self.variables) if (word >> k) & 1]
+            else:
+                vs = [v for v in self.variables if rng.random() < self.density]
+            a0 = rng.bit()
+            alpha_i = rng.bit()
+            rows.append(XorClause.from_vars(vs, bool(a0 ^ alpha_i)))
+        return HashConstraint(num_rows=m, xors=tuple(rows))
+
+    def draw_matrix(
+        self, max_rows: int, rng: RandomSource | int | None = None
+    ) -> HashConstraint:
+        """Draw ``max_rows`` rows once, for prefix-consistent searching.
+
+        Using the first ``i`` rows of one draw for hash size ``i`` makes cell
+        sizes monotone non-increasing in ``i`` — the property ApproxMC2
+        (Chakraborty/Meel/Vardi 2016) exploits to replace the linear search
+        of CP'13 with galloping/binary search.  Slicing a fresh draw is
+        distributionally identical to drawing each prefix independently row
+        by row.
+        """
+        return self.draw(max_rows, rng)
+
+    @staticmethod
+    def prefix(constraint: HashConstraint, rows: int) -> HashConstraint:
+        """The sub-constraint of the first ``rows`` rows."""
+        if rows > constraint.num_rows:
+            raise ValueError("prefix longer than the drawn matrix")
+        return HashConstraint(num_rows=rows, xors=constraint.xors[:rows])
+
+    def hash_of(self, constraint: HashConstraint, assignment: dict[int, bool]) -> bool:
+        """True iff ``assignment`` lands in the cell selected by ``constraint``."""
+        return all(x.evaluate(assignment) for x in constraint.xors)

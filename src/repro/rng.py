@@ -1,0 +1,96 @@
+"""Randomness management.
+
+The paper uses C++ ``std::random_device`` as the randomness source for the
+hash-function draws, the cell draws, and ApproxMC's internals, and stresses
+that the *same* source is used for UniGen and for the idealized ``US`` sampler
+when comparing distributions (Section 5).  We centralize randomness behind
+:class:`RandomSource` so that
+
+* every experiment is reproducible from a single integer seed, and
+* UniGen / US comparisons can share one stream, as in the paper.
+
+All library code takes a ``rng`` argument (a :class:`RandomSource` or anything
+exposing the same methods) instead of touching module-level random state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class RandomSource:
+    """A seedable source of the random primitives used across the library.
+
+    Wraps :class:`random.Random` (Mersenne Twister), which is more than
+    adequate here: the theoretical guarantees only need the hash-family draws
+    to be uniform over the family, not cryptographically strong.
+    """
+
+    def __init__(self, seed: int | None = None):
+        self._seed = seed
+        self._random = random.Random(seed)
+
+    @property
+    def seed(self) -> int | None:
+        """The seed this source was created with (``None`` = OS entropy)."""
+        return self._seed
+
+    def bit(self) -> int:
+        """Return a uniformly random bit (0 or 1)."""
+        return self._random.getrandbits(1)
+
+    def bits(self, n: int) -> int:
+        """Return an ``n``-bit uniformly random integer (``n`` >= 0)."""
+        if n <= 0:
+            return 0
+        return self._random.getrandbits(n)
+
+    def bit_vector(self, n: int) -> list[int]:
+        """Return a list of ``n`` uniformly random bits."""
+        word = self.bits(n)
+        return [(word >> i) & 1 for i in range(n)]
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in the inclusive range ``[lo, hi]``."""
+        return self._random.randint(lo, hi)
+
+    def random(self) -> float:
+        """Uniform float in ``[0, 1)``."""
+        return self._random.random()
+
+    def choice(self, seq: Sequence[T]) -> T:
+        """Uniform choice from a non-empty sequence."""
+        return self._random.choice(seq)
+
+    def sample(self, population: Sequence[T], k: int) -> list[T]:
+        """Sample ``k`` distinct elements without replacement."""
+        return self._random.sample(population, k)
+
+    def shuffle(self, items: list) -> None:
+        """Shuffle ``items`` in place."""
+        self._random.shuffle(items)
+
+    def subset(self, items: Iterable[T], prob: float) -> list[T]:
+        """Return the sub-list keeping each element independently w.p. ``prob``."""
+        return [x for x in items if self._random.random() < prob]
+
+    def spawn(self) -> "RandomSource":
+        """Derive an independent child source (for parallel experiments)."""
+        return RandomSource(self._random.getrandbits(63))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RandomSource(seed={self._seed!r})"
+
+
+def as_random_source(rng: RandomSource | int | None) -> RandomSource:
+    """Coerce ``rng`` into a :class:`RandomSource`.
+
+    Accepts an existing source (returned as-is), an integer seed, or ``None``
+    (fresh OS-entropy-seeded source).
+    """
+    if isinstance(rng, RandomSource):
+        return rng
+    return RandomSource(rng)

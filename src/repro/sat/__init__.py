@@ -1,0 +1,60 @@
+"""SAT subsystem: CDCL solver, XOR engine, BSAT enumeration, GF(2) tools."""
+
+from .brute import (
+    all_models,
+    count_models,
+    count_projected,
+    is_satisfiable,
+    model_set,
+)
+from .enumerate import bsat, enumerate_all, projections
+from .gauss import (
+    GaussResult,
+    gaussian_eliminate,
+    sample_xor_solution,
+    xor_system_solutions,
+)
+from .solver import Solver, luby
+from .types import (
+    FALSE,
+    SAT,
+    TRUE,
+    UNDEF,
+    UNKNOWN,
+    UNSAT,
+    Budget,
+    EnumerationResult,
+    SolveResult,
+    SolverStats,
+    to_external,
+    to_internal,
+)
+
+__all__ = [
+    "Solver",
+    "luby",
+    "bsat",
+    "enumerate_all",
+    "projections",
+    "Budget",
+    "SolveResult",
+    "SolverStats",
+    "EnumerationResult",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "TRUE",
+    "FALSE",
+    "UNDEF",
+    "to_internal",
+    "to_external",
+    "all_models",
+    "count_models",
+    "count_projected",
+    "is_satisfiable",
+    "model_set",
+    "GaussResult",
+    "gaussian_eliminate",
+    "xor_system_solutions",
+    "sample_xor_solution",
+]

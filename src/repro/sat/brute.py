@@ -1,0 +1,73 @@
+"""Brute-force model enumeration — the differential-testing oracle.
+
+Everything here is exponential in the variable count and intended only for
+formulas with ~20 variables or fewer: tests compare the CDCL solver, the
+exact counter, ApproxMC, and the samplers against these ground truths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..cnf.formula import CNF
+
+
+def all_models(cnf: CNF) -> Iterator[dict[int, bool]]:
+    """Yield every satisfying assignment over variables ``1..num_vars``.
+
+    Uses a simple recursive check with early clause pruning; order is
+    lexicographic with variable 1 as the most significant bit and False
+    before True.
+    """
+    n = cnf.num_vars
+    if n > 26:
+        raise ValueError(f"brute force limited to 26 variables, got {n}")
+    clauses = cnf.clauses
+    xors = cnf.xor_clauses
+    for word in range(1 << n):
+        assignment = {
+            v: bool((word >> (n - v)) & 1) for v in range(1, n + 1)
+        }
+        ok = True
+        for clause in clauses:
+            if not any(assignment[abs(l)] == (l > 0) for l in clause):
+                ok = False
+                break
+        if ok:
+            for xor in xors:
+                acc = False
+                for v in xor.vars:
+                    acc ^= assignment[v]
+                if acc != xor.rhs:
+                    ok = False
+                    break
+        if ok:
+            yield assignment
+
+
+def count_models(cnf: CNF) -> int:
+    """Exact model count by exhaustive enumeration."""
+    return sum(1 for _ in all_models(cnf))
+
+
+def count_projected(cnf: CNF, variables: list[int] | tuple[int, ...]) -> int:
+    """Number of distinct projections of models onto ``variables``."""
+    seen: set[tuple[bool, ...]] = set()
+    for model in all_models(cnf):
+        seen.add(tuple(model[v] for v in variables))
+    return len(seen)
+
+
+def is_satisfiable(cnf: CNF) -> bool:
+    """Brute-force satisfiability check."""
+    for _ in all_models(cnf):
+        return True
+    return False
+
+
+def model_set(cnf: CNF) -> set[tuple[int, ...]]:
+    """All models as canonical sorted-literal tuples (over all variables)."""
+    out: set[tuple[int, ...]] = set()
+    for model in all_models(cnf):
+        out.add(tuple(v if model[v] else -v for v in range(1, cnf.num_vars + 1)))
+    return out

@@ -1,0 +1,181 @@
+"""``BSAT`` — bounded model enumeration (Section 4, "Implementation issues").
+
+``BSAT(F, N)`` returns up to ``N`` witnesses of ``F`` that are *distinct in
+their projection onto the sampling set* ``S``.  After each witness, a
+blocking clause over only the variables of ``S`` is added — the optimization
+the paper implemented inside CryptoMiniSAT ("blocking clauses can be
+restricted to only variables in the set S"), which keeps blocking clauses
+short when ``S`` is a small independent support.
+
+Callers that need to distinguish "the cell has exactly N witnesses" from
+"the cell has more than N" should request ``N + 1`` and inspect
+``EnumerationResult.complete`` / the returned count, which is what UniGen
+does for its threshold tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+from ..cnf.formula import CNF
+from ..cnf.xor import XorClause
+from ..rng import RandomSource, as_random_source
+from .gauss import gaussian_eliminate
+from .solver import Solver
+from .types import SAT, UNKNOWN, UNSAT, Budget, EnumerationResult
+
+
+def gauss_reduce_xors(cnf: CNF) -> CNF | None:
+    """Replace the XOR clauses of ``cnf`` with their reduced row-echelon form.
+
+    Row reduction over GF(2) preserves the solution set exactly, so every
+    guarantee downstream is untouched — but it transforms the random dense
+    rows drawn from ``Hxor`` into rows with distinct pivot variables, which
+    restores efficient unit propagation (this is the role Gauss–Jordan
+    elimination plays inside CryptoMiniSAT, Section 4 "Implementation
+    issues").  Returns ``None`` when the XOR system alone is inconsistent
+    (the formula is UNSAT), else a new :class:`CNF`.
+    """
+    if not cnf.xor_clauses:
+        return cnf
+    reduced = gaussian_eliminate(cnf.xor_clauses, cnf.num_vars)
+    if reduced.inconsistent:
+        return None
+    out = CNF(cnf.num_vars, name=cnf.name)
+    out.clauses = list(cnf.clauses)
+    out.sampling_set = cnf.sampling_set
+    for mask, rhs in reduced.rows:
+        vs = []
+        rest = mask
+        while rest:
+            low = rest & -rest
+            vs.append(low.bit_length() - 1)
+            rest ^= low
+        out.add_xor(XorClause.from_vars(vs, bool(rhs)))
+    return out
+
+
+def bsat(
+    cnf: CNF,
+    bound: int,
+    sampling_set: Sequence[int] | None = None,
+    rng: RandomSource | int | None = None,
+    budget: Budget | None = None,
+    block_full_support: bool = False,
+    gauss: bool = True,
+) -> EnumerationResult:
+    """Enumerate up to ``bound`` witnesses of ``cnf`` distinct on ``S``.
+
+    Parameters
+    ----------
+    cnf:
+        The formula (clauses + native XOR clauses allowed).
+    bound:
+        Maximum number of witnesses to return (``N`` in the paper).
+    sampling_set:
+        The set ``S``; defaults to ``cnf.sampling_set`` or, failing that, the
+        full syntactic support.
+    rng:
+        Randomness for the underlying solver's tie-breaking.
+    budget:
+        Total budget for the whole enumeration: ``timeout_seconds`` is a
+        wall-clock deadline for the entire BSAT call (the paper's 2,500 s
+        limit), ``max_conflicts`` a total conflict allowance.
+    block_full_support:
+        If True, blocking clauses mention every variable (the un-optimized
+        behaviour UniWit is stuck with); used by the A3 ablation.
+    gauss:
+        If True (default), Gauss-reduce the XOR system before solving — the
+        CryptoMiniSAT behaviour.  Solution-set preserving; disable only for
+        the solver ablation benchmarks.
+    """
+    if bound < 0:
+        raise ValueError("bound must be non-negative")
+    rng = as_random_source(rng)
+    budget = budget or Budget()
+    deadline = (
+        time.monotonic() + budget.timeout_seconds
+        if budget.timeout_seconds is not None
+        else None
+    )
+    conflicts_left = budget.max_conflicts
+
+    if sampling_set is None:
+        svars: list[int] = list(cnf.sampling_set_or_support())
+    else:
+        svars = sorted(set(sampling_set))
+    if block_full_support:
+        svars = list(range(1, cnf.num_vars + 1))
+
+    result = EnumerationResult()
+    if bound == 0:
+        return result
+    if gauss:
+        reduced = gauss_reduce_xors(cnf)
+        if reduced is None:
+            result.complete = True
+            return result
+        cnf = reduced
+    solver = Solver(cnf, rng=rng)
+
+    while len(result.models) < bound:
+        call_budget = Budget(
+            max_conflicts=conflicts_left,
+            timeout_seconds=(
+                max(deadline - time.monotonic(), 0.0) if deadline is not None else None
+            ),
+        )
+        res = solver.solve(budget=call_budget)
+        if conflicts_left is not None:
+            conflicts_left = max(conflicts_left - res.conflicts, 0)
+        if res.status == UNKNOWN:
+            result.budget_exhausted = True
+            return result
+        if res.status == UNSAT:
+            result.complete = True
+            return result
+        assert res.status == SAT and res.model is not None
+        result.models.append(res.model)
+        if not svars:
+            # Empty projection space: one point only.
+            result.complete = True
+            return result
+        blocking = [-v if res.model[v] else v for v in svars]
+        solver.add_clause(blocking)
+        if not solver.ok:
+            result.complete = True
+            return result
+        if deadline is not None and time.monotonic() > deadline:
+            result.budget_exhausted = True
+            return result
+        if conflicts_left is not None and conflicts_left == 0:
+            result.budget_exhausted = True
+            return result
+    return result
+
+
+def enumerate_all(
+    cnf: CNF,
+    sampling_set: Sequence[int] | None = None,
+    limit: int = 1_000_000,
+    rng: RandomSource | int | None = None,
+) -> list[dict[int, bool]]:
+    """Enumerate *all* witnesses distinct on the sampling set.
+
+    Raises :class:`RuntimeError` if more than ``limit`` witnesses exist —
+    this is a test/fixture helper, not a production counter (use
+    :mod:`repro.counting` for that).
+    """
+    result = bsat(cnf, limit + 1, sampling_set=sampling_set, rng=rng)
+    if not result.complete:
+        raise RuntimeError(f"formula has more than {limit} witnesses")
+    return result.models
+
+
+def projections(
+    models: Iterable[dict[int, bool]], svars: Sequence[int]
+) -> list[tuple[int, ...]]:
+    """Project each model onto ``svars`` as a sorted literal tuple."""
+    ordered = sorted(svars)
+    return [tuple(v if m[v] else -v for v in ordered) for m in models]

@@ -1,0 +1,757 @@
+"""A CDCL SAT solver with native XOR-clause propagation.
+
+This is the library's stand-in for CryptoMiniSAT, which the paper uses as the
+``BSAT`` oracle.  Features:
+
+* two-watched-literal propagation over regular clauses;
+* watched-variable propagation over native XOR (parity) constraints, with
+  lazily materialized reason clauses feeding the standard conflict analysis —
+  so hash constraints from :mod:`repro.hashing` never need CNF expansion;
+* first-UIP clause learning with VSIDS variable activities, phase saving,
+  Luby restarts, and activity-driven learnt-clause database reduction;
+* solving under assumptions, and incremental top-level clause addition
+  between solve calls (used by ``BSAT`` to add blocking clauses);
+* deterministic conflict budgets plus wall-clock timeouts, reported as
+  :data:`~repro.sat.types.UNKNOWN` — the signal UniGen interprets as a BSAT
+  timeout (Section 5 of the paper).
+
+The implementation favours plain lists and integer literals over objects in
+the hot paths; see :mod:`repro.sat.types` for the literal encoding.
+"""
+
+from __future__ import annotations
+
+import time
+from heapq import heapify, heappop, heappush
+from typing import Iterable, Sequence
+
+from ..cnf.formula import CNF
+from ..cnf.xor import XorClause
+from ..rng import RandomSource, as_random_source
+from .types import (
+    FALSE,
+    SAT,
+    TRUE,
+    UNDEF,
+    UNKNOWN,
+    UNSAT,
+    Budget,
+    SolveResult,
+    SolverStats,
+    to_internal,
+)
+
+_RESCALE_LIMIT = 1e100
+_RESCALE_FACTOR = 1e-100
+_RESTART_BASE = 100
+_RANDOM_DECISION_FREQ = 0.02
+
+
+def luby(x: int) -> int:
+    """The x-th term (0-based) of the Luby restart sequence 1,1,2,1,1,2,4,..."""
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x = x % size
+    return 1 << seq
+
+
+class Solver:
+    """CDCL solver over clauses and native XOR constraints.
+
+    Typical use::
+
+        solver = Solver(cnf, rng=seed)
+        result = solver.solve()
+        if result:               # SAT
+            model = result.model
+
+    Clauses may be added between ``solve`` calls (the solver backtracks to
+    the root level automatically); XOR constraints may be added any time
+    before the next solve.
+    """
+
+    def __init__(
+        self,
+        cnf: CNF | None = None,
+        rng: RandomSource | int | None = None,
+        phase_default: bool = False,
+    ):
+        self._rng = as_random_source(rng)
+        self._phase_default = phase_default
+        self._ok = True
+        self._nvars = 0
+        # Indexed by variable (1-based; slot 0 is padding).
+        self._assigns: list[int] = [UNDEF]
+        self._level: list[int] = [0]
+        self._reason: list = [None]
+        self._phase: list[bool] = [phase_default]
+        self._activity: list[float] = [0.0]
+        self._seen: list[bool] = [False]
+        # Indexed by internal literal (slots 0 and 1 are padding).
+        self._watches: list[list] = [[], []]
+        self._xwatches: list[list[int]] = [[]]  # per variable
+        self._clauses: list[list[int]] = []
+        self._learnts: list[list[int]] = []
+        self._cla_activity: dict[int, float] = {}
+        self._xors: list[list] = []  # [vars, rhs, watch_pos_a, watch_pos_b]
+        self._pending_xors: list[int] = []
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._var_inc = 1.0
+        self._var_decay = 1.0 / 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 1.0 / 0.999
+        self._heap: list[tuple[float, int]] = []
+        self._max_learnts = 4000
+        self.stats = SolverStats()
+        if cnf is not None:
+            self.add_cnf(cnf)
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        return self._nvars
+
+    @property
+    def ok(self) -> bool:
+        """False once the clause set is known unsatisfiable at the root."""
+        return self._ok
+
+    def ensure_vars(self, n: int) -> None:
+        """Grow the variable space to at least ``n`` variables."""
+        while self._nvars < n:
+            self._nvars += 1
+            v = self._nvars
+            self._assigns.append(UNDEF)
+            self._level.append(0)
+            self._reason.append(None)
+            self._phase.append(self._phase_default)
+            self._activity.append(0.0)
+            self._seen.append(False)
+            self._watches.append([])
+            self._watches.append([])
+            self._xwatches.append([])
+            heappush(self._heap, (0.0, v))
+
+    def add_cnf(self, cnf: CNF) -> None:
+        """Load a whole formula (clauses + XOR clauses)."""
+        self.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            self.add_clause(clause)
+        for xor in cnf.xor_clauses:
+            self.add_xor(xor)
+
+    def add_clause(self, ext_lits: Iterable[int]) -> bool:
+        """Add a clause (external/DIMACS literals) at the root level.
+
+        Returns the solver's ``ok`` status.  Tautologies are dropped;
+        literals already false at the root are removed; a resulting empty
+        clause marks the instance unsatisfiable.
+        """
+        if self._trail_lim:
+            self.cancel_until(0)
+        if not self._ok:
+            return False
+        lits: list[int] = []
+        seen: set[int] = set()
+        tautology = False
+        for ext in ext_lits:
+            il = to_internal(ext)
+            self.ensure_vars(il >> 1)
+            if il in seen:
+                continue
+            if il ^ 1 in seen:
+                tautology = True
+                break
+            seen.add(il)
+            lits.append(il)
+        if tautology:
+            return True
+        # Root-level simplification against the current fixed assignment.
+        out: list[int] = []
+        assigns = self._assigns
+        for il in lits:
+            val = assigns[il >> 1]
+            if val == UNDEF:
+                out.append(il)
+            elif val ^ (il & 1) == TRUE:
+                return True  # clause already satisfied at root
+            # else: falsified at root, drop the literal
+        if not out:
+            self._ok = False
+            return False
+        if len(out) == 1:
+            self._unchecked_enqueue(out[0], None)
+            return self._ok
+        self._watches[out[0]].append(out)
+        self._watches[out[1]].append(out)
+        self._clauses.append(out)
+        return True
+
+    def add_xor(self, xor: XorClause) -> bool:
+        """Add a native XOR constraint; attached lazily at the next solve."""
+        if self._trail_lim:
+            self.cancel_until(0)
+        if not self._ok:
+            return False
+        if xor.vars:
+            self.ensure_vars(max(xor.vars))
+        record = [list(xor.vars), bool(xor.rhs), 0, min(1, len(xor.vars) - 1)]
+        self._xors.append(record)
+        self._pending_xors.append(len(self._xors) - 1)
+        return True
+
+    # ------------------------------------------------------------------
+    # Public solving API
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        budget: Budget | None = None,
+    ) -> SolveResult:
+        """Run CDCL search, optionally under assumptions and budgets."""
+        start = time.monotonic()
+        budget = budget or Budget()
+        deadline = (
+            start + budget.timeout_seconds
+            if budget.timeout_seconds is not None
+            else None
+        )
+        start_conflicts = self.stats.conflicts
+        self.cancel_until(0)
+        if not self._ok:
+            return self._result(UNSAT, start, start_conflicts)
+        if not self._attach_pending_xors():
+            return self._result(UNSAT, start, start_conflicts)
+        iassumps = []
+        for ext in assumptions:
+            il = to_internal(ext)
+            self.ensure_vars(il >> 1)
+            iassumps.append(il)
+
+        local_conflicts = 0
+        restart_idx = 0
+        next_restart = _RESTART_BASE * luby(restart_idx)
+        since_restart = 0
+
+        while True:
+            confl = self._propagate()
+            if confl is not None:
+                local_conflicts += 1
+                since_restart += 1
+                self.stats.conflicts += 1
+                if not self._trail_lim:
+                    self._ok = False
+                    return self._result(UNSAT, start, start_conflicts)
+                learnt, btlevel = self._analyze(confl)
+                self.cancel_until(btlevel)
+                self._record_learnt(learnt)
+                if not self._ok:
+                    return self._result(UNSAT, start, start_conflicts)
+                self._decay_activities()
+                if (
+                    budget.max_conflicts is not None
+                    and local_conflicts >= budget.max_conflicts
+                ):
+                    self.cancel_until(0)
+                    return self._result(UNKNOWN, start, start_conflicts)
+                if (
+                    budget.max_propagations is not None
+                    and self.stats.propagations >= budget.max_propagations
+                ):
+                    self.cancel_until(0)
+                    return self._result(UNKNOWN, start, start_conflicts)
+                if since_restart >= next_restart:
+                    self.stats.restarts += 1
+                    restart_idx += 1
+                    next_restart = _RESTART_BASE * luby(restart_idx)
+                    since_restart = 0
+                    self.cancel_until(0)
+                continue
+
+            if deadline is not None and time.monotonic() > deadline:
+                self.cancel_until(0)
+                return self._result(UNKNOWN, start, start_conflicts)
+            if len(self._learnts) >= self._max_learnts:
+                self._reduce_db()
+
+            outcome = self._decide(iassumps)
+            if outcome == SAT:
+                model = {
+                    v: self._assigns[v] == TRUE for v in range(1, self._nvars + 1)
+                }
+                self.cancel_until(0)
+                return self._result(SAT, start, start_conflicts, model)
+            if outcome == UNSAT:
+                self.cancel_until(0)
+                return self._result(UNSAT, start, start_conflicts)
+
+    def _result(
+        self,
+        status: str,
+        start: float,
+        start_conflicts: int,
+        model: dict[int, bool] | None = None,
+    ) -> SolveResult:
+        return SolveResult(
+            status=status,
+            model=model,
+            conflicts=self.stats.conflicts - start_conflicts,
+            time_seconds=time.monotonic() - start,
+        )
+
+    # ------------------------------------------------------------------
+    # Trail management
+    # ------------------------------------------------------------------
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def cancel_until(self, level: int) -> None:
+        """Backtrack, unassigning everything above ``level``."""
+        if self._decision_level() <= level:
+            return
+        lim = self._trail_lim[level]
+        trail = self._trail
+        assigns = self._assigns
+        reason = self._reason
+        phase = self._phase
+        heap = self._heap
+        activity = self._activity
+        for k in range(len(trail) - 1, lim - 1, -1):
+            lit = trail[k]
+            v = lit >> 1
+            phase[v] = not (lit & 1)
+            assigns[v] = UNDEF
+            reason[v] = None
+            heappush(heap, (-activity[v], v))
+        del trail[lim:]
+        del self._trail_lim[level:]
+        self._qhead = len(trail)
+
+    def _unchecked_enqueue(self, lit: int, reason) -> bool:
+        """Assign ``lit`` true with the given reason. Root conflicts set ok."""
+        v = lit >> 1
+        val = self._assigns[v]
+        if val != UNDEF:
+            if val ^ (lit & 1) == TRUE:
+                return True
+            if not self._trail_lim:
+                self._ok = False
+            return False
+        self._assigns[v] = (lit & 1) ^ 1  # positive lit -> TRUE
+        self._level[v] = len(self._trail_lim)
+        self._reason[v] = reason
+        self._trail.append(lit)
+        return True
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def _propagate(self):
+        """Propagate to fixpoint; return a conflicting clause (list of
+        internal literals, all false) or None."""
+        trail = self._trail
+        watches = self._watches
+        assigns = self._assigns
+        xwatches = self._xwatches
+        xors = self._xors
+        while self._qhead < len(trail):
+            p = trail[self._qhead]
+            self._qhead += 1
+            self.stats.propagations += 1
+
+            # --- regular clauses watching ¬p -------------------------------
+            false_lit = p ^ 1
+            ws = watches[false_lit]
+            i = j = 0
+            n = len(ws)
+            confl = None
+            while i < n:
+                c = ws[i]
+                i += 1
+                if c[0] == false_lit:
+                    c[0], c[1] = c[1], false_lit
+                first = c[0]
+                fval = assigns[first >> 1]
+                if fval != UNDEF and fval ^ (first & 1) == TRUE:
+                    ws[j] = c
+                    j += 1
+                    continue
+                found = False
+                for k in range(2, len(c)):
+                    lk = c[k]
+                    vk = assigns[lk >> 1]
+                    if vk == UNDEF or vk ^ (lk & 1) == TRUE:
+                        c[1], c[k] = lk, false_lit
+                        watches[lk].append(c)
+                        found = True
+                        break
+                if found:
+                    continue
+                ws[j] = c
+                j += 1
+                if fval == UNDEF:
+                    # Unit: imply c[0]; keep implied literal at slot 0.
+                    v = first >> 1
+                    self._assigns[v] = (first & 1) ^ 1
+                    self._level[v] = len(self._trail_lim)
+                    self._reason[v] = c
+                    trail.append(first)
+                else:
+                    # Conflict: compact the rest of the watch list and stop.
+                    while i < n:
+                        ws[j] = ws[i]
+                        j += 1
+                        i += 1
+                    confl = c
+            del ws[j:]
+            if confl is not None:
+                return confl
+
+            # --- XOR constraints watching var(p) ----------------------------
+            var = p >> 1
+            xws = xwatches[var]
+            if not xws:
+                continue
+            i = j = 0
+            n = len(xws)
+            xconfl = None
+            while i < n:
+                xid = xws[i]
+                i += 1
+                rec = xors[xid]
+                xvars = rec[0]
+                if xvars[rec[3]] == var:
+                    rec[2], rec[3] = rec[3], rec[2]
+                other_pos = rec[3]
+                trigger_pos = rec[2]
+                replaced = False
+                for k in range(len(xvars)):
+                    if k == other_pos or k == trigger_pos:
+                        continue
+                    if assigns[xvars[k]] == UNDEF:
+                        rec[2] = k
+                        xwatches[xvars[k]].append(xid)
+                        replaced = True
+                        break
+                if replaced:
+                    continue
+                xws[j] = xid
+                j += 1
+                other = xvars[other_pos]
+                parity = False
+                if assigns[other] == UNDEF:
+                    for u in xvars:
+                        if u != other and assigns[u] == TRUE:
+                            parity = not parity
+                    value = rec[1] ^ parity
+                    lit = (other << 1) | (not value)
+                    self._assigns[other] = 1 if value else 0
+                    self._level[other] = len(self._trail_lim)
+                    self._reason[other] = ("x", xid)
+                    trail.append(lit)
+                    self.stats.xor_propagations += 1
+                else:
+                    for u in xvars:
+                        if assigns[u] == TRUE:
+                            parity = not parity
+                    if parity != rec[1]:
+                        while i < n:
+                            xws[j] = xws[i]
+                            j += 1
+                            i += 1
+                        xconfl = self._xor_conflict_clause(xid)
+            del xws[j:]
+            if xconfl is not None:
+                return xconfl
+        return None
+
+    def _xor_conflict_clause(self, xid: int) -> list[int]:
+        """The CNF clause of the XOR falsified by the current assignment."""
+        rec = self._xors[xid]
+        assigns = self._assigns
+        return [(u << 1) | assigns[u] for u in rec[0]]
+
+    def _reason_lits(self, lit: int) -> list[int]:
+        """Reason clause for an implied literal, implied literal first."""
+        v = lit >> 1
+        reason = self._reason[v]
+        if isinstance(reason, list):
+            return reason
+        # XOR reason: implied literal, then negations of the other vars'
+        # current assignments.
+        _, xid = reason
+        rec = self._xors[xid]
+        assigns = self._assigns
+        out = [lit]
+        for u in rec[0]:
+            if u != v:
+                out.append((u << 1) | assigns[u])
+        return out
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _analyze(self, confl) -> tuple[list[int], int]:
+        learnt: list[int] = [0]
+        seen = self._seen
+        to_clear: list[int] = []
+        level = self._level
+        trail = self._trail
+        cur_level = len(self._trail_lim)
+        counter = 0
+        p = -1
+        idx = len(trail) - 1
+        btlevel = 0
+        reason_lits = confl
+        first = True
+        cla_act = self._cla_activity
+
+        while True:
+            if isinstance(reason_lits, list):
+                rid = id(reason_lits)
+                if rid in cla_act:
+                    self._bump_clause(reason_lits)
+            start = 0 if first else 1
+            for k in range(start, len(reason_lits)):
+                q = reason_lits[k]
+                v = q >> 1
+                if not seen[v] and level[v] > 0:
+                    seen[v] = True
+                    to_clear.append(v)
+                    self._bump_var(v)
+                    if level[v] >= cur_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+                        if level[v] > btlevel:
+                            btlevel = level[v]
+            first = False
+            while not seen[trail[idx] >> 1]:
+                idx -= 1
+            p = trail[idx]
+            idx -= 1
+            counter -= 1
+            if counter == 0:
+                break
+            reason_lits = self._reason_lits(p)
+        learnt[0] = p ^ 1
+
+        learnt = self._minimize_learnt(learnt, to_clear)
+        for v in to_clear:
+            seen[v] = False
+        if len(learnt) == 1:
+            btlevel = 0
+        else:
+            btlevel = 0
+            for q in learnt[1:]:
+                lv = level[q >> 1]
+                if lv > btlevel:
+                    btlevel = lv
+        return learnt, btlevel
+
+    def _minimize_learnt(self, learnt: list[int], to_clear: list[int]) -> list[int]:
+        """Drop literals whose reason is entirely inside the learnt clause
+        (cheap local self-subsumption, MiniSat's 'basic' mode)."""
+        seen = self._seen
+        out = [learnt[0]]
+        for q in learnt[1:]:
+            v = q >> 1
+            reason = self._reason[v]
+            if reason is None:
+                out.append(q)
+                continue
+            lits = self._reason_lits(q ^ 1)
+            redundant = True
+            for r in lits[1:]:
+                rv = r >> 1
+                if not seen[rv] and self._level[rv] > 0:
+                    redundant = False
+                    break
+            if not redundant:
+                out.append(q)
+        return out
+
+    def _record_learnt(self, learnt: list[int]) -> None:
+        self.stats.learned_clauses += 1
+        self.stats.learned_literals += len(learnt)
+        if len(learnt) == 1:
+            self._unchecked_enqueue(learnt[0], None)
+            return
+        level = self._level
+        mi = 1
+        for k in range(2, len(learnt)):
+            if level[learnt[k] >> 1] > level[learnt[mi] >> 1]:
+                mi = k
+        learnt[1], learnt[mi] = learnt[mi], learnt[1]
+        self._watches[learnt[0]].append(learnt)
+        self._watches[learnt[1]].append(learnt)
+        self._learnts.append(learnt)
+        self._cla_activity[id(learnt)] = self._cla_inc
+        self._unchecked_enqueue(learnt[0], learnt)
+
+    # ------------------------------------------------------------------
+    # Activities, decisions, restarts, DB reduction
+    # ------------------------------------------------------------------
+    def _bump_var(self, v: int) -> None:
+        act = self._activity[v] + self._var_inc
+        self._activity[v] = act
+        if act > _RESCALE_LIMIT:
+            for u in range(1, self._nvars + 1):
+                self._activity[u] *= _RESCALE_FACTOR
+            self._var_inc *= _RESCALE_FACTOR
+            self._rebuild_heap()
+            return
+        if self._assigns[v] == UNDEF:
+            heappush(self._heap, (-act, v))
+
+    def _bump_clause(self, c: list[int]) -> None:
+        cid = id(c)
+        act = self._cla_activity.get(cid, 0.0) + self._cla_inc
+        self._cla_activity[cid] = act
+        if act > _RESCALE_LIMIT:
+            for key in self._cla_activity:
+                self._cla_activity[key] *= _RESCALE_FACTOR
+            self._cla_inc *= _RESCALE_FACTOR
+
+    def _decay_activities(self) -> None:
+        self._var_inc *= self._var_decay
+        self._cla_inc *= self._cla_decay
+        if self._var_inc > _RESCALE_LIMIT:
+            for u in range(1, self._nvars + 1):
+                self._activity[u] *= _RESCALE_FACTOR
+            self._var_inc *= _RESCALE_FACTOR
+            self._rebuild_heap()
+        if self._cla_inc > _RESCALE_LIMIT:
+            for key in self._cla_activity:
+                self._cla_activity[key] *= _RESCALE_FACTOR
+            self._cla_inc *= _RESCALE_FACTOR
+
+    def _rebuild_heap(self) -> None:
+        self._heap = [
+            (-self._activity[v], v)
+            for v in range(1, self._nvars + 1)
+            if self._assigns[v] == UNDEF
+        ]
+        heapify(self._heap)
+
+    def _pick_branch_var(self) -> int:
+        if len(self._heap) > max(100_000, 8 * self._nvars):
+            self._rebuild_heap()
+        if self._rng.random() < _RANDOM_DECISION_FREQ:
+            v = self._rng.randint(1, self._nvars) if self._nvars else 0
+            if v and self._assigns[v] == UNDEF:
+                return v
+        heap = self._heap
+        assigns = self._assigns
+        while heap:
+            __, v = heappop(heap)
+            if assigns[v] == UNDEF:
+                return v
+        return 0
+
+    def _decide(self, iassumps: list[int]) -> str:
+        """Push the next decision; returns SAT (all assigned), UNSAT
+        (assumption contradicted), or '' (decided)."""
+        assigns = self._assigns
+        while len(self._trail_lim) < len(iassumps):
+            p = iassumps[len(self._trail_lim)]
+            val = assigns[p >> 1]
+            if val != UNDEF:
+                if val ^ (p & 1) == TRUE:
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                return UNSAT
+            self._trail_lim.append(len(self._trail))
+            self._unchecked_enqueue(p, None)
+            self.stats.decisions += 1
+            return ""
+        v = self._pick_branch_var()
+        if v == 0:
+            return SAT
+        self._trail_lim.append(len(self._trail))
+        lit = (v << 1) | (not self._phase[v])
+        self._unchecked_enqueue(lit, None)
+        self.stats.decisions += 1
+        return ""
+
+    def _reduce_db(self) -> None:
+        """Throw away the less active half of the learnt clauses."""
+        self.stats.db_reductions += 1
+        locked: set[int] = set()
+        for lit in self._trail:
+            reason = self._reason[lit >> 1]
+            if isinstance(reason, list):
+                locked.add(id(reason))
+        cla_act = self._cla_activity
+        ordered = sorted(self._learnts, key=lambda c: cla_act.get(id(c), 0.0))
+        keep_from = len(ordered) // 2
+        kept: list[list[int]] = []
+        for pos, c in enumerate(ordered):
+            if pos >= keep_from or id(c) in locked or len(c) <= 2:
+                kept.append(c)
+                continue
+            self._detach_clause(c)
+            cla_act.pop(id(c), None)
+            self.stats.removed_clauses += 1
+        self._learnts = kept
+        self._max_learnts = int(self._max_learnts * 1.1) + 16
+
+    def _detach_clause(self, c: list[int]) -> None:
+        for lit in (c[0], c[1]):
+            ws = self._watches[lit]
+            for idx in range(len(ws)):
+                if ws[idx] is c:
+                    ws[idx] = ws[-1]
+                    ws.pop()
+                    break
+
+    # ------------------------------------------------------------------
+    # XOR attachment
+    # ------------------------------------------------------------------
+    def _attach_pending_xors(self) -> bool:
+        """Initialize watches for XORs added since the last solve.
+
+        Must run at decision level 0.  Handles XORs that are already fully
+        or almost fully assigned by root-level propagation.
+        """
+        assigns = self._assigns
+        for xid in self._pending_xors:
+            rec = self._xors[xid]
+            xvars = rec[0]
+            unassigned = [k for k, u in enumerate(xvars) if assigns[u] == UNDEF]
+            if len(unassigned) >= 2:
+                rec[2], rec[3] = unassigned[0], unassigned[1]
+                self._xwatches[xvars[rec[2]]].append(xid)
+                self._xwatches[xvars[rec[3]]].append(xid)
+                continue
+            parity = False
+            for u in xvars:
+                if assigns[u] == TRUE:
+                    parity = not parity
+            if not unassigned:
+                if parity != rec[1]:
+                    self._ok = False
+                    return False
+                continue
+            k = unassigned[0]
+            u = xvars[k]
+            value = rec[1] ^ parity
+            lit = (u << 1) | (not value)
+            if not self._unchecked_enqueue(lit, ("x", xid)):
+                return False
+            # Watch it anyway so backtracking past this point re-engages it
+            # (can only happen if it was enqueued above level 0 — impossible
+            # here, but keep the record consistent).
+            rec[2] = rec[3] = k
+            self._xwatches[u].append(xid)
+        self._pending_xors.clear()
+        return True

@@ -1,0 +1,25 @@
+"""Uniformity statistics for sampler evaluation."""
+
+from .uniformity import (
+    ChiSquareResult,
+    EnvelopeCheck,
+    chi_square_uniform,
+    empirical_distribution,
+    kl_from_uniform,
+    occurrence_histogram,
+    theorem1_envelope,
+    total_variation_from_uniform,
+    witness_key,
+)
+
+__all__ = [
+    "occurrence_histogram",
+    "chi_square_uniform",
+    "ChiSquareResult",
+    "empirical_distribution",
+    "kl_from_uniform",
+    "total_variation_from_uniform",
+    "theorem1_envelope",
+    "EnvelopeCheck",
+    "witness_key",
+]

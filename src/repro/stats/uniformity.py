@@ -1,0 +1,174 @@
+"""Uniformity statistics — the machinery behind Figure 1 and Theorem 1 checks.
+
+Figure 1 of the paper plots, for ``N`` draws over a witness space of size
+``|R_F|``, the **distribution of occurrence counts**: for each count ``c``,
+how many distinct witnesses were drawn exactly ``c`` times.  For a truly
+uniform sampler this concentrates around ``N/|R_F|`` (binomially); UniGen's
+curve is visually indistinguishable from US's.  This module computes that
+histogram plus the standard distances used to quantify the comparison:
+
+* Pearson χ² against the uniform distribution (with p-value);
+* KL divergence and total-variation distance from uniform;
+* the Theorem 1 per-witness envelope check.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+
+def occurrence_histogram(
+    draws: Iterable[Hashable], universe_size: int | None = None
+) -> dict[int, int]:
+    """Map ``count -> number of distinct items drawn exactly count times``.
+
+    If ``universe_size`` is given, items never drawn contribute to the
+    ``0`` bucket (Figure 1 plots only counts >= its x-range, but the zero
+    bucket matters for χ² bookkeeping).
+    """
+    per_item = Counter(draws)
+    histogram = Counter(per_item.values())
+    if universe_size is not None:
+        missing = universe_size - len(per_item)
+        if missing < 0:
+            raise ValueError("universe_size smaller than observed support")
+        if missing:
+            histogram[0] = missing
+    return dict(sorted(histogram.items()))
+
+
+@dataclass
+class ChiSquareResult:
+    """Pearson χ² test of per-witness counts against uniform."""
+
+    statistic: float
+    dof: int
+    p_value: float
+
+    def rejects_uniformity(self, alpha: float = 0.01) -> bool:
+        return self.p_value < alpha
+
+
+def chi_square_uniform(
+    draws: Sequence[Hashable], universe_size: int
+) -> ChiSquareResult:
+    """χ² of observed per-witness counts vs the uniform expectation.
+
+    Every member of the universe (drawn or not) is a cell with expectation
+    ``N / universe_size``.  Meaningful only when that expectation is ≥ ~5.
+    """
+    if universe_size <= 1:
+        raise ValueError("universe must contain at least 2 witnesses")
+    n = len(draws)
+    expected = n / universe_size
+    per_item = Counter(draws)
+    if len(per_item) > universe_size:
+        raise ValueError("universe_size smaller than observed support")
+    stat = 0.0
+    for count in per_item.values():
+        stat += (count - expected) ** 2 / expected
+    stat += (universe_size - len(per_item)) * expected  # zero-count cells
+    dof = universe_size - 1
+    return ChiSquareResult(statistic=stat, dof=dof, p_value=_chi2_sf(stat, dof))
+
+
+def _chi2_sf(x: float, k: int) -> float:
+    """Survival function of χ²_k.
+
+    Uses scipy when available; otherwise the Wilson–Hilferty normal
+    approximation (accurate to ~1e-3 for k ≥ 10, ample for test gating).
+    """
+    try:  # pragma: no cover - environment dependent
+        from scipy.stats import chi2
+
+        return float(chi2.sf(x, k))
+    except Exception:  # pragma: no cover
+        if x <= 0:
+            return 1.0
+        z = ((x / k) ** (1.0 / 3.0) - (1 - 2.0 / (9 * k))) / math.sqrt(2.0 / (9 * k))
+        return 0.5 * math.erfc(z / math.sqrt(2))
+
+
+def empirical_distribution(draws: Sequence[Hashable]) -> dict[Hashable, float]:
+    """Relative frequencies of the draws."""
+    n = len(draws)
+    if n == 0:
+        raise ValueError("no draws")
+    return {k: v / n for k, v in Counter(draws).items()}
+
+
+def kl_from_uniform(draws: Sequence[Hashable], universe_size: int) -> float:
+    """KL(empirical ‖ uniform) in bits. Unseen witnesses contribute 0."""
+    freqs = empirical_distribution(draws)
+    u = 1.0 / universe_size
+    return sum(p * math.log2(p / u) for p in freqs.values() if p > 0)
+
+
+def total_variation_from_uniform(
+    draws: Sequence[Hashable], universe_size: int
+) -> float:
+    """TV distance between the empirical distribution and uniform."""
+    freqs = empirical_distribution(draws)
+    u = 1.0 / universe_size
+    seen = sum(abs(p - u) for p in freqs.values())
+    unseen = (universe_size - len(freqs)) * u
+    return 0.5 * (seen + unseen)
+
+
+@dataclass
+class EnvelopeCheck:
+    """Outcome of the Theorem 1 per-witness frequency check."""
+
+    epsilon: float
+    universe_size: int
+    n_draws: int
+    violations: list[tuple[Hashable, float, float, float]] = field(
+        default_factory=list
+    )
+    max_ratio: float = 0.0
+    min_ratio: float = math.inf
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def theorem1_envelope(
+    draws: Sequence[Hashable],
+    universe_size: int,
+    epsilon: float,
+    slack: float = 0.0,
+) -> EnvelopeCheck:
+    """Check every drawn witness's frequency against Theorem 1's bounds.
+
+    Theorem 1: ``1/((1+ε)(|R|−1)) ≤ Pr[y] ≤ (1+ε)/(|R|−1)``.  Empirical
+    frequencies fluctuate around the true probabilities, so ``slack``
+    (a multiplicative margin, e.g. 0.5 for ±50%) widens the envelope —
+    callers should size it from ``n_draws`` (binomial noise).
+
+    Only the upper bound is checked per-witness from draws alone (a witness
+    drawn zero times cannot distinguish "below lower bound" from bad luck);
+    the lower bound is checked for witnesses that *were* seen.
+    """
+    check = EnvelopeCheck(
+        epsilon=epsilon, universe_size=universe_size, n_draws=len(draws)
+    )
+    lo = 1.0 / ((1 + epsilon) * (universe_size - 1))
+    hi = (1 + epsilon) / (universe_size - 1)
+    lo_slacked = lo * (1.0 - slack)
+    hi_slacked = hi * (1.0 + slack)
+    for witness, freq in empirical_distribution(draws).items():
+        ratio = freq * (universe_size - 1)
+        check.max_ratio = max(check.max_ratio, ratio)
+        check.min_ratio = min(check.min_ratio, ratio)
+        if freq > hi_slacked or freq < lo_slacked:
+            check.violations.append((witness, freq, lo, hi))
+    return check
+
+
+def witness_key(model: dict[int, bool], svars: Sequence[int]) -> tuple[int, ...]:
+    """Canonical hashable projection of a model onto the sampling set."""
+    return tuple(v if model[v] else -v for v in sorted(svars))

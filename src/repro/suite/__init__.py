@@ -1,0 +1,43 @@
+"""Benchmark suite mirroring the paper's Tables 1/2 and Figure 1 workloads."""
+
+from .families import (
+    BenchmarkInstance,
+    case_benchmark,
+    figure1_benchmark,
+    iscas_benchmark,
+    sketch_equality_service,
+    sketch_linear,
+    sketch_memory_reverse,
+    sketch_sort_network,
+    sketch_tree_max,
+    squaring_benchmark,
+)
+from .registry import (
+    SCALES,
+    RegistryEntry,
+    build,
+    build_figure1,
+    entries,
+    get,
+    table1_entries,
+)
+
+__all__ = [
+    "BenchmarkInstance",
+    "case_benchmark",
+    "figure1_benchmark",
+    "iscas_benchmark",
+    "squaring_benchmark",
+    "sketch_equality_service",
+    "sketch_linear",
+    "sketch_memory_reverse",
+    "sketch_sort_network",
+    "sketch_tree_max",
+    "RegistryEntry",
+    "entries",
+    "table1_entries",
+    "get",
+    "build",
+    "build_figure1",
+    "SCALES",
+]

@@ -1,0 +1,511 @@
+"""Benchmark families mirroring the paper's evaluation workloads (Section 5).
+
+The paper evaluates on four classes of public-domain CNF constraints:
+
+1. bit-blasted **bounded model checking** constraints (``case*`` rows),
+2. bit-blasted arithmetic from SMTLib (``squaring*`` rows),
+3. **program-synthesis** sketches (``LoginService``, ``Sort``, ``Karatsuba``,
+   ``EnqueueSeqSK``, ``TreeMax``, ``LLReverse``, ``ProcessBean``,
+   ``ProjectService``, ``tutorial3`` rows),
+4. **ISCAS89 circuits with parity conditions** on random output/next-state
+   subsets (``s*`` rows).
+
+The original files are not redistributable here, so each family is rebuilt
+synthetically with the same *structural* profile — most importantly the
+paper's central asymmetry: a large Tseitin support ``X`` determined by a
+small independent support ``S`` (the circuit/sketch inputs).  Every builder
+guarantees satisfiability by deriving its constraint constants from a
+concrete execution, and returns a CNF whose sampling set *is* an independent
+support by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cnf.formula import CNF
+from ..cnf.xor import XorClause
+from ..circuits.bmc import unroll
+from ..circuits.build import Netlist
+from ..circuits.encode import encode_combinational
+from ..circuits.iscas import add_parity_conditions, synthetic_sequential
+from ..rng import RandomSource
+
+
+@dataclass
+class BenchmarkInstance:
+    """A suite entry: formula, provenance, and paper-side reference numbers."""
+
+    name: str
+    family: str
+    cnf: CNF
+    description: str = ""
+    paper_reference: dict = field(default_factory=dict)
+
+    @property
+    def num_vars(self) -> int:
+        return self.cnf.num_vars
+
+    @property
+    def sampling_set(self) -> tuple[int, ...]:
+        s = self.cnf.sampling_set
+        assert s is not None
+        return s
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"BenchmarkInstance({self.name!r}, |X|={self.num_vars}, "
+            f"|S|={len(self.sampling_set)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Family 1: BMC-derived "case*" benchmarks
+# ----------------------------------------------------------------------
+def case_benchmark(
+    name: str,
+    n_inputs: int = 5,
+    n_ffs: int = 5,
+    n_gates: int = 40,
+    frames: int = 3,
+    n_parity: int = 3,
+    seed: int = 0,
+) -> BenchmarkInstance:
+    """BMC unrolling of a synthetic sequential circuit + parity conditions.
+
+    Sampling set = per-frame inputs + free initial state; parity conditions
+    constrain random subsets of unrolled gate outputs, with right-hand sides
+    taken from a concrete simulation (so the instance is satisfiable).
+    """
+    rng = RandomSource(seed)
+    circuit = synthetic_sequential(
+        name, n_inputs, n_ffs, n_gates, n_outputs=4, rng=rng
+    )
+    enc = unroll(circuit, frames=frames, initial_state="free")
+    cnf = enc.cnf
+
+    # Concrete execution for consistent parity targets.
+    seq_inputs = [
+        {i: bool(rng.bit()) for i in circuit.inputs} for _ in range(frames)
+    ]
+    init = {q: bool(rng.bit()) for q in circuit.latches}
+    trace = circuit.simulate(seq_inputs, init)
+
+    observed = [
+        (sig, t)
+        for t in range(frames)
+        for sig in list(circuit.outputs) + list(circuit.latches.values())
+    ]
+    out = cnf.copy()
+    for _ in range(n_parity):
+        subset = [st for st in observed if rng.random() < 0.4]
+        if not subset:
+            subset = [rng.choice(observed)]
+        rhs = False
+        for sig, t in subset:
+            rhs ^= trace[t][sig]
+        out.add_xor(
+            XorClause.from_vars([enc.var_of[(sig, t)] for sig, t in subset], rhs)
+        )
+    out.name = name
+    return BenchmarkInstance(
+        name=name,
+        family="case",
+        cnf=out,
+        description=(
+            f"BMC({frames} frames) of synthetic sequential circuit "
+            f"({n_inputs} in/{n_ffs} ff/{n_gates} gates), {n_parity} parity conds"
+        ),
+    )
+
+
+def figure1_benchmark(
+    name: str = "case110s",
+    n_inputs: int = 12,
+    n_parity: int = 4,
+    n_gates: int = 60,
+    seed: int = 110,
+) -> BenchmarkInstance:
+    """The Figure 1 fixture: known witness count ``2^(n_inputs − rank)``.
+
+    Parity conditions are placed on the *inputs themselves* (linear in S),
+    so the solution set is an affine subspace of the input space and the
+    count is an exact power of two — the paper's ``case110`` has 16,384 =
+    2^14 witnesses.  A gate soup on top supplies realistic Tseitin bulk
+    without constraining anything.
+    """
+    rng = RandomSource(seed)
+    nl = Netlist(name)
+    xs = nl.inputs("x", n_inputs)
+    # Unconstrained combinational bulk (outputs free).
+    pool = list(xs)
+    for _ in range(n_gates):
+        kind = rng.choice(("and", "or", "xor", "nand"))
+        a, b = rng.choice(pool), rng.choice(pool)
+        pool.append(nl.gate(kind, a, b))
+    nl.outputs(pool[-3:])
+    enc = encode_combinational(nl.circuit)
+    cnf = enc.cnf
+
+    hidden = [bool(rng.bit()) for _ in range(n_inputs + 1)]
+    svars = [enc.var_of[x] for x in xs]
+    for _ in range(n_parity):
+        subset = [v for i, v in enumerate(svars, start=1) if rng.random() < 0.5]
+        if not subset:
+            subset = [rng.choice(svars)]
+        rhs = False
+        for v in subset:
+            rhs ^= hidden[svars.index(v) + 1]
+        cnf.add_xor(XorClause.from_vars(subset, rhs))
+    cnf.name = name
+    return BenchmarkInstance(
+        name=name,
+        family="case",
+        cnf=cnf,
+        description=(
+            f"Figure 1 fixture: {n_inputs} free inputs, {n_parity} input-linear "
+            "parity conditions (power-of-two witness count)"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Family 2: "squaring*" — bit-blasted arithmetic
+# ----------------------------------------------------------------------
+def squaring_benchmark(
+    name: str,
+    width: int = 8,
+    observed_bits: int = 5,
+    seed: int = 0,
+) -> BenchmarkInstance:
+    """``y = x²`` with a random subset of output bits pinned.
+
+    Sampling set = the input word ``x``.  The pinned bits match ``x0²`` for
+    a hidden ``x0``, so the instance is satisfiable; pinning only a subset
+    leaves many witnesses.  The Tseitin bulk of the shift-add squarer gives
+    the |X| ≫ |S| profile of the paper's squaring rows.
+    """
+    rng = RandomSource(seed)
+    nl = Netlist(name)
+    xs = nl.inputs("x", width)
+    square = nl.square(xs)
+    nl.outputs(square)
+    enc = encode_combinational(nl.circuit)
+    cnf = enc.cnf
+
+    x0 = rng.bits(width)
+    target = x0 * x0
+    positions = rng.sample(range(len(square)), min(observed_bits, len(square)))
+    for pos in positions:
+        bit = (target >> pos) & 1
+        cnf.add_unit(enc.lit(square[pos], bool(bit)))
+    cnf.name = name
+    return BenchmarkInstance(
+        name=name,
+        family="squaring",
+        cnf=cnf,
+        description=(
+            f"{width}-bit squarer, {len(positions)} output bits pinned to a "
+            "concrete square"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Family 3: ISCAS89-style "s*" benchmarks
+# ----------------------------------------------------------------------
+def iscas_benchmark(
+    name: str,
+    n_inputs: int = 8,
+    n_ffs: int = 8,
+    n_gates: int = 80,
+    n_parity: int = 3,
+    seed: int = 0,
+) -> BenchmarkInstance:
+    """Synthetic ISCAS89-profile circuit with parity conditions (Section 5)."""
+    rng = RandomSource(seed)
+    circuit = synthetic_sequential(
+        name, n_inputs, n_ffs, n_gates, n_outputs=6, rng=rng
+    )
+    enc = encode_combinational(circuit)
+    cnf = add_parity_conditions(enc, circuit, n_parity, rng=rng)
+    cnf.name = name
+    return BenchmarkInstance(
+        name=name,
+        family="iscas",
+        cnf=cnf,
+        description=(
+            f"ISCAS89-style ({n_inputs} in/{n_ffs} ff/{n_gates} gates), "
+            f"{n_parity} parity conditions on outputs/next-state"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Family 4: program-synthesis sketches
+# ----------------------------------------------------------------------
+def sketch_equality_service(
+    name: str,
+    key_bits: int = 24,
+    n_tests: int = 6,
+    seed: int = 0,
+) -> BenchmarkInstance:
+    """LoginService/ProcessBean profile: synthesize a stored credential.
+
+    Holes = the stored key.  Each test masks the key with a constant and
+    observes the parity of the masked bits (a digest bit).  Constraint
+    constants come from a hidden key, so witnesses = all keys matching the
+    observed digest bits (≈ ``2^(key_bits − n_tests)``).
+    """
+    rng = RandomSource(seed)
+    nl = Netlist(name)
+    ks = nl.inputs("k", key_bits)
+    digests: list[str] = []
+    for _ in range(n_tests):
+        mask = rng.bits(key_bits) | 1  # never empty
+        taps = [k for i, k in enumerate(ks) if (mask >> i) & 1]
+        linear = nl.xor(*taps) if len(taps) > 1 else taps[0]
+        # Nonlinear mixing rounds (majority-ish gadgets), so the Tseitin
+        # bulk resembles a real hashing/checking routine, |X| >> |S|.
+        mixed = linear
+        for _round in range(3):
+            a, b, c = (rng.choice(ks) for _ in range(3))
+            gadget = nl.or_(nl.and_(a, b), nl.and_(nl.not_(c), b))
+            mixed = nl.xor(mixed, gadget)
+        digests.append(mixed)
+    nl.outputs(digests)
+    enc = encode_combinational(nl.circuit)
+    cnf = enc.cnf
+
+    hidden = {k: bool(rng.bit()) for k in ks}
+    values = nl.circuit.evaluate(hidden)
+    for d in digests:
+        cnf.add_unit(enc.lit(d, values[d]))
+    cnf.name = name
+    return BenchmarkInstance(
+        name=name,
+        family="sketch",
+        cnf=cnf,
+        description=f"credential sketch: {key_bits}-bit key, {n_tests} digest tests",
+    )
+
+
+def sketch_linear(
+    name: str,
+    width: int = 8,
+    n_tests: int = 2,
+    observed_bits: int = 6,
+    seed: int = 0,
+) -> BenchmarkInstance:
+    """Karatsuba/ProjectService profile: synthesize ``y = a·t + b``.
+
+    Holes = coefficient words ``a`` and ``b``.  For each constant test
+    point ``t``, the circuit computes ``a·t + b`` with a shift-add
+    multiplier and observes a random subset of result bits (values from a
+    hidden ``(a0, b0)``).  The multiplier Tseitin bulk dominates |X|.
+    """
+    rng = RandomSource(seed)
+    nl = Netlist(name)
+    a = nl.inputs("a", width)
+    b = nl.inputs("b", width)
+    out_width = 2 * width + 1
+    observations: list[tuple[str, int, int]] = []  # (signal, t, pos)
+    tests: list[int] = []
+    results: list[list[str]] = []
+    for _ in range(n_tests):
+        t = rng.bits(width) | 1
+        tests.append(t)
+        # a * t with constant t: sum shifted copies of a where t has 1-bits.
+        acc = [nl.const0()] * out_width
+        for i in range(width):
+            if (t >> i) & 1:
+                partial = [nl.const0()] * i + list(a)
+                partial = nl.zero_extend(partial, out_width)
+                acc = nl.ripple_add(acc, partial)[:out_width]
+        acc = nl.ripple_add(acc, nl.zero_extend(list(b), out_width))[:out_width]
+        results.append(acc)
+    nl.outputs([s for acc in results for s in acc])
+    enc = encode_combinational(nl.circuit)
+    cnf = enc.cnf
+
+    a0, b0 = rng.bits(width), rng.bits(width)
+    for t, acc in zip(tests, results):
+        y0 = a0 * t + b0
+        for pos in rng.sample(range(out_width), min(observed_bits, out_width)):
+            cnf.add_unit(enc.lit(acc[pos], bool((y0 >> pos) & 1)))
+    cnf.name = name
+    return BenchmarkInstance(
+        name=name,
+        family="sketch",
+        cnf=cnf,
+        description=(
+            f"linear-map sketch: {width}-bit coefficients, {n_tests} tests, "
+            f"{observed_bits} observed bits each"
+        ),
+    )
+
+
+def sketch_sort_network(
+    name: str,
+    n_words: int = 4,
+    width: int = 3,
+    n_tests: int = 2,
+    seed: int = 0,
+) -> BenchmarkInstance:
+    """Sort profile: synthesize comparator enables of a sorting network.
+
+    Holes = one enable bit per compare-exchange in an odd-even transposition
+    network.  Spec: for each constant test vector, the network output is
+    sorted.  All-enabled always works; partial enables that happen to sort
+    the specific tests survive too — a combinatorially rich witness set.
+    """
+    rng = RandomSource(seed)
+    nl = Netlist(name)
+    # Comparator plan: full odd-even transposition (n rounds).
+    plan: list[tuple[int, int]] = []
+    for rnd in range(n_words):
+        start = rnd % 2
+        plan.extend((i, i + 1) for i in range(start, n_words - 1, 2))
+    enables = nl.inputs("en", len(plan))
+
+    sorted_flags: list[str] = []
+    tests: list[list[int]] = []
+    for __ in range(n_tests):
+        values = [rng.bits(width) for _ in range(n_words)]
+        tests.append(values)
+        # Materialize constant input words.
+        words: list[list[str]] = []
+        for value in values:
+            bits = [
+                nl.const1() if (value >> i) & 1 else nl.const0()
+                for i in range(width)
+            ]
+            words.append(bits)
+        for enable, (i, j) in zip(enables, plan):
+            lt = nl.less_than(words[j], words[i])  # needs swap if w[j] < w[i]
+            do_swap = nl.and_(enable, lt)
+            new_i = [nl.mux(do_swap, bj, bi) for bi, bj in zip(words[i], words[j])]
+            new_j = [nl.mux(do_swap, bi, bj) for bi, bj in zip(words[i], words[j])]
+            words[i], words[j] = new_i, new_j
+        pair_ok = [
+            nl.not_(nl.less_than(words[i + 1], words[i]))
+            for i in range(n_words - 1)
+        ]
+        sorted_flags.append(nl.and_(*pair_ok))
+    nl.outputs(sorted_flags)
+    enc = encode_combinational(nl.circuit)
+    cnf = enc.cnf
+    for flag in sorted_flags:
+        cnf.add_unit(enc.lit(flag, True))
+    cnf.name = name
+    return BenchmarkInstance(
+        name=name,
+        family="sketch",
+        cnf=cnf,
+        description=(
+            f"sorting-network sketch: {len(plan)} comparator enables, "
+            f"{n_words}x{width}-bit words, {n_tests} tests"
+        ),
+    )
+
+
+def sketch_memory_reverse(
+    name: str,
+    n_cells: int = 4,
+    width: int = 6,
+    observed_bits: int = 8,
+    seed: int = 0,
+) -> BenchmarkInstance:
+    """LLReverse/EnqueueSeqSK profile: synthesize memory contents.
+
+    Holes = ``n_cells`` words plus a rotation selector.  The program
+    reverses the cell order, rotates by the selector (mux layers), and a
+    random subset of output bits is pinned to a hidden execution.
+    """
+    rng = RandomSource(seed)
+    nl = Netlist(name)
+    cells = [nl.inputs(f"m{c}_", width) for c in range(n_cells)]
+    sel_bits = max(1, (n_cells - 1).bit_length())
+    sel = nl.inputs("rot", sel_bits)
+
+    reversed_cells = list(reversed(cells))
+    # Rotate by sel (barrel shifter over cells).
+    current = reversed_cells
+    for level in range(sel_bits):
+        shift = 1 << level
+        nxt: list[list[str]] = []
+        for idx in range(n_cells):
+            src_a = current[(idx + shift) % n_cells]
+            src_b = current[idx]
+            nxt.append(
+                [nl.mux(sel[level], a, b) for a, b in zip(src_a, src_b)]
+            )
+        current = nxt
+    flat = [bit for cell in current for bit in cell]
+    nl.outputs(flat)
+    enc = encode_combinational(nl.circuit)
+    cnf = enc.cnf
+
+    # Hidden execution pins a subset of output bits.
+    hidden_inputs = {
+        s: bool(rng.bit()) for s in nl.circuit.inputs
+    }
+    values = nl.circuit.evaluate(hidden_inputs)
+    for s in rng.sample(flat, min(observed_bits, len(flat))):
+        cnf.add_unit(enc.lit(s, values[s]))
+    cnf.name = name
+    return BenchmarkInstance(
+        name=name,
+        family="sketch",
+        cnf=cnf,
+        description=(
+            f"memory-reverse sketch: {n_cells}x{width}-bit cells + rotation, "
+            f"{observed_bits} observed bits"
+        ),
+    )
+
+
+def sketch_tree_max(
+    name: str,
+    n_leaves: int = 4,
+    width: int = 5,
+    observed_bits: int = 4,
+    seed: int = 0,
+) -> BenchmarkInstance:
+    """TreeMax profile: synthesize leaf values of a max-reduction tree.
+
+    Holes = leaf words; the circuit computes the maximum via a comparator
+    tree; a subset of the maximum's bits is pinned from a hidden execution.
+    """
+    rng = RandomSource(seed)
+    nl = Netlist(name)
+    leaves = [nl.inputs(f"leaf{c}_", width) for c in range(n_leaves)]
+    level = leaves
+    while len(level) > 1:
+        nxt: list[list[str]] = []
+        for i in range(0, len(level) - 1, 2):
+            a, b = level[i], level[i + 1]
+            a_lt_b = nl.less_than(a, b)
+            nxt.append([nl.mux(a_lt_b, y, x) for x, y in zip(a, b)])
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    max_word = level[0]
+    nl.outputs(max_word)
+    enc = encode_combinational(nl.circuit)
+    cnf = enc.cnf
+
+    hidden_inputs = {s: bool(rng.bit()) for s in nl.circuit.inputs}
+    values = nl.circuit.evaluate(hidden_inputs)
+    for s in rng.sample(max_word, min(observed_bits, len(max_word))):
+        cnf.add_unit(enc.lit(s, values[s]))
+    cnf.name = name
+    return BenchmarkInstance(
+        name=name,
+        family="sketch",
+        cnf=cnf,
+        description=(
+            f"tree-max sketch: {n_leaves}x{width}-bit leaves, "
+            f"{observed_bits} observed max bits"
+        ),
+    )

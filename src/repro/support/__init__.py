@@ -1,0 +1,5 @@
+"""Independent support detection and minimization."""
+
+from .mis import find_independent_support, is_independent_support
+
+__all__ = ["find_independent_support", "is_independent_support"]

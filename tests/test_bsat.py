@@ -1,0 +1,147 @@
+"""Tests for BSAT bounded enumeration — the paper's core oracle."""
+
+import pytest
+
+from repro.cnf import CNF, XorClause, random_ksat
+from repro.rng import RandomSource
+from repro.sat import Budget, bsat, enumerate_all, projections
+from repro.sat.brute import count_projected, model_set
+from repro.sat.enumerate import gauss_reduce_xors
+
+
+class TestBounds:
+    def test_bound_zero(self):
+        cnf = CNF(2, clauses=[[1, 2]])
+        result = bsat(cnf, 0)
+        assert len(result.models) == 0
+        assert not result.complete
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            bsat(CNF(1), -1)
+
+    def test_bound_respected(self):
+        cnf = CNF(4, sampling_set=[1, 2, 3, 4])  # 16 models
+        result = bsat(cnf, 5, rng=1)
+        assert len(result.models) == 5
+        assert not result.complete
+
+    def test_complete_when_under_bound(self):
+        cnf = CNF(2, clauses=[[1], [2]])
+        result = bsat(cnf, 10, rng=1)
+        assert len(result.models) == 1
+        assert result.complete
+
+    def test_exact_boundary(self):
+        """At |R_F| == bound, all witnesses are found; completeness may or
+        may not be proven (the final blocking clause can make the solver
+        detect root-level UNSAT eagerly), but callers needing certainty
+        request bound+1 — which must prove it."""
+        cnf = CNF(2, sampling_set=[1, 2])  # 4 models
+        result = bsat(cnf, 4, rng=1)
+        assert len(result.models) == 4
+        one_more = bsat(cnf, 5, rng=1)
+        assert len(one_more.models) == 4
+        assert one_more.complete
+
+    def test_unsat_complete_empty(self):
+        cnf = CNF(1, clauses=[[1], [-1]])
+        result = bsat(cnf, 10)
+        assert result.complete
+        assert len(result.models) == 0
+
+
+class TestProjection:
+    def test_distinct_on_sampling_set(self):
+        cnf = CNF(4, clauses=[[1, 2]])
+        cnf.sampling_set = [1, 2]
+        result = bsat(cnf, 100, rng=0)
+        assert result.complete
+        keys = projections(result.models, [1, 2])
+        assert len(keys) == len(set(keys)) == 3
+
+    def test_matches_brute_force_projected_count(self):
+        for seed in range(10):
+            cnf = random_ksat(6, 10, 3, rng=seed)
+            cnf.sampling_set = [1, 2, 3]
+            result = bsat(cnf, 1000, rng=seed)
+            assert result.complete
+            assert len(result.models) == count_projected(cnf, [1, 2, 3])
+
+    def test_block_full_support(self):
+        cnf = CNF(3, clauses=[[1]])
+        cnf.sampling_set = [1]
+        restricted = bsat(cnf, 100, rng=0)
+        full = bsat(cnf, 100, rng=0, block_full_support=True)
+        assert len(restricted.models) == 1  # one projection on {1}
+        assert len(full.models) == 4  # all (v2, v3) combinations
+
+    def test_empty_sampling_set(self):
+        cnf = CNF(2, clauses=[[1, 2]])
+        result = bsat(cnf, 10, sampling_set=[], rng=0)
+        assert result.complete
+        assert len(result.models) == 1
+
+
+class TestEnumerateAll:
+    def test_recovers_model_set(self):
+        for seed in range(8):
+            cnf = random_ksat(6, 12, 3, rng=seed)
+            truth = model_set(cnf)
+            models = enumerate_all(cnf, rng=seed)
+            got = {
+                tuple(v if m[v] else -v for v in range(1, 7)) for m in models
+            }
+            assert got == truth
+
+    def test_limit_enforced(self):
+        cnf = CNF(10, sampling_set=range(1, 11))  # 1024 models
+        with pytest.raises(RuntimeError):
+            enumerate_all(cnf, limit=100, rng=0)
+
+
+class TestBudget:
+    def test_timeout_flags_exhaustion(self):
+        from repro.cnf import php
+
+        cnf = php(8, 7)
+        result = bsat(cnf, 10, budget=Budget(timeout_seconds=0.0), rng=1)
+        assert result.budget_exhausted
+        assert not result.complete
+
+    def test_conflict_budget_flags_exhaustion(self):
+        from repro.cnf import php
+
+        cnf = php(7, 6)
+        result = bsat(cnf, 10, budget=Budget(max_conflicts=3), rng=1)
+        assert result.budget_exhausted
+
+
+class TestGaussReduction:
+    def test_reduction_preserves_models(self):
+        rng = RandomSource(4)
+        cnf = random_ksat(7, 10, 3, rng=rng)
+        for _ in range(3):
+            vs = [v for v in range(1, 8) if rng.random() < 0.5]
+            if vs:
+                cnf.add_xor(XorClause.from_vars(vs, bool(rng.bit())))
+        with_gauss = bsat(cnf, 500, rng=1, gauss=True)
+        without = bsat(cnf, 500, rng=1, gauss=False)
+        key = lambda ms: {
+            tuple(v if m[v] else -v for v in range(1, 8)) for m in ms
+        }
+        assert key(with_gauss.models) == key(without.models)
+
+    def test_inconsistent_xor_system_short_circuits(self):
+        cnf = CNF(2)
+        cnf.add_xor(XorClause((1, 2), True))
+        cnf.add_xor(XorClause((1, 2), False))
+        reduced = gauss_reduce_xors(cnf)
+        assert reduced is None
+        result = bsat(cnf, 10)
+        assert result.complete
+        assert len(result.models) == 0
+
+    def test_plain_cnf_passthrough(self):
+        cnf = CNF(2, clauses=[[1, 2]])
+        assert gauss_reduce_xors(cnf) is cnf

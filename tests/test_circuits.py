@@ -1,0 +1,198 @@
+"""Circuit model tests: gates, evaluation, topological order, simulation."""
+
+import pytest
+
+from repro.circuits import Circuit, Gate, Netlist
+from repro.rng import RandomSource
+
+
+class TestGateValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Gate("g", "nandor", ("a",))
+
+    def test_not_arity(self):
+        with pytest.raises(ValueError):
+            Gate("g", "not", ("a", "b"))
+
+    def test_mux_arity(self):
+        with pytest.raises(ValueError):
+            Gate("g", "mux", ("a", "b"))
+
+    def test_empty_and(self):
+        with pytest.raises(ValueError):
+            Gate("g", "and", ())
+
+
+class TestCircuitStructure:
+    def test_duplicate_signal_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(ValueError):
+            c.add_input("a")
+        with pytest.raises(ValueError):
+            c.add_gate("a", "not", ["a"])
+
+    def test_validate_unknown_fanin(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("g", "and", ["a", "ghost"])
+        with pytest.raises(ValueError):
+            c.validate()
+
+    def test_validate_unknown_output(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_output("ghost")
+        with pytest.raises(ValueError):
+            c.validate()
+
+    def test_cycle_detected(self):
+        c = Circuit()
+        c.add_input("a")
+        c.gates["g1"] = Gate("g1", "and", ("a", "g2"))
+        c.gates["g2"] = Gate("g2", "not", ("g1",))
+        with pytest.raises(ValueError):
+            c.topological_order()
+
+    def test_topological_order_respects_dependencies(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("g2", "not", ["a"])
+        c.add_gate("g1", "and", ["a", "g2"])
+        c.add_gate("g3", "or", ["g1", "g2"])
+        order = c.topological_order()
+        assert order.index("g2") < order.index("g1") < order.index("g3")
+
+
+class TestEvaluation:
+    def test_all_gate_kinds(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_input("b")
+        c.add_input("s")
+        kinds = {
+            "and": lambda a, b: a and b,
+            "or": lambda a, b: a or b,
+            "xor": lambda a, b: a != b,
+            "nand": lambda a, b: not (a and b),
+            "nor": lambda a, b: not (a or b),
+            "xnor": lambda a, b: a == b,
+        }
+        for kind in kinds:
+            c.add_gate(f"g_{kind}", kind, ["a", "b"])
+        c.add_gate("g_not", "not", ["a"])
+        c.add_gate("g_buf", "buf", ["a"])
+        c.add_gate("g_mux", "mux", ["s", "a", "b"])
+        for a in (False, True):
+            for b in (False, True):
+                for s in (False, True):
+                    values = c.evaluate({"a": a, "b": b, "s": s})
+                    for kind, fn in kinds.items():
+                        assert values[f"g_{kind}"] == fn(a, b), kind
+                    assert values["g_not"] == (not a)
+                    assert values["g_buf"] == a
+                    assert values["g_mux"] == (a if s else b)
+
+    def test_latch_default_reset(self):
+        c = Circuit()
+        c.add_input("d")
+        c.add_latch("q", "d")
+        values = c.evaluate({"d": True})
+        assert values["q"] is False  # reset state
+
+    def test_simulation_shift_register(self):
+        c = Circuit()
+        c.add_input("d")
+        c.add_latch("q0", "d")
+        c.add_latch("q1", "q0")
+        inputs = [{"d": True}, {"d": False}, {"d": True}]
+        trace = c.simulate(inputs)
+        assert [t["q0"] for t in trace] == [False, True, False]
+        assert [t["q1"] for t in trace] == [False, False, True]
+
+
+class TestNetlistArithmetic:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_ripple_add(self, width):
+        nl = Netlist()
+        xs = nl.inputs("x", width)
+        ys = nl.inputs("y", width)
+        out = nl.ripple_add(xs, ys)
+        for a in range(2**width):
+            for b in range(2**width):
+                env = {}
+                for i in range(width):
+                    env[xs[i]] = bool((a >> i) & 1)
+                    env[ys[i]] = bool((b >> i) & 1)
+                values = nl.circuit.evaluate(env)
+                got = sum(1 << i for i, s in enumerate(out) if values[s])
+                assert got == a + b
+
+    def test_multiply(self):
+        nl = Netlist()
+        xs = nl.inputs("x", 3)
+        ys = nl.inputs("y", 3)
+        out = nl.multiply(xs, ys)
+        for a in range(8):
+            for b in range(8):
+                env = {}
+                for i in range(3):
+                    env[xs[i]] = bool((a >> i) & 1)
+                    env[ys[i]] = bool((b >> i) & 1)
+                values = nl.circuit.evaluate(env)
+                got = sum(1 << i for i, s in enumerate(out) if values[s])
+                assert got == a * b
+
+    def test_square(self):
+        nl = Netlist()
+        xs = nl.inputs("x", 4)
+        out = nl.square(xs)
+        for a in range(16):
+            env = {xs[i]: bool((a >> i) & 1) for i in range(4)}
+            values = nl.circuit.evaluate(env)
+            got = sum(1 << i for i, s in enumerate(out) if values[s])
+            assert got == a * a
+
+    def test_less_than(self):
+        nl = Netlist()
+        xs = nl.inputs("x", 3)
+        ys = nl.inputs("y", 3)
+        lt = nl.less_than(xs, ys)
+        for a in range(8):
+            for b in range(8):
+                env = {}
+                for i in range(3):
+                    env[xs[i]] = bool((a >> i) & 1)
+                    env[ys[i]] = bool((b >> i) & 1)
+                assert nl.circuit.evaluate(env)[lt] == (a < b)
+
+    def test_equals_const(self):
+        nl = Netlist()
+        xs = nl.inputs("x", 4)
+        eq = nl.equals_const(xs, 11)
+        for a in range(16):
+            env = {xs[i]: bool((a >> i) & 1) for i in range(4)}
+            assert nl.circuit.evaluate(env)[eq] == (a == 11)
+
+    def test_consts(self):
+        nl = Netlist()
+        nl.inputs("x", 1)
+        c0, c1 = nl.const0(), nl.const1()
+        values = nl.circuit.evaluate({"x0": True})
+        assert values[c0] is False and values[c1] is True
+
+    def test_const0_requires_source(self):
+        with pytest.raises(ValueError):
+            Netlist().const0()
+
+    def test_width_mismatch_raises(self):
+        nl = Netlist()
+        xs = nl.inputs("x", 2)
+        ys = nl.inputs("y", 3)
+        with pytest.raises(ValueError):
+            nl.ripple_add(xs, ys)
+        with pytest.raises(ValueError):
+            nl.less_than(xs, ys)
+        with pytest.raises(ValueError):
+            nl.equals(xs, ys)

@@ -1,0 +1,103 @@
+"""DIMACS reader/writer tests, including the c-ind and x-line dialects."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnf import CNF, XorClause, parse_dimacs, read_dimacs, to_dimacs, write_dimacs
+from repro.errors import DimacsParseError
+
+
+class TestParse:
+    def test_basic(self):
+        cnf = parse_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n")
+        assert cnf.num_vars == 3
+        assert cnf.clauses == [(1, -2), (2, 3)]
+
+    def test_comments_ignored(self):
+        cnf = parse_dimacs("c hello\np cnf 1 1\nc mid\n1 0\n")
+        assert cnf.clauses == [(1,)]
+
+    def test_sampling_set(self):
+        cnf = parse_dimacs("c ind 1 3 0\np cnf 3 1\n1 2 3 0\n")
+        assert cnf.sampling_set == (1, 3)
+
+    def test_sampling_set_multiline(self):
+        cnf = parse_dimacs("c ind 1 2 0\nc ind 3 0\np cnf 3 1\n1 0\n")
+        assert cnf.sampling_set == (1, 2, 3)
+
+    def test_xor_lines(self):
+        cnf = parse_dimacs("p cnf 3 1\nx1 -2 3 0\n")
+        assert cnf.xor_clauses == [XorClause((1, 2, 3), False)]
+
+    def test_xor_line_with_space(self):
+        cnf = parse_dimacs("p cnf 2 1\nx 1 2 0\n")
+        assert cnf.xor_clauses == [XorClause((1, 2), True)]
+
+    def test_missing_header(self):
+        with pytest.raises(DimacsParseError):
+            parse_dimacs("1 2 0\n")
+
+    def test_malformed_header(self):
+        with pytest.raises(DimacsParseError):
+            parse_dimacs("p cnf x y\n")
+
+    def test_clause_missing_terminator(self):
+        with pytest.raises(DimacsParseError):
+            parse_dimacs("p cnf 2 1\n1 2\n")
+
+    def test_negative_ind_rejected(self):
+        with pytest.raises(DimacsParseError):
+            parse_dimacs("c ind -1 0\np cnf 1 1\n1 0\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(DimacsParseError) as err:
+            parse_dimacs("p cnf 1 1\n1 2\n")
+        assert "line 2" in str(err.value)
+
+    def test_header_var_count_respected(self):
+        cnf = parse_dimacs("p cnf 10 1\n1 0\n")
+        assert cnf.num_vars == 10
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self):
+        cnf = CNF(3, clauses=[[1, -2], [3]], sampling_set=[1, 2], name="rt")
+        cnf.add_xor([1, 3], rhs=False)
+        again = parse_dimacs(to_dimacs(cnf))
+        assert again.clauses == cnf.clauses
+        assert again.xor_clauses == cnf.xor_clauses
+        assert again.sampling_set == cnf.sampling_set
+        assert again.num_vars == cnf.num_vars
+
+    def test_file_roundtrip(self, tmp_path):
+        cnf = CNF(2, clauses=[[1, 2], [-1]])
+        path = tmp_path / "f.cnf"
+        write_dimacs(cnf, path)
+        again = read_dimacs(path)
+        assert again.clauses == cnf.clauses
+        assert again.name == "f"
+
+    @given(
+        n=st.integers(min_value=1, max_value=12),
+        clause_count=st.integers(min_value=0, max_value=15),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, n, clause_count, data):
+        cnf = CNF(n)
+        lit = st.integers(min_value=1, max_value=n).flatmap(
+            lambda v: st.sampled_from([v, -v])
+        )
+        for _ in range(clause_count):
+            lits = data.draw(st.lists(lit, min_size=1, max_size=4, unique=True))
+            cnf.add_clause(lits)
+        if data.draw(st.booleans()):
+            sampling = data.draw(
+                st.lists(st.integers(min_value=1, max_value=n), max_size=n)
+            )
+            cnf.sampling_set = sampling
+        again = parse_dimacs(to_dimacs(cnf))
+        assert again.clauses == cnf.clauses
+        assert again.sampling_set == cnf.sampling_set
+        assert again.num_vars == cnf.num_vars

@@ -1,0 +1,106 @@
+"""Exact counter tests: differential vs brute force, components, caching."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnf import (
+    CNF,
+    XorClause,
+    chain_implication,
+    exactly_k_solutions_formula,
+    php,
+    random_ksat,
+)
+from repro.counting import ExactCounter, count_models_exact
+from repro.errors import BudgetExhausted
+from repro.rng import RandomSource
+from repro.sat.brute import count_models
+
+
+class TestBasics:
+    def test_empty_formula(self):
+        assert count_models_exact(CNF(3)) == 8
+
+    def test_unsat(self):
+        assert count_models_exact(CNF(1, clauses=[[1], [-1]])) == 0
+
+    def test_single_clause(self):
+        assert count_models_exact(CNF(3, clauses=[[1, 2, 3]])) == 7
+
+    def test_unit(self):
+        assert count_models_exact(CNF(2, clauses=[[1]])) == 2
+
+    def test_chain_single_model(self):
+        assert count_models_exact(chain_implication(30)) == 1
+
+    def test_php_zero(self):
+        assert count_models_exact(php(4, 3)) == 0
+
+
+class TestComponents:
+    def test_disjoint_components_multiply(self):
+        cnf = CNF(4, clauses=[[1, 2], [3, 4]])
+        assert count_models_exact(cnf) == 9
+
+    def test_free_variables_double(self):
+        cnf = CNF(5, clauses=[[1]])
+        assert count_models_exact(cnf) == 16
+
+    def test_many_disjoint_clauses(self):
+        # 10 disjoint binary ors: 3^10
+        cnf = CNF(20)
+        for i in range(10):
+            cnf.add_clause([2 * i + 1, 2 * i + 2])
+        assert count_models_exact(cnf) == 3**10
+
+
+class TestXorHandling:
+    def test_pure_xor_system(self):
+        cnf = CNF(4)
+        cnf.add_xor(XorClause((1, 2), True))
+        cnf.add_xor(XorClause((3, 4), False))
+        assert count_models_exact(cnf) == 4
+
+    def test_wide_xor_via_cutting(self):
+        cnf = CNF(12)
+        cnf.add_xor(XorClause(tuple(range(1, 13)), True))
+        assert count_models_exact(cnf) == 2**11
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_mixed_vs_brute(self, seed):
+        rng = RandomSource(seed)
+        cnf = random_ksat(8, 12, 3, rng=rng)
+        for _ in range(2):
+            vs = [v for v in range(1, 9) if rng.random() < 0.4]
+            if vs:
+                cnf.add_xor(XorClause.from_vars(vs, bool(rng.bit())))
+        assert count_models_exact(cnf) == count_models(cnf)
+
+
+class TestDifferential:
+    @given(seed=st.integers(0, 500), m=st.integers(5, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_random_3sat(self, seed, m):
+        cnf = random_ksat(8, m, 3, rng=seed)
+        assert count_models_exact(cnf) == count_models(cnf)
+
+    @pytest.mark.parametrize("k", [0, 1, 100, 1000, 4095, 4096])
+    def test_exactly_k(self, k):
+        cnf = exactly_k_solutions_formula(12, k)
+        assert count_models_exact(cnf) == k
+
+
+class TestBudget:
+    def test_node_budget_enforced(self):
+        cnf = random_ksat(30, 60, 3, rng=1)
+        counter = ExactCounter(cnf, max_nodes=3)
+        with pytest.raises(BudgetExhausted):
+            counter.count()
+
+    def test_result_wrapper(self):
+        cnf = CNF(3, clauses=[[1, 2]])
+        result = ExactCounter(cnf).result()
+        assert result.count == 6
+        assert result.exact
+        assert bool(result)

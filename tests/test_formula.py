@@ -1,0 +1,159 @@
+"""Unit tests for the CNF container."""
+
+import pytest
+
+from repro.cnf import CNF, XorClause
+
+
+class TestConstruction:
+    def test_empty(self):
+        cnf = CNF()
+        assert cnf.num_vars == 0
+        assert len(cnf) == 0
+
+    def test_add_clause_grows_vars(self):
+        cnf = CNF()
+        cnf.add_clause([1, -5])
+        assert cnf.num_vars == 5
+        assert cnf.clauses == [(1, -5)]
+
+    def test_new_var(self):
+        cnf = CNF(3)
+        assert cnf.new_var() == 4
+        assert cnf.num_vars == 4
+
+    def test_new_vars(self):
+        cnf = CNF()
+        assert cnf.new_vars(3) == [1, 2, 3]
+
+    def test_add_xor_literals_fold(self):
+        cnf = CNF()
+        cnf.add_xor([1, -2], rhs=True)
+        assert cnf.xor_clauses == [XorClause((1, 2), False)]
+        assert cnf.num_vars == 2
+
+    def test_add_xor_object_with_rhs_raises(self):
+        cnf = CNF()
+        with pytest.raises(ValueError):
+            cnf.add_xor(XorClause((1,), True), rhs=False)
+
+    def test_add_unit(self):
+        cnf = CNF()
+        cnf.add_unit(-3)
+        assert cnf.clauses == [(-3,)]
+
+    def test_constructor_kwargs(self):
+        cnf = CNF(4, clauses=[[1, 2]], xor_clauses=[XorClause((3,), True)],
+                  sampling_set=[1, 3], name="t")
+        assert cnf.num_vars == 4
+        assert cnf.sampling_set == (1, 3)
+        assert cnf.name == "t"
+
+
+class TestSamplingSet:
+    def test_default_none(self):
+        assert CNF(3).sampling_set is None
+
+    def test_sorted_dedup(self):
+        cnf = CNF(5)
+        cnf.sampling_set = [3, 1, 3]
+        assert cnf.sampling_set == (1, 3)
+
+    def test_grows_num_vars(self):
+        cnf = CNF(2)
+        cnf.sampling_set = [7]
+        assert cnf.num_vars == 7
+
+    def test_rejects_nonpositive(self):
+        cnf = CNF(3)
+        with pytest.raises(ValueError):
+            cnf.sampling_set = [0, 1]
+
+    def test_sampling_set_or_support(self):
+        cnf = CNF()
+        cnf.add_clause([1, -4])
+        assert cnf.sampling_set_or_support() == (1, 4)
+        cnf.sampling_set = [1]
+        assert cnf.sampling_set_or_support() == (1,)
+
+    def test_clear(self):
+        cnf = CNF(3, sampling_set=[1])
+        cnf.sampling_set = None
+        assert cnf.sampling_set is None
+
+
+class TestQueries:
+    def test_support(self):
+        cnf = CNF(10)
+        cnf.add_clause([1, -3])
+        cnf.add_xor([5], rhs=True)
+        assert cnf.support() == {1, 3, 5}
+
+    def test_evaluate_mapping(self):
+        cnf = CNF(2, clauses=[[1, 2]])
+        assert cnf.evaluate({1: True, 2: False})
+        assert not cnf.evaluate({1: False, 2: False})
+
+    def test_evaluate_sequence_offset(self):
+        cnf = CNF(2, clauses=[[1, 2]])
+        assert cnf.evaluate([None, True, False])  # 1-indexed, length n+1
+        assert cnf.evaluate([True, False])  # 0-indexed, length n
+
+    def test_evaluate_xor(self):
+        cnf = CNF(2, xor_clauses=[XorClause((1, 2), True)])
+        assert cnf.evaluate({1: True, 2: False})
+        assert not cnf.evaluate({1: True, 2: True})
+
+    def test_evaluate_short_sequence_raises(self):
+        cnf = CNF(3, clauses=[[1]])
+        with pytest.raises(ValueError):
+            cnf.evaluate([True])
+
+    def test_project(self):
+        cnf = CNF(3, sampling_set=[1, 3])
+        model = {1: True, 2: False, 3: False}
+        assert cnf.project(model) == (1, -3)
+        assert cnf.project(model, [2]) == (-2,)
+
+
+class TestTransforms:
+    def test_copy_is_independent(self):
+        cnf = CNF(2, clauses=[[1, 2]], sampling_set=[1])
+        dup = cnf.copy()
+        dup.add_clause([-1])
+        assert len(cnf.clauses) == 1
+        assert dup.sampling_set == (1,)
+
+    def test_conjoined_with(self):
+        cnf = CNF(2, clauses=[[1, 2]])
+        out = cnf.conjoined_with(clauses=[[-1]], xors=[XorClause((2,), True)])
+        assert len(out.clauses) == 2
+        assert len(out.xor_clauses) == 1
+        assert len(cnf.clauses) == 1  # original untouched
+
+    def test_with_xors_expanded_equisatisfiable(self):
+        from repro.sat.brute import all_models
+
+        cnf = CNF(3, clauses=[[1, 2]], xor_clauses=[XorClause((1, 2, 3), True)])
+        expanded = cnf.with_xors_expanded()
+        assert expanded.num_xor_clauses == 0
+        original = {
+            tuple(m[v] for v in range(1, 4)) for m in all_models(cnf)
+        }
+        projected = {
+            tuple(m[v] for v in range(1, 4)) for m in all_models(expanded)
+        }
+        assert original == projected
+
+    def test_with_xors_expanded_false_constant(self):
+        from repro.sat.brute import is_satisfiable
+
+        cnf = CNF(1, clauses=[[1]])
+        cnf.add_xor(XorClause((), True))  # trivially false
+        expanded = cnf.with_xors_expanded()
+        assert not is_satisfiable(expanded)
+
+    def test_repr_mentions_shape(self):
+        cnf = CNF(2, clauses=[[1]], sampling_set=[1], name="x")
+        text = repr(cnf)
+        assert "vars=2" in text and "name='x'" in text

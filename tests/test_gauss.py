@@ -1,0 +1,100 @@
+"""GF(2) Gaussian elimination tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnf import XorClause, random_xor_system
+from repro.rng import RandomSource
+from repro.sat.brute import count_models
+from repro.sat.gauss import (
+    gaussian_eliminate,
+    sample_xor_solution,
+    xor_system_solutions,
+)
+
+
+class TestElimination:
+    def test_empty_system(self):
+        result = gaussian_eliminate([], 5)
+        assert result.rank == 0
+        assert result.solution_count() == 32
+
+    def test_single_constraint(self):
+        result = gaussian_eliminate([XorClause((1, 2), True)], 2)
+        assert result.rank == 1
+        assert result.solution_count() == 2
+
+    def test_inconsistent_detected(self):
+        xors = [XorClause((1, 2), True), XorClause((1, 2), False)]
+        result = gaussian_eliminate(xors, 2)
+        assert result.inconsistent
+        assert result.solution_count() == 0
+
+    def test_redundant_rows_do_not_raise_rank(self):
+        xors = [
+            XorClause((1, 2), True),
+            XorClause((2, 3), False),
+            XorClause((1, 3), True),  # = row1 + row2
+        ]
+        result = gaussian_eliminate(xors, 3)
+        assert result.rank == 2
+        assert not result.inconsistent
+
+    def test_units_extracted(self):
+        xors = [XorClause((1,), True), XorClause((1, 2), True)]
+        result = gaussian_eliminate(xors, 2)
+        assert result.units.get(1) is True
+
+    def test_reduced_rows_have_unique_pivots(self):
+        for seed in range(10):
+            cnf = random_xor_system(10, 7, rng=seed)
+            result = gaussian_eliminate(cnf.xor_clauses, 10)
+            pivots = [mask.bit_length() - 1 for mask, _ in result.rows]
+            assert len(pivots) == len(set(pivots)) == result.rank
+            # Reduced form: no pivot appears in any other row.
+            for i, (mask_i, _) in enumerate(result.rows):
+                for j, pivot in enumerate(pivots):
+                    if i != j:
+                        assert not (mask_i >> pivot) & 1
+
+
+class TestCountsAgainstBruteForce:
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_solution_count_matches(self, seed):
+        cnf = random_xor_system(8, 5, rng=seed)
+        assert xor_system_solutions(cnf.xor_clauses, 8) == count_models(cnf)
+
+
+class TestSampling:
+    def test_sample_satisfies_system(self):
+        rng = RandomSource(3)
+        cnf = random_xor_system(10, 5, rng=1)
+        expected = xor_system_solutions(cnf.xor_clauses, 10)
+        if expected == 0:
+            assert sample_xor_solution(cnf.xor_clauses, 10, rng) is None
+            return
+        for _ in range(30):
+            sol = sample_xor_solution(cnf.xor_clauses, 10, rng)
+            assert sol is not None
+            for xor in cnf.xor_clauses:
+                assert xor.evaluate(sol)
+
+    def test_sample_is_uniform_over_small_space(self):
+        from collections import Counter
+
+        rng = RandomSource(9)
+        xors = [XorClause((1, 2, 3), True)]  # 4 solutions
+        counts = Counter()
+        n = 4000
+        for _ in range(n):
+            sol = sample_xor_solution(xors, 3, rng)
+            counts[tuple(sol[v] for v in (1, 2, 3))] += 1
+        assert len(counts) == 4
+        for c in counts.values():
+            assert abs(c - n / 4) < 4 * (n / 4) ** 0.5  # ±4σ
+
+    def test_unsat_returns_none(self):
+        rng = RandomSource(0)
+        xors = [XorClause((), True)]
+        assert sample_xor_solution(xors, 3, rng) is None

@@ -1,0 +1,82 @@
+"""Tests for the structured/random formula generators."""
+
+import pytest
+
+from repro.cnf import (
+    chain_implication,
+    exactly_k_solutions_formula,
+    parity_funnel,
+    php,
+    random_ksat,
+    random_xor_system,
+)
+from repro.sat.brute import count_models, is_satisfiable
+from repro.sat.gauss import gaussian_eliminate
+
+
+class TestRandomKsat:
+    def test_shape(self):
+        cnf = random_ksat(10, 30, 3, rng=1)
+        assert cnf.num_vars == 10
+        assert len(cnf.clauses) == 30
+        assert all(len(c) == 3 for c in cnf.clauses)
+
+    def test_distinct_vars_per_clause(self):
+        cnf = random_ksat(6, 50, 3, rng=2)
+        for clause in cnf.clauses:
+            vars_ = [abs(l) for l in clause]
+            assert len(set(vars_)) == 3
+
+    def test_k_too_large(self):
+        with pytest.raises(ValueError):
+            random_ksat(2, 1, 3)
+
+    def test_reproducible(self):
+        assert random_ksat(8, 12, rng=7).clauses == random_ksat(8, 12, rng=7).clauses
+
+
+class TestXorSystems:
+    def test_random_xor_system_count_is_power_of_two_or_zero(self):
+        for seed in range(10):
+            cnf = random_xor_system(8, 4, rng=seed)
+            n = count_models(cnf)
+            assert n == 0 or (n & (n - 1)) == 0
+
+    def test_parity_funnel_always_sat(self):
+        for seed in range(10):
+            cnf = parity_funnel(10, rng=seed)
+            assert is_satisfiable(cnf)
+
+    def test_parity_funnel_count_matches_rank(self):
+        cnf = parity_funnel(10, rng=3)
+        reduced = gaussian_eliminate(cnf.xor_clauses, 10)
+        assert count_models(cnf) == 2 ** (10 - reduced.rank)
+
+
+class TestExactlyK:
+    @pytest.mark.parametrize("k", [0, 1, 5, 17, 128, 255, 256])
+    def test_count_is_exactly_k(self, k):
+        cnf = exactly_k_solutions_formula(8, k)
+        assert count_models(cnf) == k
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            exactly_k_solutions_formula(3, 9)
+        with pytest.raises(ValueError):
+            exactly_k_solutions_formula(3, -1)
+
+    def test_sampling_set_set(self):
+        cnf = exactly_k_solutions_formula(5, 10)
+        assert cnf.sampling_set == tuple(range(1, 6))
+
+
+class TestPhpAndChain:
+    def test_php_unsat_when_tight(self):
+        assert not is_satisfiable(php(4, 3))
+
+    def test_php_sat_when_roomy(self):
+        assert is_satisfiable(php(3, 4))
+
+    def test_chain_single_model(self):
+        cnf = chain_implication(12)
+        assert count_models(cnf) == 1

@@ -1,0 +1,129 @@
+"""Tests for the Hxor hash family: shape, statistics, prefix consistency."""
+
+import pytest
+
+from repro.hashing import HxorFamily
+from repro.rng import RandomSource
+
+
+class TestConstruction:
+    def test_vars_sorted_dedup(self):
+        family = HxorFamily([3, 1, 3])
+        assert family.variables == (1, 3)
+        assert family.n == 2
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(ValueError):
+            HxorFamily([1], density=0.0)
+        with pytest.raises(ValueError):
+            HxorFamily([1], density=1.5)
+
+    def test_rejects_nonpositive_vars(self):
+        with pytest.raises(ValueError):
+            HxorFamily([0, 1])
+
+    def test_negative_m_rejected(self):
+        with pytest.raises(ValueError):
+            HxorFamily([1, 2]).draw(-1, rng=0)
+
+
+class TestDrawShape:
+    def test_row_count(self):
+        family = HxorFamily(range(1, 11))
+        constraint = family.draw(4, rng=1)
+        assert constraint.num_rows == 4
+        assert len(constraint.xors) == 4
+
+    def test_rows_only_touch_family_vars(self):
+        family = HxorFamily([2, 5, 9])
+        constraint = family.draw(6, rng=2)
+        for xor in constraint.xors:
+            assert set(xor.vars) <= {2, 5, 9}
+
+    def test_expected_length_half_support(self):
+        """Avg XOR length ≈ n/2 — the 'Avg XOR len' claim of Tables 1/2."""
+        n = 40
+        family = HxorFamily(range(1, n + 1))
+        rng = RandomSource(7)
+        total, rows = 0.0, 0
+        for _ in range(200):
+            constraint = family.draw(5, rng)
+            total += sum(len(x) for x in constraint.xors)
+            rows += constraint.num_rows
+        mean = total / rows
+        assert abs(mean - n / 2) < 2.0  # ±2 vars at 1000 rows
+
+    def test_sparse_density_shortens_rows(self):
+        n = 40
+        rng = RandomSource(3)
+        sparse = HxorFamily(range(1, n + 1), density=0.1)
+        constraint = sparse.draw(50, rng)
+        assert constraint.average_xor_length() < n * 0.25
+
+    def test_average_length_empty(self):
+        family = HxorFamily([1, 2])
+        assert family.draw(0, rng=0).average_xor_length() == 0.0
+
+
+class TestStatisticalProperties:
+    def test_cell_membership_is_roughly_uniform(self):
+        """Each point lands in a fixed cell w.p. 2^-m over the h draw."""
+        n, m, trials = 8, 3, 1500
+        family = HxorFamily(range(1, n + 1))
+        rng = RandomSource(11)
+        point = {v: bool((v * 7) % 3 == 0) for v in range(1, n + 1)}
+        hits = 0
+        for _ in range(trials):
+            constraint = family.draw(m, rng)
+            if family.hash_of(constraint, point):
+                hits += 1
+        expected = trials / 2**m
+        assert abs(hits - expected) < 5 * expected**0.5
+
+    def test_pairwise_independence_of_cell_assignment(self):
+        """Two distinct points collide in the same cell w.p. 2^-m."""
+        n, m, trials = 8, 3, 2000
+        family = HxorFamily(range(1, n + 1))
+        rng = RandomSource(13)
+        p1 = {v: False for v in range(1, n + 1)}
+        p2 = {v: v == 1 for v in range(1, n + 1)}
+        collisions = 0
+        for _ in range(trials):
+            constraint = family.draw(m, rng)
+            h1 = tuple(x.evaluate(p1) for x in constraint.xors)
+            h2 = tuple(x.evaluate(p2) for x in constraint.xors)
+            if h1 == h2:
+                collisions += 1
+        expected = trials / 2**m
+        assert abs(collisions - expected) < 5 * expected**0.5
+
+
+class TestPrefix:
+    def test_prefix_slices_rows(self):
+        family = HxorFamily(range(1, 9))
+        matrix = family.draw_matrix(8, rng=5)
+        prefix = family.prefix(matrix, 3)
+        assert prefix.xors == matrix.xors[:3]
+
+    def test_prefix_too_long_raises(self):
+        family = HxorFamily(range(1, 5))
+        matrix = family.draw_matrix(2, rng=0)
+        with pytest.raises(ValueError):
+            family.prefix(matrix, 3)
+
+    def test_prefix_cells_are_monotone(self):
+        """|cell(i+1)| <= |cell(i)| — the ApproxMC2 galloping invariant."""
+        from itertools import product
+
+        n = 6
+        family = HxorFamily(range(1, n + 1))
+        matrix = family.draw_matrix(n, rng=17)
+        sizes = []
+        for i in range(n + 1):
+            count = 0
+            for bits in product([False, True], repeat=n):
+                assignment = dict(zip(range(1, n + 1), bits))
+                if all(x.evaluate(assignment) for x in matrix.xors[:i]):
+                    count += 1
+            sizes.append(count)
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))

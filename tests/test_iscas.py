@@ -1,0 +1,92 @@
+"""Tests for the ISCAS-style synthetic circuit generator and parity
+instrumentation."""
+
+import pytest
+
+from repro.circuits import (
+    add_parity_conditions,
+    encode_combinational,
+    iscas_parity_benchmark,
+    synthetic_sequential,
+)
+from repro.rng import RandomSource
+from repro.sat import Solver
+from repro.sat.brute import count_models
+
+
+class TestSyntheticSequential:
+    def test_shape(self):
+        c = synthetic_sequential("s", 5, 4, 30, 3, rng=1)
+        assert len(c.inputs) == 5
+        assert len(c.latches) == 4
+        assert len(c.gates) == 30
+        assert len(c.outputs) == 3
+
+    def test_validates(self):
+        c = synthetic_sequential("s", 4, 4, 25, 2, rng=2)
+        c.validate()  # should not raise
+
+    def test_reproducible(self):
+        a = synthetic_sequential("s", 4, 3, 20, 2, rng=7)
+        b = synthetic_sequential("s", 4, 3, 20, 2, rng=7)
+        assert [g.fanins for g in a.gates.values()] == [
+            g.fanins for g in b.gates.values()
+        ]
+        assert a.latches == b.latches
+
+    def test_next_state_points_at_gates(self):
+        c = synthetic_sequential("s", 4, 3, 20, 2, rng=3)
+        for d in c.latches.values():
+            assert d in c.gates or d in c.inputs
+
+    def test_simulation_runs(self):
+        rng = RandomSource(4)
+        c = synthetic_sequential("s", 3, 3, 18, 2, rng=rng)
+        seq = [{i: bool(rng.bit()) for i in c.inputs} for _ in range(5)]
+        trace = c.simulate(seq)
+        assert len(trace) == 5
+
+
+class TestParityConditions:
+    def test_instance_stays_sat(self):
+        for seed in range(6):
+            cnf = iscas_parity_benchmark(
+                "p", n_inputs=5, n_ffs=4, n_gates=30, n_outputs=3,
+                n_parity=3, seed=seed,
+            )
+            assert Solver(cnf, rng=seed).solve().status == "SAT"
+
+    def test_parity_conditions_cut_solution_space(self):
+        base_circuit = synthetic_sequential("c", 4, 3, 22, 3, rng=11)
+        enc = encode_combinational(base_circuit)
+        before = count_models(enc.cnf) if enc.cnf.num_vars <= 26 else None
+        constrained = add_parity_conditions(enc, base_circuit, 2, rng=11)
+        if before is not None:
+            after = count_models(constrained)
+            assert 0 < after <= before
+
+    def test_original_encoding_not_mutated(self):
+        circuit = synthetic_sequential("c", 4, 3, 20, 2, rng=12)
+        enc = encode_combinational(circuit)
+        n_xors = enc.cnf.num_xor_clauses
+        add_parity_conditions(enc, circuit, 3, rng=12)
+        assert enc.cnf.num_xor_clauses == n_xors
+
+    def test_requires_observation_points(self):
+        from repro.circuits import Circuit
+        from repro.circuits.encode import encode_combinational as enc_fn
+
+        c = Circuit("empty")
+        c.add_input("a")
+        c.add_gate("g", "not", ["a"])
+        encoding = enc_fn(c)
+        with pytest.raises(ValueError):
+            add_parity_conditions(encoding, c, 1, rng=1)
+
+    def test_sampling_set_preserved(self):
+        cnf = iscas_parity_benchmark(
+            "p", n_inputs=4, n_ffs=3, n_gates=25, n_outputs=2,
+            n_parity=2, seed=5,
+        )
+        assert cnf.sampling_set is not None
+        assert len(cnf.sampling_set) == 4 + 3  # inputs + flip-flops

@@ -1,0 +1,74 @@
+"""Tests for ComputeKappaPivot (Algorithm 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EPSILON_MIN, compute_kappa_pivot
+from repro.core.kappa_pivot import _epsilon_of_kappa
+from repro.errors import ToleranceError
+
+
+class TestValidation:
+    @pytest.mark.parametrize("eps", [0.0, 1.0, 1.70, 1.71])
+    def test_rejects_small_epsilon(self, eps):
+        with pytest.raises(ToleranceError):
+            compute_kappa_pivot(eps)
+
+    def test_epsilon_min_constant(self):
+        assert EPSILON_MIN == 1.71
+
+
+class TestSolution:
+    @given(eps=st.floats(min_value=1.72, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_kappa_solves_equation(self, eps):
+        kp = compute_kappa_pivot(eps)
+        assert 0.0 <= kp.kappa < 1.0
+        # (1+κ)(2.23 + 0.48/(1-κ)²) − 1 = ε
+        assert _epsilon_of_kappa(kp.kappa) == pytest.approx(eps, rel=1e-6)
+
+    @given(eps=st.floats(min_value=1.72, max_value=100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_pivot_formula(self, eps):
+        kp = compute_kappa_pivot(eps)
+        expected = math.ceil(3 * math.sqrt(math.e) * (1 + 1 / kp.kappa) ** 2)
+        assert kp.pivot == expected
+
+    @given(eps=st.floats(min_value=1.72, max_value=1e6))
+    @settings(max_examples=60, deadline=None)
+    def test_pivot_at_least_17(self, eps):
+        """Appendix: 'the expression ... ensures that pivot >= 17'."""
+        assert compute_kappa_pivot(eps).pivot >= 17
+
+    def test_paper_epsilon_six(self):
+        """The paper's experimental setting ε = 6."""
+        kp = compute_kappa_pivot(6.0)
+        assert 0.5 < kp.kappa < 0.6
+        assert kp.pivot == 40
+        assert kp.hi_thresh == 62
+        assert 25 < kp.lo_thresh < 27
+
+    def test_monotone_in_epsilon(self):
+        """Larger ε → larger κ → smaller pivot (cheaper cells)."""
+        kappas = [compute_kappa_pivot(e).kappa for e in (2.0, 4.0, 8.0, 16.0)]
+        assert kappas == sorted(kappas)
+        pivots = [compute_kappa_pivot(e).pivot for e in (2.0, 4.0, 8.0, 16.0)]
+        assert pivots == sorted(pivots, reverse=True)
+
+
+class TestThresholds:
+    @given(eps=st.floats(min_value=1.72, max_value=50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_threshold_relations(self, eps):
+        kp = compute_kappa_pivot(eps)
+        assert kp.hi_thresh == 1 + math.floor((1 + kp.kappa) * kp.pivot)
+        assert kp.lo_thresh == pytest.approx(kp.pivot / (1 + kp.kappa))
+        assert kp.lo_thresh < kp.pivot < kp.hi_thresh
+
+    def test_huge_epsilon_saturates(self):
+        kp = compute_kappa_pivot(1e9)
+        assert kp.kappa < 1.0
+        assert kp.pivot >= 17

@@ -1,0 +1,88 @@
+"""Unit tests for literal/variable helpers."""
+
+import pytest
+
+from repro.cnf.literals import (
+    check_clause,
+    clause_is_tautology,
+    is_positive,
+    lit_from,
+    lit_value,
+    max_var,
+    negate,
+    var_of,
+)
+
+
+class TestBasics:
+    def test_var_of_positive(self):
+        assert var_of(7) == 7
+
+    def test_var_of_negative(self):
+        assert var_of(-7) == 7
+
+    def test_is_positive(self):
+        assert is_positive(3)
+        assert not is_positive(-3)
+
+    def test_negate_roundtrip(self):
+        for lit in (1, -1, 42, -42):
+            assert negate(negate(lit)) == lit
+
+    def test_lit_from(self):
+        assert lit_from(5, True) == 5
+        assert lit_from(5, False) == -5
+
+    def test_lit_value(self):
+        assignment = {3: True, 4: False}
+        assert lit_value(3, assignment) is True
+        assert lit_value(-3, assignment) is False
+        assert lit_value(4, assignment) is False
+        assert lit_value(-4, assignment) is True
+
+    def test_lit_value_unassigned_raises(self):
+        with pytest.raises(KeyError):
+            lit_value(9, {})
+
+
+class TestCheckClause:
+    def test_normalizes_duplicates(self):
+        assert check_clause([1, 2, 1, 2, 3]) == (1, 2, 3)
+
+    def test_preserves_order(self):
+        assert check_clause([3, -1, 2]) == (3, -1, 2)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_clause([1, 0, 2])
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError):
+            check_clause([True, 2])
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ValueError):
+            check_clause(["a"])
+
+    def test_keeps_tautologies(self):
+        assert check_clause([1, -1]) == (1, -1)
+
+    def test_empty(self):
+        assert check_clause([]) == ()
+
+
+class TestTautologyAndMaxVar:
+    def test_tautology_detected(self):
+        assert clause_is_tautology([1, -1, 2])
+
+    def test_non_tautology(self):
+        assert not clause_is_tautology([1, 2, 3])
+
+    def test_empty_not_tautology(self):
+        assert not clause_is_tautology([])
+
+    def test_max_var(self):
+        assert max_var([1, -9, 3]) == 9
+
+    def test_max_var_empty(self):
+        assert max_var([]) == 0

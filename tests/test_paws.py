@@ -1,0 +1,71 @@
+"""Tests for the PAWS-style fixed-hash-size baseline."""
+
+import pytest
+
+from repro.cnf import CNF, exactly_k_solutions_formula
+from repro.core import PawsStyle
+from repro.errors import SamplingError
+from repro.stats import witness_key
+
+
+def instance(k=500, n=10):
+    cnf = exactly_k_solutions_formula(n, k)
+    cnf.sampling_set = range(1, n + 1)
+    return cnf
+
+
+class TestValidation:
+    def test_bucket_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PawsStyle(CNF(1, clauses=[[1]]), bucket=0)
+
+    def test_unsat_raises(self):
+        sampler = PawsStyle(CNF(1, clauses=[[1], [-1]]), rng=1)
+        with pytest.raises(SamplingError):
+            sampler.sample()
+
+
+class TestSampling:
+    def test_prepare_fixes_single_m(self):
+        sampler = PawsStyle(instance(), bucket=32, rng=1)
+        sampler.prepare()
+        assert sampler._m is not None
+        assert sampler.count_estimate is not None
+        # m ≈ log2(500) - log2(32) = 9 - 5 = 4 (give or take the estimate)
+        assert 2 <= sampler._m <= 6
+
+    def test_samples_are_witnesses(self):
+        cnf = instance()
+        sampler = PawsStyle(cnf, bucket=32, rng=2)
+        for witness in sampler.sample_many(20):
+            if witness is not None:
+                assert cnf.evaluate(witness)
+
+    def test_reasonable_success_with_good_bucket(self):
+        sampler = PawsStyle(instance(), bucket=32, rng=3)
+        sampler.sample_many(30)
+        assert sampler.stats.success_probability > 0.5
+
+    def test_tiny_bucket_degrades_success(self):
+        """The paper's criticism: the user parameter directly controls the
+        success probability.  bucket=1 demands singleton cells — rare."""
+        good = PawsStyle(instance(), bucket=32, rng=4)
+        good.sample_many(25)
+        bad = PawsStyle(instance(), bucket=1, rng=4)
+        bad.sample_many(25)
+        assert bad.stats.success_probability < good.stats.success_probability
+
+    def test_hashes_over_full_support_by_default(self):
+        sampler = PawsStyle(instance(500, 10), bucket=16, rng=5)
+        sampler.sample_many(10)
+        # |X| = 10 → expected xor length ≈ 5
+        assert sampler.stats.avg_xor_length > 3.0
+
+    def test_all_witnesses_reachable(self):
+        cnf = instance(48, 6)
+        sampler = PawsStyle(cnf, bucket=16, rng=6)
+        seen = set()
+        for witness in sampler.sample_many(1200):
+            if witness is not None:
+                seen.add(witness_key(witness, range(1, 7)))
+        assert len(seen) == 48

@@ -1,0 +1,98 @@
+"""Tests for the CNF simplifier and the RandomSource wrapper."""
+
+import pytest
+
+from repro.cnf import CNF, XorClause, simplify
+from repro.rng import RandomSource, as_random_source
+from repro.sat.brute import model_set
+
+
+class TestSimplify:
+    def test_unit_propagation(self):
+        cnf = CNF(3, clauses=[[1], [-1, 2], [-2, 3]])
+        result = simplify(cnf)
+        assert result.fixed == {1: True, 2: True, 3: True}
+        assert not result.unsat
+
+    def test_conflict_detected(self):
+        cnf = CNF(2, clauses=[[1], [-1]])
+        assert simplify(cnf).unsat
+
+    def test_tautologies_removed(self):
+        cnf = CNF(2, clauses=[[1, -1], [2, 1]])
+        result = simplify(cnf)
+        assert (2, 1) in result.cnf.clauses or (1, 2) in result.cnf.clauses
+        assert len(result.cnf.clauses) == 1
+
+    def test_xor_propagation(self):
+        cnf = CNF(3, clauses=[[1]])
+        cnf.add_xor(XorClause((1, 2), True))  # 2 = not 1 = False
+        result = simplify(cnf)
+        assert result.fixed[2] is False
+
+    def test_xor_conflict(self):
+        cnf = CNF(2, clauses=[[1], [2]])
+        cnf.add_xor(XorClause((1, 2), True))
+        assert simplify(cnf).unsat
+
+    def test_model_set_preserved(self):
+        for seed in range(10):
+            from repro.cnf import random_ksat
+
+            cnf = random_ksat(7, 18, 3, rng=seed)
+            result = simplify(cnf)
+            if result.unsat:
+                assert model_set(cnf) == set()
+            else:
+                assert model_set(result.cnf) == model_set(cnf)
+
+    def test_sampling_set_carried(self):
+        cnf = CNF(3, clauses=[[1, 2]], sampling_set=[1, 2])
+        assert simplify(cnf).cnf.sampling_set == (1, 2)
+
+    def test_duplicate_clauses_deduped(self):
+        cnf = CNF(2, clauses=[[1, 2], [2, 1], [1, 2]])
+        assert len(simplify(cnf).cnf.clauses) == 1
+
+
+class TestRandomSource:
+    def test_reproducible(self):
+        a, b = RandomSource(7), RandomSource(7)
+        assert [a.bits(16) for _ in range(5)] == [b.bits(16) for _ in range(5)]
+
+    def test_bit_is_binary(self):
+        rng = RandomSource(1)
+        assert set(rng.bit() for _ in range(100)) == {0, 1}
+
+    def test_bits_range(self):
+        rng = RandomSource(2)
+        for _ in range(50):
+            assert 0 <= rng.bits(10) < 1024
+        assert rng.bits(0) == 0
+
+    def test_bit_vector_length(self):
+        rng = RandomSource(3)
+        vec = rng.bit_vector(17)
+        assert len(vec) == 17
+        assert set(vec) <= {0, 1}
+
+    def test_subset_probability(self):
+        rng = RandomSource(4)
+        kept = rng.subset(range(10000), 0.3)
+        assert 2700 < len(kept) < 3300
+
+    def test_spawn_independent(self):
+        parent = RandomSource(5)
+        child = parent.spawn()
+        assert child.seed != parent.seed
+
+    def test_as_random_source(self):
+        src = RandomSource(9)
+        assert as_random_source(src) is src
+        assert isinstance(as_random_source(3), RandomSource)
+        assert isinstance(as_random_source(None), RandomSource)
+
+    def test_choice_and_sample(self):
+        rng = RandomSource(6)
+        assert rng.choice([42]) == 42
+        assert sorted(rng.sample(range(5), 5)) == [0, 1, 2, 3, 4]

@@ -1,0 +1,85 @@
+"""Property-based differential testing of the CDCL solver (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnf import CNF, XorClause
+from repro.sat import SAT, Solver
+from repro.sat.brute import is_satisfiable, model_set
+
+
+@st.composite
+def small_cnf(draw, max_vars=8, max_clauses=14, max_xors=3):
+    n = draw(st.integers(min_value=1, max_value=max_vars))
+    cnf = CNF(n)
+    lit = st.integers(min_value=1, max_value=n).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    n_clauses = draw(st.integers(min_value=0, max_value=max_clauses))
+    for _ in range(n_clauses):
+        cnf.add_clause(draw(st.lists(lit, min_size=1, max_size=4, unique=True)))
+    n_xors = draw(st.integers(min_value=0, max_value=max_xors))
+    for _ in range(n_xors):
+        vs = draw(
+            st.lists(
+                st.integers(min_value=1, max_value=n),
+                min_size=1,
+                max_size=n,
+                unique=True,
+            )
+        )
+        cnf.add_xor(XorClause.from_vars(vs, draw(st.booleans())))
+    return cnf
+
+
+class TestSolverAgainstBruteForce:
+    @given(cnf=small_cnf(), seed=st.integers(0, 2**16))
+    @settings(max_examples=150, deadline=None)
+    def test_status_matches_brute_force(self, cnf, seed):
+        want = is_satisfiable(cnf)
+        result = Solver(cnf, rng=seed).solve()
+        assert (result.status == SAT) == want
+
+    @given(cnf=small_cnf(), seed=st.integers(0, 2**16))
+    @settings(max_examples=100, deadline=None)
+    def test_models_are_genuine(self, cnf, seed):
+        result = Solver(cnf, rng=seed).solve()
+        if result.status == SAT:
+            assert cnf.evaluate(result.model)
+
+    @given(cnf=small_cnf(max_vars=6, max_clauses=8, max_xors=2),
+           seed=st.integers(0, 2**10))
+    @settings(max_examples=60, deadline=None)
+    def test_blocking_enumeration_finds_every_model(self, cnf, seed):
+        """Enumerating with full-width blocking clauses recovers the exact
+        model set — exercises incremental clause addition heavily."""
+        truth = model_set(cnf)
+        solver = Solver(cnf, rng=seed)
+        found = set()
+        for _ in range(len(truth) + 1):
+            result = solver.solve()
+            if result.status != SAT:
+                break
+            key = tuple(
+                v if result.model[v] else -v for v in range(1, cnf.num_vars + 1)
+            )
+            assert key not in found
+            found.add(key)
+            solver.add_clause([-l for l in key])
+        assert found == truth
+
+    @given(cnf=small_cnf(max_vars=6), seed=st.integers(0, 2**10),
+           assumption_var=st.integers(min_value=1, max_value=6),
+           assumption_sign=st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_assumptions_match_conditioning(self, cnf, seed, assumption_var,
+                                            assumption_sign):
+        """Solving under assumption [l] agrees with solving F ∧ l."""
+        if assumption_var > cnf.num_vars:
+            assumption_var = cnf.num_vars
+        lit = assumption_var if assumption_sign else -assumption_var
+        conditioned = cnf.copy()
+        conditioned.add_clause([lit])
+        want = is_satisfiable(conditioned)
+        result = Solver(cnf, rng=seed).solve(assumptions=[lit])
+        assert (result.status == SAT) == want

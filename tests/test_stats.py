@@ -1,0 +1,129 @@
+"""Tests for the uniformity statistics module."""
+
+import math
+
+import pytest
+
+from repro.rng import RandomSource
+from repro.stats import (
+    chi_square_uniform,
+    empirical_distribution,
+    kl_from_uniform,
+    occurrence_histogram,
+    theorem1_envelope,
+    total_variation_from_uniform,
+    witness_key,
+)
+
+
+class TestOccurrenceHistogram:
+    def test_basic(self):
+        draws = ["a", "a", "b", "c", "c", "c"]
+        assert occurrence_histogram(draws) == {1: 1, 2: 1, 3: 1}
+
+    def test_universe_adds_zero_bucket(self):
+        draws = ["a", "a", "b"]
+        hist = occurrence_histogram(draws, universe_size=5)
+        assert hist[0] == 3
+        assert hist[1] == 1
+        assert hist[2] == 1
+
+    def test_universe_too_small_raises(self):
+        with pytest.raises(ValueError):
+            occurrence_histogram(["a", "b"], universe_size=1)
+
+    def test_histogram_mass_conserved(self):
+        rng = RandomSource(1)
+        draws = [rng.randint(0, 19) for _ in range(500)]
+        hist = occurrence_histogram(draws, universe_size=20)
+        assert sum(hist.values()) == 20
+        assert sum(c * n for c, n in hist.items()) == 500
+
+
+class TestChiSquare:
+    def test_uniform_draws_accepted(self):
+        rng = RandomSource(2)
+        draws = [rng.randint(0, 49) for _ in range(5000)]
+        result = chi_square_uniform(draws, 50)
+        assert result.dof == 49
+        assert not result.rejects_uniformity(alpha=0.001)
+
+    def test_skewed_draws_rejected(self):
+        draws = [0] * 500 + [1] * 100 + [2] * 10
+        result = chi_square_uniform(draws, 10)
+        assert result.rejects_uniformity()
+
+    def test_universe_validation(self):
+        with pytest.raises(ValueError):
+            chi_square_uniform([1, 2, 3], 2)
+        with pytest.raises(ValueError):
+            chi_square_uniform([0], 1)
+
+    def test_statistic_definition(self):
+        # 2 cells, 10 draws: 7/3 split -> chi2 = (7-5)^2/5 + (3-5)^2/5 = 1.6
+        draws = [0] * 7 + [1] * 3
+        result = chi_square_uniform(draws, 2)
+        assert result.statistic == pytest.approx(1.6)
+
+
+class TestDistances:
+    def test_empirical_distribution_sums_to_one(self):
+        dist = empirical_distribution(["x", "y", "x"])
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert dist["x"] == pytest.approx(2 / 3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_distribution([])
+
+    def test_kl_zero_for_exact_uniform(self):
+        draws = list(range(10)) * 10
+        assert kl_from_uniform(draws, 10) == pytest.approx(0.0, abs=1e-12)
+
+    def test_kl_positive_for_skew(self):
+        draws = [0] * 90 + [1] * 10
+        assert kl_from_uniform(draws, 2) > 0.5
+
+    def test_tv_bounds(self):
+        draws = [0] * 100
+        tv = total_variation_from_uniform(draws, 4)
+        assert tv == pytest.approx(0.75)  # point mass vs uniform over 4
+
+    def test_tv_zero_for_exact_uniform(self):
+        draws = list(range(8)) * 5
+        assert total_variation_from_uniform(draws, 8) == pytest.approx(0.0)
+
+
+class TestEnvelope:
+    def test_uniform_within_envelope(self):
+        draws = list(range(20)) * 50
+        check = theorem1_envelope(draws, 20, epsilon=1.72)
+        assert check.ok
+        assert check.max_ratio == pytest.approx(19 / 20)
+
+    def test_hoarding_violates(self):
+        draws = [0] * 900 + list(range(1, 11)) * 10
+        check = theorem1_envelope(draws, 11, epsilon=2.0)
+        assert not check.ok
+        witness, freq, lo, hi = check.violations[0]
+        assert witness == 0
+        assert freq > hi
+
+    def test_slack_loosens(self):
+        draws = [0] * 60 + [1] * 40
+        tight = theorem1_envelope(draws, 2, epsilon=1.72, slack=0.0)
+        loose = theorem1_envelope(draws, 2, epsilon=1.72, slack=5.0)
+        assert loose.ok or len(loose.violations) <= len(tight.violations)
+
+
+class TestWitnessKey:
+    def test_projection(self):
+        model = {1: True, 2: False, 3: True}
+        assert witness_key(model, [3, 1]) == (1, 3)
+        assert witness_key(model, [2]) == (-2,)
+
+    def test_keys_hashable_and_distinct(self):
+        a = witness_key({1: True, 2: False}, [1, 2])
+        b = witness_key({1: True, 2: True}, [1, 2])
+        assert a != b
+        assert len({a, b}) == 2

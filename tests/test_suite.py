@@ -1,0 +1,80 @@
+"""Benchmark suite tests: every registry row builds, is SAT, and its
+sampling set is a genuine independent support."""
+
+import pytest
+
+from repro.sat import Solver
+from repro.suite import build, build_figure1, entries, get, table1_entries
+from repro.support import is_independent_support
+
+
+ALL_NAMES = [e.name for e in entries()]
+
+
+class TestRegistry:
+    def test_registry_matches_paper_table2_rows(self):
+        assert len(entries()) == 31  # Table 2 of the paper has 31 rows
+
+    def test_table1_is_subset(self):
+        t1 = {e.name for e in table1_entries()}
+        assert t1 <= set(ALL_NAMES)
+        assert len(t1) == 12  # Table 1 of the paper has 12 rows
+
+    def test_paper_reference_attached(self):
+        inst = build("squaring7", "quick")
+        assert inst.paper_reference["num_vars"] == 1628
+        assert inst.paper_reference["support_size"] == 72
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get("nonexistent")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            get("squaring7").build("huge")
+
+    def test_builds_are_reproducible(self):
+        a = build("case121", "quick")
+        b = build("case121", "quick")
+        assert a.cnf.clauses == b.cnf.clauses
+        assert a.cnf.xor_clauses == b.cnf.xor_clauses
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEveryInstance:
+    def test_satisfiable_with_declared_sampling_set(self, name):
+        inst = build(name, "quick")
+        assert inst.cnf.sampling_set, name
+        result = Solver(inst.cnf, rng=1).solve()
+        assert result.status == "SAT", name
+        assert inst.cnf.evaluate(result.model)
+
+    def test_profile_shape(self, name):
+        """The paper's structural asymmetry: |S| < |X|."""
+        inst = build(name, "quick")
+        assert len(inst.sampling_set) < inst.num_vars
+
+
+# Independent-support verification is quadratic in formula size, so run it
+# on a representative slice rather than all 31 rows.
+@pytest.mark.parametrize(
+    "name",
+    ["case121", "s526_3_2", "LoginService2", "EnqueueSeqSK", "TreeMax", "Sort"],
+)
+def test_sampling_set_is_independent_support(name):
+    inst = build(name, "quick")
+    assert is_independent_support(inst.cnf, inst.sampling_set), name
+
+
+class TestFigure1Fixture:
+    def test_power_of_two_count(self):
+        from repro.counting import count_models_exact
+
+        inst = build_figure1("quick")
+        count = count_models_exact(inst.cnf)
+        assert count > 0
+        assert (count & (count - 1)) == 0  # exact power of two
+
+    def test_sampling_set_independent(self):
+        inst = build_figure1("quick")
+        assert is_independent_support(inst.cnf, inst.sampling_set)

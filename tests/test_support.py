@@ -1,0 +1,92 @@
+"""Independent-support detection and MIS extraction tests."""
+
+import pytest
+
+from repro.cnf import CNF, Var, tseitin_encode
+from repro.circuits import Netlist, encode_combinational
+from repro.support import find_independent_support, is_independent_support
+
+
+class TestIsIndependentSupport:
+    def test_full_set_always_independent(self):
+        cnf = CNF(3, clauses=[[1, 2], [-2, 3]])
+        assert is_independent_support(cnf, [1, 2, 3])
+
+    def test_paper_example(self):
+        """(a ∨ ¬b) ∧ (¬a ∨ b) from Section 2: {a}, {b}, {a,b} are all
+        independent supports."""
+        cnf = CNF(2, clauses=[[1, -2], [-1, 2]])
+        assert is_independent_support(cnf, [1])
+        assert is_independent_support(cnf, [2])
+        assert is_independent_support(cnf, [1, 2])
+        assert not is_independent_support(cnf, [])
+
+    def test_free_variable_breaks_independence(self):
+        cnf = CNF(2, clauses=[[1]])  # var 2 free
+        assert not is_independent_support(cnf, [1])
+        assert is_independent_support(cnf, [1, 2])
+
+    def test_xor_defined_variable_is_dependent(self):
+        cnf = CNF(3)
+        cnf.add_xor([1, 2, 3], rhs=False)  # x3 = x1 ^ x2
+        assert is_independent_support(cnf, [1, 2])
+        assert not is_independent_support(cnf, [1])
+
+    def test_tseitin_inputs_are_independent(self):
+        """Section 4's motivating fact: Tseitin aux vars form a dependent
+        support; the original variables an independent one."""
+        a, b, c = Var("a"), Var("b"), Var("c")
+        result = tseitin_encode((a & b) | (b ^ c))
+        inputs = sorted(result.var_map.values())
+        assert is_independent_support(result.cnf, inputs)
+
+    def test_circuit_inputs_are_independent(self):
+        nl = Netlist("t")
+        xs = nl.inputs("x", 4)
+        nl.outputs([nl.and_(nl.xor(xs[0], xs[1]), nl.or_(xs[2], xs[3]))])
+        enc = encode_combinational(nl.circuit)
+        assert is_independent_support(enc.cnf, enc.cnf.sampling_set)
+
+
+class TestFindIndependentSupport:
+    def test_reduces_equivalence(self):
+        cnf = CNF(2, clauses=[[1, -2], [-1, 2]])  # a <-> b
+        mis = find_independent_support(cnf, rng=1)
+        assert len(mis) == 1
+
+    def test_result_is_independent(self):
+        cnf = CNF(4)
+        cnf.add_xor([1, 2, 3], rhs=False)
+        cnf.add_clause([1, 4])
+        mis = find_independent_support(cnf, rng=2)
+        assert is_independent_support(cnf, mis)
+
+    def test_minimality(self):
+        """No single variable can be dropped from the returned set."""
+        cnf = CNF(3)
+        cnf.add_xor([1, 2, 3], rhs=True)
+        mis = find_independent_support(cnf, rng=3)
+        assert is_independent_support(cnf, mis)
+        for v in mis:
+            smaller = [u for u in mis if u != v]
+            assert not is_independent_support(cnf, smaller)
+
+    def test_tseitin_shrinks_to_inputs_or_fewer(self):
+        a, b = Var("a"), Var("b")
+        result = tseitin_encode((a ^ b) | (a & b))
+        mis = find_independent_support(result.cnf, rng=4)
+        assert len(mis) <= len(result.var_map)
+        assert is_independent_support(result.cnf, mis)
+
+    def test_start_set_respected(self):
+        cnf = CNF(3)
+        cnf.add_xor([1, 2, 3], rhs=False)
+        mis = find_independent_support(cnf, start=[1, 2], rng=5)
+        assert set(mis) <= {1, 2}
+        assert is_independent_support(cnf, mis)
+
+    def test_unshuffled_deterministic(self):
+        cnf = CNF(2, clauses=[[1, -2], [-1, 2]])
+        a = find_independent_support(cnf, rng=1, shuffle=False)
+        b = find_independent_support(cnf, rng=99, shuffle=False)
+        assert a == b

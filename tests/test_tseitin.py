@@ -1,0 +1,127 @@
+"""Tseitin encoder tests: equisatisfiability and independent-support claims."""
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnf import Const, Op, Var, and_, evaluate_expr, or_, tseitin_encode, xor_
+from repro.sat.brute import all_models
+
+
+def _input_names(expr):
+    if isinstance(expr, Var):
+        return {expr.name}
+    if isinstance(expr, Op):
+        out = set()
+        for a in expr.args:
+            out |= _input_names(a)
+        return out
+    return set()
+
+
+def _check_encoding(expr):
+    """The CNF's models, projected on inputs, are exactly expr's models."""
+    result = tseitin_encode(expr)
+    names = sorted(_input_names(expr))
+    cnf_models = set()
+    for model in all_models(result.cnf):
+        cnf_models.add(tuple(model[result.var_map[n]] for n in names))
+    expr_models = set()
+    for bits in product([False, True], repeat=len(names)):
+        env = dict(zip(names, bits))
+        if evaluate_expr(expr, env):
+            expr_models.add(bits)
+    assert cnf_models == expr_models
+    # Each projection extends uniquely: inputs form an independent support.
+    assert len(list(all_models(result.cnf))) == len(cnf_models)
+
+
+a, b, c = Var("a"), Var("b"), Var("c")
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            a & b,
+            a | b,
+            a ^ b,
+            ~a,
+            a >> b,
+            a.iff(b),
+            a.ite(b, c),
+            and_(a, b, c),
+            or_(a, b, c),
+            xor_(a, b, c),
+            (a & b) | (~a & c),
+            (a ^ b).iff(c),
+            ~(a | b) & (c ^ a),
+        ],
+    )
+    def test_encoding_correct(self, expr):
+        _check_encoding(expr)
+
+    def test_constants(self):
+        _check_encoding(a & Const(True))
+        _check_encoding(a | Const(False))
+
+    def test_sampling_set_is_inputs(self):
+        result = tseitin_encode((a & b) | c)
+        assert set(result.cnf.sampling_set) == set(result.var_map.values())
+
+    def test_structural_sharing(self):
+        shared = a & b
+        result = tseitin_encode(shared | shared)
+        # (a&b) encoded once: 1 and-gate + 1 or-gate + 2 inputs + root unit
+        and_clauses = [cl for cl in result.cnf.clauses if len(cl) == 3]
+        assert result.cnf.num_vars == 4  # a, b, and, or
+
+    def test_assert_root_false(self):
+        result = tseitin_encode(a & ~a, assert_root=False)
+        # Without asserting the root, the CNF is satisfiable.
+        assert len(list(all_models(result.cnf))) > 0
+
+    def test_contradiction_unsat(self):
+        result = tseitin_encode(a & ~a)
+        assert list(all_models(result.cnf)) == []
+
+
+class TestOpValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Op("nand", (a, b))
+
+    def test_bad_arity(self):
+        with pytest.raises(ValueError):
+            Op("not", (a, b))
+        with pytest.raises(ValueError):
+            Op("ite", (a, b))
+        with pytest.raises(ValueError):
+            Op("and", ())
+
+
+@st.composite
+def random_expr(draw, depth=3):
+    names = ("p", "q", "r", "s")
+    if depth == 0 or draw(st.integers(0, 3)) == 0:
+        return Var(draw(st.sampled_from(names)))
+    kind = draw(st.sampled_from(["and", "or", "xor", "not", "iff", "ite"]))
+    if kind == "not":
+        return Op("not", (draw(random_expr(depth=depth - 1)),))
+    if kind == "ite":
+        args = tuple(draw(random_expr(depth=depth - 1)) for _ in range(3))
+        return Op("ite", args)
+    if kind == "iff":
+        args = tuple(draw(random_expr(depth=depth - 1)) for _ in range(2))
+        return Op("iff", args)
+    n = draw(st.integers(2, 3))
+    return Op(kind, tuple(draw(random_expr(depth=depth - 1)) for _ in range(n)))
+
+
+class TestPropertyBased:
+    @given(expr=random_expr())
+    @settings(max_examples=40, deadline=None)
+    def test_random_expressions_encode_correctly(self, expr):
+        _check_encoding(expr)

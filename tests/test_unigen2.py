@@ -1,0 +1,112 @@
+"""Tests for the UniGen2-style batched sampler (extension feature)."""
+
+import math
+
+import pytest
+
+from repro.cnf import exactly_k_solutions_formula
+from repro.core import UniGen, UniGen2
+from repro.stats import theorem1_envelope, witness_key
+
+
+def instance(k=600, n=11):
+    cnf = exactly_k_solutions_formula(n, k)
+    cnf.sampling_set = range(1, n + 1)
+    return cnf
+
+
+class TestBatching:
+    def test_batch_size_is_ceil_lothresh(self):
+        sampler = UniGen2(instance(), epsilon=6.0, rng=1)
+        assert sampler.batch_size() == math.ceil(sampler.kp.lo_thresh)
+
+    def test_batch_members_are_witnesses(self):
+        cnf = instance()
+        sampler = UniGen2(cnf, epsilon=6.0, rng=2)
+        batch = sampler.sample_batch()
+        assert batch, "first batch should succeed on this instance"
+        for witness in batch:
+            assert cnf.evaluate(witness)
+
+    def test_batch_members_distinct_on_sampling_set(self):
+        cnf = instance()
+        sampler = UniGen2(cnf, epsilon=6.0, rng=3)
+        batch = sampler.sample_batch()
+        keys = [witness_key(w, range(1, 12)) for w in batch]
+        assert len(keys) == len(set(keys))
+
+    def test_batch_size_reached_on_large_cells(self):
+        sampler = UniGen2(instance(), epsilon=6.0, rng=4)
+        batch = sampler.sample_batch()
+        # Accepted cells have >= loThresh members, so a successful batch is
+        # exactly batch_size() long.
+        assert len(batch) == sampler.batch_size()
+
+    def test_easy_case_batches(self):
+        cnf = exactly_k_solutions_formula(6, 20)
+        sampler = UniGen2(cnf, epsilon=6.0, rng=5)
+        batch = sampler.sample_batch()
+        assert len(batch) == sampler.batch_size()
+        for witness in batch:
+            assert cnf.evaluate(witness)
+
+    def test_sample_stream_collects_n(self):
+        sampler = UniGen2(instance(), epsilon=6.0, rng=6)
+        stream = sampler.sample_stream(100)
+        assert len(stream) == 100
+
+    def test_sample_stream_respects_max_attempts(self):
+        sampler = UniGen2(instance(), epsilon=6.0, rng=7)
+        stream = sampler.sample_stream(10_000, max_attempts=3)
+        assert len(stream) <= 3 * sampler.batch_size()
+
+    def test_single_sample_api_still_works(self):
+        cnf = instance()
+        sampler = UniGen2(cnf, epsilon=6.0, rng=8)
+        witness = sampler.sample()
+        if witness is not None:
+            assert cnf.evaluate(witness)
+
+
+class TestThroughput:
+    def test_fewer_bsat_calls_per_witness_than_unigen(self):
+        """The point of UniGen2: amortize one cell over many witnesses."""
+        n_witnesses = 60
+        cnf = instance()
+
+        one = UniGen(cnf, epsilon=6.0, rng=9)
+        got = 0
+        while got < n_witnesses:
+            if one.sample() is not None:
+                got += 1
+        calls_unigen = one.stats.bsat_calls
+
+        two = UniGen2(cnf, epsilon=6.0, rng=9)
+        stream = two.sample_stream(n_witnesses)
+        assert len(stream) == n_witnesses
+        calls_unigen2 = two.stats.bsat_calls
+
+        assert calls_unigen2 * 3 < calls_unigen
+
+
+class TestMarginalUniformity:
+    def test_pooled_stream_within_envelope(self):
+        """Each witness is marginally almost-uniform; pooling batches over
+        many cells must stay inside the Theorem 1 envelope."""
+        cnf = exactly_k_solutions_formula(8, 96)
+        svars = list(range(1, 9))
+        cnf.sampling_set = svars
+        sampler = UniGen2(cnf, epsilon=6.0, rng=10)
+        stream = sampler.sample_stream(3000)
+        keys = [witness_key(w, svars) for w in stream]
+        check = theorem1_envelope(keys, 96, epsilon=6.0, slack=0.6)
+        assert check.ok, check.violations[:5]
+
+    def test_every_witness_reachable(self):
+        cnf = exactly_k_solutions_formula(7, 80)
+        svars = list(range(1, 8))
+        cnf.sampling_set = svars
+        sampler = UniGen2(cnf, epsilon=6.0, rng=11)
+        stream = sampler.sample_stream(3000)
+        keys = {witness_key(w, svars) for w in stream}
+        assert len(keys) == 80

@@ -1,0 +1,135 @@
+"""Statistical verification of Theorem 1 (experiment E4 in DESIGN.md).
+
+Theorem 1: for every witness y (ε > 1.71, S an independent support),
+
+    1/((1+ε)(|R_F|−1)) ≤ Pr[UniGen(F,ε,S) = y] ≤ (1+ε)/(|R_F|−1),
+
+with success probability ≥ 0.62.  We draw many samples on formulas with
+brute-force-known witness sets and check (a) the per-witness frequency
+envelope with sampling-noise slack, (b) the success probability, and (c)
+closeness to the uniform oracle's χ² behaviour.  These are randomized tests
+with fixed seeds — deterministic given the RNG implementation.
+"""
+
+import math
+
+import pytest
+
+from repro.cnf import CNF, exactly_k_solutions_formula
+from repro.circuits import encode_combinational, Netlist
+from repro.core import EnumerativeUniformSampler, UniGen
+from repro.stats import chi_square_uniform, theorem1_envelope, witness_key
+
+
+def draw_keys(sampler, svars, n):
+    keys = []
+    failures = 0
+    for _ in range(n):
+        witness = sampler.sample()
+        if witness is None:
+            failures += 1
+        else:
+            keys.append(witness_key(witness, svars))
+    return keys, failures
+
+
+class TestTheorem1Envelope:
+    def test_envelope_on_exact_count_formula(self):
+        """96 witnesses, 3000 draws: every frequency inside the ε=6 envelope
+        (with 50% noise slack; the envelope itself is 7x wide)."""
+        cnf = exactly_k_solutions_formula(8, 96)
+        svars = list(range(1, 9))
+        cnf.sampling_set = svars
+        sampler = UniGen(cnf, epsilon=6.0, rng=606)
+        keys, failures = draw_keys(sampler, svars, 3000)
+        assert len(keys) >= 0.62 * 3000
+        check = theorem1_envelope(keys, 96, epsilon=6.0, slack=0.5)
+        assert check.ok, check.violations[:5]
+
+    def test_envelope_on_circuit_benchmark(self):
+        """Tseitin-encoded circuit: S = inputs is an independent support."""
+        nl = Netlist("env")
+        xs = nl.inputs("x", 7)
+        # A loose constraint: not all inputs zero.
+        nl.outputs([nl.or_(*xs)])
+        enc = encode_combinational(nl.circuit)
+        cnf = enc.cnf
+        cnf.add_unit(enc.lit(nl.circuit.outputs[0], True))
+        svars = list(cnf.sampling_set)
+        universe = 2**7 - 1  # 127 witnesses
+        sampler = UniGen(cnf, epsilon=6.0, rng=707)
+        keys, _ = draw_keys(sampler, svars, 2500)
+        check = theorem1_envelope(keys, universe, epsilon=6.0, slack=0.5)
+        assert check.ok, check.violations[:5]
+        # All witnesses satisfy the constraint (sanity).
+        assert len(set(keys)) <= universe
+
+    def test_every_witness_reachable(self):
+        """With enough draws every witness of a small space appears —
+        implied by the Theorem 1 lower bound."""
+        cnf = exactly_k_solutions_formula(7, 80)
+        svars = list(range(1, 8))
+        cnf.sampling_set = svars
+        sampler = UniGen(cnf, epsilon=6.0, rng=808)
+        keys, _ = draw_keys(sampler, svars, 4000)
+        # Lower bound ⇒ each witness has prob ≥ 1/(7·79) ≈ 0.0018;
+        # P(missed in ~4000 draws) < 0.001 each, union ≈ 0.06.
+        assert len(set(keys)) == 80
+
+    def test_success_probability_bound(self):
+        cnf = exactly_k_solutions_formula(9, 300)
+        cnf.sampling_set = range(1, 10)
+        sampler = UniGen(cnf, epsilon=6.0, rng=909)
+        sampler.sample_many(300)
+        assert sampler.stats.success_probability >= 0.62
+
+
+class TestAgainstUniformOracle:
+    def test_chi_square_comparable_to_oracle(self):
+        """UniGen's χ² statistic is within a small factor of the exactly
+        uniform oracle's — the quantitative form of Figure 1's 'can hardly
+        be distinguished'."""
+        cnf = exactly_k_solutions_formula(7, 64)
+        svars = list(range(1, 8))
+        cnf.sampling_set = svars
+        n = 3200
+
+        unigen = UniGen(cnf, epsilon=6.0, rng=2014)
+        ug_keys, _ = draw_keys(unigen, svars, n)
+
+        oracle = EnumerativeUniformSampler(cnf, rng=2015)
+        or_keys, _ = draw_keys(oracle, svars, n)
+
+        ug_chi = chi_square_uniform(ug_keys, 64)
+        or_chi = chi_square_uniform(or_keys, 64)
+        # χ² of a perfect sampler concentrates near dof=63 ± ~11; UniGen with
+        # ε = 6 must not blow past a few times that.
+        assert ug_chi.statistic < 3 * max(or_chi.statistic, 63.0)
+
+    def test_no_witness_hoarding(self):
+        """No single witness may dominate: max frequency ≤ (1+ε)/( |R|−1 )
+        plus noise — the Theorem 1 upper bound, checked at its extreme."""
+        cnf = exactly_k_solutions_formula(6, 40)
+        svars = list(range(1, 7))
+        cnf.sampling_set = svars
+        sampler = UniGen(cnf, epsilon=6.0, rng=31)
+        keys, _ = draw_keys(sampler, svars, 2000)
+        from collections import Counter
+
+        top = Counter(keys).most_common(1)[0][1] / len(keys)
+        bound = (1 + 6.0) / (40 - 1)
+        assert top <= bound * 1.5
+
+
+class TestToleranceKnob:
+    @pytest.mark.parametrize("epsilon", [2.0, 6.0, 20.0])
+    def test_envelope_scales_with_epsilon(self, epsilon):
+        """The ε knob (Section 4, 'Trading scalability with uniformity')
+        must hold its own envelope at each setting."""
+        cnf = exactly_k_solutions_formula(7, 100)
+        svars = list(range(1, 8))
+        cnf.sampling_set = svars
+        sampler = UniGen(cnf, epsilon=epsilon, rng=int(epsilon * 100))
+        keys, _ = draw_keys(sampler, svars, 1500)
+        check = theorem1_envelope(keys, 100, epsilon=epsilon, slack=0.6)
+        assert check.ok, check.violations[:3]

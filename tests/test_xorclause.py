@@ -1,0 +1,121 @@
+"""Unit and property tests for XOR clauses and their CNF expansion."""
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnf.xor import XorClause, xor_to_cnf
+
+
+class TestConstruction:
+    def test_from_literals_folds_negations(self):
+        # ¬a ⊕ b = 1 is a ⊕ b = 0
+        x = XorClause.from_literals([-1, 2], True)
+        assert x.vars == (1, 2)
+        assert x.rhs is False
+
+    def test_from_literals_cancels_duplicates(self):
+        x = XorClause.from_literals([1, 1, 2], True)
+        assert x.vars == (2,)
+        assert x.rhs is True
+
+    def test_double_negation_cancels(self):
+        x = XorClause.from_literals([-1, -1, 2], True)
+        assert x.vars == (2,)
+        assert x.rhs is True  # two flips cancel
+
+    def test_rejects_zero_literal(self):
+        with pytest.raises(ValueError):
+            XorClause.from_literals([0], True)
+
+    def test_rejects_nonpositive_vars(self):
+        with pytest.raises(ValueError):
+            XorClause((-1, 2), True)
+
+    def test_sorts_vars(self):
+        x = XorClause.from_vars([5, 1, 3], False)
+        assert x.vars == (1, 3, 5)
+
+    def test_trivial_cases(self):
+        assert XorClause((), False).is_trivially_true()
+        assert XorClause((), True).is_trivially_false()
+
+
+class TestEvaluate:
+    def test_evaluate_all_patterns(self):
+        x = XorClause.from_vars([1, 2, 3], True)
+        for bits in product([False, True], repeat=3):
+            assignment = {v: bits[v - 1] for v in (1, 2, 3)}
+            expected = (bits[0] ^ bits[1] ^ bits[2]) is True
+            assert x.evaluate(assignment) == expected
+
+
+class TestCnfExpansion:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    @pytest.mark.parametrize("rhs", [False, True])
+    def test_expansion_matches_semantics(self, k, rhs):
+        x = XorClause.from_vars(list(range(1, k + 1)), rhs)
+        clauses = list(x.to_cnf_clauses())
+        assert len(clauses) == 2 ** (k - 1)
+        for bits in product([False, True], repeat=k):
+            assignment = {v: bits[v - 1] for v in range(1, k + 1)}
+            cnf_value = all(
+                any(assignment[abs(l)] == (l > 0) for l in clause)
+                for clause in clauses
+            )
+            assert cnf_value == x.evaluate(assignment)
+
+    def test_empty_true_is_satisfiable_nothing(self):
+        assert list(XorClause((), False).to_cnf_clauses()) == []
+
+    def test_empty_false_gives_empty_clause(self):
+        assert list(XorClause((), True).to_cnf_clauses()) == [()]
+
+
+class TestCutting:
+    @given(
+        k=st.integers(min_value=1, max_value=12),
+        rhs=st.booleans(),
+        arity=st.integers(min_value=3, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cut_preserves_projected_solutions(self, k, rhs, arity):
+        """Models of the cut system, projected on original vars, equal the
+        original constraint's models, each extended uniquely."""
+        x = XorClause.from_vars(list(range(1, k + 1)), rhs)
+        pieces, next_free = x.cut(k + 1, max_arity=arity)
+        assert all(len(p) <= arity for p in pieces)
+        aux = list(range(k + 1, next_free))
+        seen = set()
+        for bits in product([False, True], repeat=k + len(aux)):
+            assignment = {v: bits[v - 1] for v in range(1, k + len(aux) + 1)}
+            if all(p.evaluate(assignment) for p in pieces):
+                key = bits[:k]
+                assert key not in seen, "aux extension must be unique"
+                seen.add(key)
+        expected = {
+            bits
+            for bits in product([False, True], repeat=k)
+            if x.evaluate({v: bits[v - 1] for v in range(1, k + 1)})
+        }
+        assert seen == expected
+
+    def test_cut_small_is_identity(self):
+        x = XorClause.from_vars([1, 2, 3], True)
+        pieces, nxt = x.cut(10, max_arity=4)
+        assert pieces == [x]
+        assert nxt == 10
+
+    def test_cut_rejects_small_arity(self):
+        with pytest.raises(ValueError):
+            XorClause.from_vars([1, 2, 3, 4, 5], True).cut(6, max_arity=2)
+
+
+class TestXorToCnf:
+    def test_long_xor_expansion_is_polynomial(self):
+        x = XorClause.from_vars(list(range(1, 31)), True)
+        clauses, _ = xor_to_cnf(x, 31, max_arity=4)
+        # chain of ~10 pieces, 8 clauses each — not 2^29
+        assert len(clauses) < 200

@@ -10,12 +10,7 @@ import math
 
 import pytest
 
-from repro.core import (
-    EnumerativeUniformSampler,
-    UniGen,
-    UniWit,
-    XorSamplePrime,
-)
+from repro.api import SamplerConfig, make_sampler
 from repro.counting import count_models_exact
 from repro.suite import build
 
@@ -33,31 +28,39 @@ def log_count(instance):
 
 
 def test_unigen(benchmark, instance):
-    sampler = UniGen(instance.cnf, epsilon=6.0, rng=1,
-                     approxmc_search="galloping")
+    sampler = make_sampler(
+        "unigen", instance.cnf,
+        SamplerConfig(epsilon=6.0, seed=1, approxmc_search="galloping"),
+    )
     sampler.prepare()
     benchmark.pedantic(sampler.sample, rounds=5, iterations=1, warmup_rounds=1)
     benchmark.extra_info["success"] = sampler.stats.success_probability
 
 
 def test_uniwit(benchmark, instance):
-    sampler = UniWit(instance.cnf, rng=2)
+    sampler = make_sampler("uniwit", instance.cnf, SamplerConfig(seed=2))
     benchmark.pedantic(sampler.sample, rounds=5, iterations=1, warmup_rounds=1)
     benchmark.extra_info["success"] = sampler.stats.success_probability
 
 
 def test_xorsample_good_s(benchmark, instance, log_count):
-    sampler = XorSamplePrime(instance.cnf, s=log_count - 2, rng=3)
+    sampler = make_sampler(
+        "xorsample", instance.cnf,
+        SamplerConfig(seed=3, xor_count=log_count - 2),
+    )
     benchmark.pedantic(sampler.sample, rounds=5, iterations=1, warmup_rounds=1)
     benchmark.extra_info["success"] = sampler.stats.success_probability
 
 
 def test_xorsample_bad_s(benchmark, instance, log_count):
-    sampler = XorSamplePrime(instance.cnf, s=log_count + 4, rng=4)
+    sampler = make_sampler(
+        "xorsample", instance.cnf,
+        SamplerConfig(seed=4, xor_count=log_count + 4),
+    )
     benchmark.pedantic(sampler.sample, rounds=5, iterations=1, warmup_rounds=1)
     benchmark.extra_info["success"] = sampler.stats.success_probability
 
 
 def test_uniform_oracle(benchmark, instance):
-    sampler = EnumerativeUniformSampler(instance.cnf, rng=5)
+    sampler = make_sampler("us", instance.cnf, SamplerConfig(seed=5))
     benchmark.pedantic(sampler.sample, rounds=5, iterations=1, warmup_rounds=1)

@@ -2,20 +2,18 @@
 
 UniGen2 (TACAS 2015) harvests ⌈loThresh⌉ distinct witnesses per accepted
 cell instead of one; this bench measures the amortized per-witness cost of
-both on the same instance.
+both on the same instance.  Both samplers are built by name from one shared
+:class:`repro.api.PreparedFormula`, so neither pays a separate ApproxMC run.
 """
 
-from repro.core import UniGen, UniGen2
-from repro.suite import build
+from repro.api import make_sampler
 
 NAME = "s1196a_7_4"
 WITNESSES = 20
 
 
-def test_unigen_per_witness(benchmark):
-    instance = build(NAME, "quick")
-    sampler = UniGen(instance.cnf, epsilon=6.0, rng=1,
-                     approxmc_search="galloping")
+def test_unigen_per_witness(benchmark, prepared_formula, bench_config):
+    sampler = make_sampler("unigen", prepared_formula(NAME), bench_config)
     sampler.prepare()
 
     def collect():
@@ -28,10 +26,8 @@ def test_unigen_per_witness(benchmark):
     benchmark.extra_info["witnesses_per_round"] = WITNESSES
 
 
-def test_unigen2_per_witness(benchmark):
-    instance = build(NAME, "quick")
-    sampler = UniGen2(instance.cnf, epsilon=6.0, rng=1,
-                      approxmc_search="galloping")
+def test_unigen2_per_witness(benchmark, prepared_formula, bench_config):
+    sampler = make_sampler("unigen2", prepared_formula(NAME), bench_config)
     sampler.prepare()
 
     def collect():

@@ -1,30 +1,56 @@
 """Shared fixtures for the benchmark harness.
 
-Samplers are prepared once per session (UniGen's lines 1–11 are amortized
+Formulas are prepared once per session (UniGen's lines 1–11 are amortized
 across witnesses in the paper's protocol, so timing loops measure only the
-per-witness work of lines 12–22).
+per-witness work of lines 12–22).  The prepare artifact is cached as a
+:class:`repro.api.PreparedFormula` and shared by every sampler built over
+the same benchmark — exactly the lifecycle `repro prepare`/`repro sample
+--prepared` exposes on the CLI.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.api import PreparedFormula, SamplerConfig, make_sampler, prepare
 from repro.core import UniGen
 from repro.suite import build, build_figure1
 
+BENCH_CONFIG = SamplerConfig(epsilon=6.0, seed=2014, approxmc_search="galloping")
+
 
 @pytest.fixture(scope="session")
-def prepared_unigen():
+def bench_config() -> SamplerConfig:
+    """The one config every bench shares — samplers built over a cached
+    PreparedFormula must use the exact config it was prepared with."""
+    return BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def prepared_formula():
+    """Factory: benchmark name -> cached PreparedFormula (lines 1-11 once)."""
+    cache: dict[str, PreparedFormula] = {}
+
+    def factory(name: str, scale: str = "quick") -> PreparedFormula:
+        key = f"{name}:{scale}"
+        if key not in cache:
+            instance = build(name, scale)
+            cache[key] = prepare(instance.cnf, BENCH_CONFIG)
+        return cache[key]
+
+    return factory
+
+
+@pytest.fixture(scope="session")
+def prepared_unigen(prepared_formula):
     """Factory: benchmark name -> prepared UniGen sampler (cached)."""
     cache: dict[str, UniGen] = {}
 
     def factory(name: str, scale: str = "quick") -> UniGen:
         key = f"{name}:{scale}"
         if key not in cache:
-            instance = build(name, scale)
-            sampler = UniGen(
-                instance.cnf, epsilon=6.0, rng=2014,
-                approxmc_search="galloping",
+            sampler = make_sampler(
+                "unigen", prepared_formula(name, scale), BENCH_CONFIG
             )
             sampler.prepare()
             cache[key] = sampler

@@ -20,8 +20,8 @@ does.
 Run:  python examples/crv_testbench.py
 """
 
+from repro.api import SamplerConfig, make_sampler
 from repro.circuits import Netlist, encode_combinational
-from repro.core import UniGen
 from repro.sat import Solver
 from repro.rng import RandomSource
 
@@ -93,12 +93,8 @@ def run_campaign(name: str, stimuli) -> None:
 N = 400
 
 # --- 3a. UniGen-driven stimuli ----------------------------------------------
-sampler = UniGen(env_cnf, epsilon=6.0, rng=7)
-uniform_stimuli = []
-while len(uniform_stimuli) < N:
-    witness = sampler.sample()
-    if witness is not None:
-        uniform_stimuli.append(decode(witness))
+sampler = make_sampler("unigen", env_cnf, SamplerConfig(epsilon=6.0, seed=7))
+uniform_stimuli = [decode(w) for w in sampler.iter_samples(limit=N)]
 
 # --- 3b. Naive solver-driven stimuli (default phase => heavily skewed) ------
 naive_stimuli = []

@@ -1,17 +1,19 @@
 #!/usr/bin/env python3
-"""Quickstart: almost-uniform witness sampling with UniGen.
+"""Quickstart: the sampling lifecycle — prepare once, sample by name.
 
-Builds a small CNF constraint, samples witnesses with strong uniformity
-guarantees (Theorem 1 of the DAC 2014 paper), and shows the observed
-frequencies next to the guaranteed envelope.
+Builds a small CNF constraint, runs Algorithm 1's expensive lines 1-11
+exactly once (`prepare`), round-trips the resulting artifact through JSON
+(the same format `repro prepare --out state.json` writes), and drives two
+different samplers from the one artifact — neither re-runs ApproxMC.
 
 Run:  python examples/quickstart.py
 """
 
+import json
 from collections import Counter
 
 from repro import CNF
-from repro.core import UniGen
+from repro.api import PreparedFormula, SamplerConfig, make_sampler, prepare
 
 # --- 1. Describe the constraint -------------------------------------------
 # Variables 1..6; solutions: at least one of (1,2,3), not both 1 and 2,
@@ -22,10 +24,18 @@ cnf.add_clause([-1, -2])
 cnf.add_xor([4, 5, 6], rhs=True)
 cnf.sampling_set = [1, 2, 3, 4, 5, 6]
 
-# --- 2. Sample with UniGen --------------------------------------------------
+# --- 2. Prepare once --------------------------------------------------------
 # epsilon is the uniformity tolerance (must exceed 1.71; the paper's
 # experiments use 6). Smaller epsilon = tighter uniformity, slower sampling.
-sampler = UniGen(cnf, epsilon=6.0, rng=42)
+config = SamplerConfig(epsilon=6.0, seed=42)
+pf = prepare(cnf, config)
+print(f"prepared: {pf.describe()}")
+
+# The artifact is plain JSON — cache it on disk, ship it to another process:
+pf = PreparedFormula.from_dict(json.loads(json.dumps(pf.to_dict())))
+
+# --- 3. Sample by name from the shared artifact -----------------------------
+sampler = make_sampler("unigen", pf, config)
 
 N = 2000
 counts: Counter = Counter()
@@ -39,7 +49,14 @@ for _ in range(N):
     key = tuple(v for v in sorted(witness) if witness[v])
     counts[key] += 1
 
-# --- 3. Inspect the distribution -------------------------------------------
+# The batched UniGen2 consumes the *same* artifact — no second ApproxMC run.
+batched = make_sampler("unigen2", pf, config)
+stream = batched.sample_until(200)
+assert all(cnf.evaluate(w) for w in stream)
+print(f"unigen2 drew {len(stream)} witnesses from the shared artifact "
+      f"({batched.stats.attempts} cell draws)")
+
+# --- 4. Inspect the distribution -------------------------------------------
 total = sum(counts.values())
 n_witnesses = len(counts)
 print(f"distinct witnesses seen : {n_witnesses}")

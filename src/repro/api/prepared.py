@@ -1,0 +1,198 @@
+"""The lines-1–11 artifact as an explicit, serializable object.
+
+Algorithm 1 splits cleanly into a once-per-formula phase (lines 1–11: the
+easy-case check and one ApproxMC call) and a per-sample phase (lines 12–22:
+the cell search).  :class:`PreparedFormula` materializes the output of the
+first phase so it can be
+
+* **shared** — any number of UniGen/UniGen2 instances over the same formula
+  adopt it without re-running ApproxMC (``make_sampler(name, prepared)``);
+* **cached** — ``to_dict()``/``from_dict()`` round-trip through JSON, so
+  ``repro prepare F.cnf --out state.json`` followed by
+  ``repro sample --prepared state.json`` skips the expensive phase across
+  process boundaries;
+* **shipped** — the dict embeds the formula itself (DIMACS text, including
+  ``c ind`` and ``x`` lines), so the artifact is self-contained.
+
+Adoption is bit-for-bit faithful: a sampler fed a round-tripped artifact
+draws exactly the same witnesses, under the same rng seed, as one fed the
+in-memory original (the easy-witness list order and the window ``q`` are
+preserved exactly).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..cnf.dimacs import parse_dimacs, to_dimacs
+from ..cnf.formula import CNF
+from ..core.base import Witness
+from ..counting.types import CountResult
+from ..errors import SamplingError
+
+#: Bumped whenever the serialized layout changes incompatibly.
+PREPARED_FORMAT_VERSION = 1
+
+
+def _witness_to_lits(witness: Witness) -> list[int]:
+    return [v if witness[v] else -v for v in sorted(witness)]
+
+
+def _lits_to_witness(lits: list[int]) -> Witness:
+    return {abs(l): l > 0 for l in lits}
+
+
+@dataclass
+class PreparedFormula:
+    """Output of Algorithm 1's lines 1–11 for one formula.
+
+    Exactly one of the two payloads is set:
+
+    ``easy_witnesses``
+        Lines 5–7 applied (``|R_F| ≤ hiThresh``): the complete witness
+        list, in enumeration order.  Sampling is a uniform draw from it.
+    ``q``
+        Lines 9–11 applied: the upper end of the hash-size window
+        ``{q−3..q}``, derived from the ApproxMC estimate kept (with its
+        provenance) in ``approx_count``.
+
+    ``epsilon`` and ``sampling_set`` pin the parameters the artifact was
+    built under — adopting it with different ones is rejected, because both
+    ``q`` and the hash family depend on them.
+    """
+
+    cnf: CNF
+    epsilon: float
+    sampling_set: list[int] = field(default_factory=list)
+    easy_witnesses: list[Witness] | None = None
+    q: int | None = None
+    approx_count: CountResult | None = None
+    prepare_bsat_calls: int = 0
+    prepare_time_seconds: float = 0.0
+
+    @property
+    def is_easy(self) -> bool:
+        """True when the easy case applied (full witness list cached)."""
+        return self.easy_witnesses is not None
+
+    @property
+    def approx_count_value(self) -> int | None:
+        return self.approx_count.count if self.approx_count else None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sampler(cls, sampler) -> "PreparedFormula":
+        """Export the artifact from a prepared ``UniGen``/``UniGen2``."""
+        sampler.prepare()
+        easy = sampler.easy_witnesses
+        return cls(
+            cnf=sampler.cnf,
+            epsilon=sampler.epsilon,
+            sampling_set=list(sampler.sampling_set),
+            easy_witnesses=[dict(w) for w in easy] if easy is not None else None,
+            q=sampler.q,
+            approx_count=sampler.approx_count_result,
+            prepare_bsat_calls=sampler.stats.bsat_calls,
+            prepare_time_seconds=sampler.stats.setup_time_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serializable dict embedding the formula as DIMACS text."""
+        return {
+            "format_version": PREPARED_FORMAT_VERSION,
+            "dimacs": to_dimacs(self.cnf),
+            "name": self.cnf.name,
+            "epsilon": self.epsilon,
+            "sampling_set": list(self.sampling_set),
+            "easy_witnesses": (
+                [_witness_to_lits(w) for w in self.easy_witnesses]
+                if self.easy_witnesses is not None
+                else None
+            ),
+            "q": self.q,
+            "approx_count": (
+                self.approx_count.to_dict() if self.approx_count else None
+            ),
+            "prepare_bsat_calls": self.prepare_bsat_calls,
+            "prepare_time_seconds": self.prepare_time_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PreparedFormula":
+        """Inverse of :meth:`to_dict`."""
+        version = data.get("format_version")
+        if version != PREPARED_FORMAT_VERSION:
+            raise SamplingError(
+                f"unsupported prepared-formula format version {version!r} "
+                f"(this library writes version {PREPARED_FORMAT_VERSION})"
+            )
+        easy = data.get("easy_witnesses")
+        count = data.get("approx_count")
+        return cls(
+            cnf=parse_dimacs(data["dimacs"], name=data.get("name", "")),
+            epsilon=float(data["epsilon"]),
+            sampling_set=[int(v) for v in data.get("sampling_set", [])],
+            easy_witnesses=(
+                [_lits_to_witness(lits) for lits in easy]
+                if easy is not None
+                else None
+            ),
+            q=None if data.get("q") is None else int(data["q"]),
+            approx_count=CountResult.from_dict(count) if count else None,
+            prepare_bsat_calls=int(data.get("prepare_bsat_calls", 0)),
+            prepare_time_seconds=float(data.get("prepare_time_seconds", 0.0)),
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the artifact as JSON (the ``repro prepare --out`` format)."""
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2), encoding="utf-8"
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PreparedFormula":
+        """Read an artifact written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+    def describe(self) -> str:
+        """One human-readable line for CLI output."""
+        if self.is_easy:
+            return (
+                f"easy case: {len(self.easy_witnesses)} witnesses enumerated "
+                f"(epsilon={self.epsilon:g}, |S|={len(self.sampling_set)})"
+            )
+        return (
+            f"hashed case: q={self.q}, approx count={self.approx_count_value} "
+            f"(epsilon={self.epsilon:g}, |S|={len(self.sampling_set)}, "
+            f"{self.prepare_bsat_calls} BSAT calls)"
+        )
+
+
+def prepare(cnf: CNF, config=None, *, rng=None) -> PreparedFormula:
+    """Run lines 1–11 once and return the artifact (the new entry point).
+
+    ``config`` is a :class:`~repro.api.config.SamplerConfig` (defaults
+    apply when omitted); ``rng`` optionally overrides ``config.seed`` with
+    an existing :class:`~repro.rng.RandomSource`.  The returned
+    :class:`PreparedFormula` can drive any number of ``unigen``/``unigen2``
+    samplers via :func:`~repro.api.registry.make_sampler`.
+    """
+    from ..core.unigen import UniGen
+    from .config import SamplerConfig
+
+    config = config or SamplerConfig()
+    sampler = UniGen(
+        cnf,
+        epsilon=config.epsilon,
+        sampling_set=config.sampling_set,
+        rng=rng if rng is not None else config.make_rng(),
+        bsat_budget=config.budget(),
+        max_retries_per_cell=config.max_retries_per_cell,
+        approxmc_iterations=config.approxmc_iterations,
+        approxmc_search=config.approxmc_search,
+        hash_density=config.hash_density,
+    )
+    return PreparedFormula.from_sampler(sampler)

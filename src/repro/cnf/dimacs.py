@@ -138,3 +138,19 @@ def to_dimacs(cnf: CNF) -> str:
 def write_dimacs(cnf: CNF, path: str | Path) -> None:
     """Write DIMACS text to ``path``."""
     Path(path).write_text(to_dimacs(cnf), encoding="utf-8")
+
+
+def dimacs_body(cnf: CNF) -> list[str]:
+    """Canonical DIMACS lines of ``cnf``, ignoring name comments.
+
+    ``c ind`` lines are kept — the sampling set is part of a formula's
+    identity for sampling purposes.  Two formulas with equal bodies behave
+    identically under every sampler, which is the comparison
+    :class:`repro.api.PreparedFormula` adoption and the CLI's
+    ``--prepared`` guard both rely on (serialization drops only the name).
+    """
+    return [
+        line
+        for line in to_dimacs(cnf).splitlines()
+        if not line.startswith("c ") or line.startswith("c ind ")
+    ]

@@ -1,6 +1,7 @@
 """The paper's samplers: UniGen plus the baselines it is evaluated against."""
 
-from .base import SamplerStats, Witness, WitnessSampler
+from .base import SampleResult, SamplerStats, Witness, WitnessSampler
+from .cellsearch import AcceptedCell, CellSearch
 from .kappa_pivot import EPSILON_MIN, KappaPivot, compute_kappa_pivot
 from .paws import PawsStyle
 from .unigen import UniGen
@@ -20,7 +21,10 @@ __all__ = [
     "EnumerativeUniformSampler",
     "WitnessSampler",
     "SamplerStats",
+    "SampleResult",
     "Witness",
+    "AcceptedCell",
+    "CellSearch",
     "compute_kappa_pivot",
     "KappaPivot",
     "EPSILON_MIN",

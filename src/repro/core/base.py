@@ -1,12 +1,18 @@
 """Common sampler interface and bookkeeping.
 
-Every generator in :mod:`repro.core` (UniGen, UniWit, XORSample', US) exposes
+Every generator in :mod:`repro.core` (UniGen, UniGen2, UniWit, XORSample',
+US) exposes
 
 * ``sample() -> dict[var, bool] | None`` — one witness, or ``None`` for the
   bounded-probability failure outcome ⊥ (Theorem 1 allows it);
+* ``sample_result()`` — one draw wrapped in a :class:`SampleResult` carrying
+  the accepted cell size, the hash size ``i``, and per-draw timing;
 * ``sample_many(n)`` — a list with one entry per attempt (``None`` kept, so
   observed success probability — Tables 1/2, column "Succ Prob" — falls out
   directly);
+* ``sample_batch()`` / ``sample_until(n)`` / ``iter_samples()`` — the batch
+  surface.  The retry loop lives *here*, once; batched samplers (UniGen2)
+  override only :meth:`batch_size` and :meth:`sample_batch`;
 * ``stats`` — cumulative :class:`SamplerStats` including the average XOR
   clause length, the other headline column of Tables 1/2.
 """
@@ -16,8 +22,41 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import Iterator
 
 Witness = dict[int, bool]
+
+
+@dataclass(frozen=True)
+class SampleResult:
+    """One ``sample()`` draw plus its provenance.
+
+    ``witness``
+        The drawn witness, or ``None`` for the ⊥ outcome.
+    ``cell_size``
+        Size of the pool the witness was drawn from: the accepted hashed
+        cell, or the full witness list on UniGen's easy-case path.
+        ``None`` for samplers that never enumerate a pool (e.g. UniWit,
+        the US oracle).
+    ``hash_size``
+        The number of XOR constraints ``i`` of the accepted cell.  ``None``
+        when no hashing happened — this, not ``cell_size``, distinguishes
+        hashed draws from easy-case/oracle draws.
+    ``time_seconds``
+        Wall-clock time of this draw.
+    """
+
+    witness: Witness | None
+    cell_size: int | None = None
+    hash_size: int | None = None
+    time_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.witness is not None
+
+    def __bool__(self) -> bool:
+        return self.witness is not None
 
 
 @dataclass
@@ -64,6 +103,10 @@ class WitnessSampler(ABC):
 
     def __init__(self) -> None:
         self.stats = SamplerStats()
+        # Provenance of the most recent draw, recorded by subclasses that
+        # enumerate hashed cells; surfaced through sample_result().
+        self._last_cell_size: int | None = None
+        self._last_hash_size: int | None = None
 
     @abstractmethod
     def _sample_once(self) -> Witness | None:
@@ -71,6 +114,8 @@ class WitnessSampler(ABC):
 
     def sample(self) -> Witness | None:
         """One witness draw with timing/accounting."""
+        self._last_cell_size = None
+        self._last_hash_size = None
         start = time.monotonic()
         try:
             witness = self._sample_once()
@@ -83,19 +128,69 @@ class WitnessSampler(ABC):
             self.stats.successes += 1
         return witness
 
+    def sample_result(self) -> SampleResult:
+        """One draw wrapped in a :class:`SampleResult` with provenance."""
+        start = time.monotonic()
+        witness = self.sample()
+        return SampleResult(
+            witness=witness,
+            cell_size=self._last_cell_size,
+            hash_size=self._last_hash_size,
+            time_seconds=time.monotonic() - start,
+        )
+
     def sample_many(self, n: int) -> list[Witness | None]:
         """``n`` independent draws; failed draws stay as ``None`` entries."""
         return [self.sample() for _ in range(n)]
 
+    # -- batch surface --------------------------------------------------
+    def batch_size(self) -> int:
+        """Witnesses one successful attempt can yield (1 unless batched)."""
+        return 1
+
+    def sample_batch(self) -> list[Witness]:
+        """One attempt's worth of witnesses; empty list on ⊥.
+
+        The default is a single draw.  Batched samplers (UniGen2) override
+        this to harvest several witnesses from one accepted cell.
+        """
+        witness = self.sample()
+        return [] if witness is None else [witness]
+
     def sample_until(self, n: int, max_attempts: int | None = None) -> list[Witness]:
-        """Draw until ``n`` successes (or ``max_attempts`` attempts)."""
+        """Draw batches until ``n`` witnesses (or ``max_attempts`` attempts).
+
+        This is the single retry-loop implementation shared by all
+        samplers; each :meth:`sample_batch` call counts as one attempt.
+        """
         out: list[Witness] = []
         attempts = 0
         while len(out) < n:
             if max_attempts is not None and attempts >= max_attempts:
                 break
-            witness = self.sample()
+            batch = self.sample_batch()
             attempts += 1
-            if witness is not None:
-                out.append(witness)
+            out.extend(batch[: n - len(out)])
         return out
+
+    def iter_samples(
+        self, limit: int | None = None, max_attempts: int | None = None
+    ) -> Iterator[Witness]:
+        """Yield successful witnesses lazily (forever when ``limit=None``).
+
+        ``max_attempts`` bounds the number of :meth:`sample_batch` calls so
+        a persistently-⊥ sampler (e.g. a badly parameterized XORSample')
+        terminates instead of spinning.
+        """
+        produced = 0
+        attempts = 0
+        while limit is None or produced < limit:
+            if max_attempts is not None and attempts >= max_attempts:
+                return
+            batch = self.sample_batch()
+            attempts += 1
+            for witness in batch:
+                yield witness
+                produced += 1
+                if limit is not None and produced >= limit:
+                    return

@@ -19,13 +19,18 @@ Structure mirrors the pseudocode:
 * **lines 12–22** — per sample: grow ``i`` through the window, draw
   ``(h, α)`` from ``Hxor(|S|, i, 3)``, enumerate the cell with ``BSAT``
   bounded by ``hiThresh``, and return a uniform member of the first cell
-  whose size lands in the window (⊥ if none does).
+  whose size lands in the window (⊥ if none does).  The search itself lives
+  in :mod:`repro.core.cellsearch`, shared with UniGen2.
 
 The expensive lines 1–11 run **once per formula** (``prepare()``); repeated
 ``sample()`` calls re-run only lines 12–22.  This is the legitimate
 amortization the paper contrasts with "leap-frogging" — it sacrifices no
-guarantees.  Per Section 5, a BSAT timeout inside the loop causes lines
-14–16 to be repeated *without incrementing* ``i``.
+guarantees.  The lines-1–11 artifact can moreover be exported as a
+:class:`repro.api.PreparedFormula` (JSON-serializable) and handed to any
+number of UniGen/UniGen2 instances via the ``prepared`` argument, which
+skips the easy-case BSAT call and the ApproxMC run entirely.  Per Section
+5, a BSAT timeout inside the loop causes lines 14–16 to be repeated
+*without incrementing* ``i``.
 """
 
 from __future__ import annotations
@@ -35,12 +40,14 @@ import time
 
 from ..cnf.formula import CNF
 from ..counting.approxmc import ApproxMC
+from ..counting.types import CountResult
 from ..errors import BudgetExhausted, SamplingError, UnsatisfiableError
 from ..hashing import HxorFamily
 from ..rng import RandomSource, as_random_source
 from ..sat.enumerate import bsat
 from ..sat.types import Budget
 from .base import Witness, WitnessSampler
+from .cellsearch import AcceptedCell, CellSearch
 from .kappa_pivot import KappaPivot, compute_kappa_pivot
 
 #: ApproxMC tolerance and confidence hard-wired by Algorithm 1, line 9.
@@ -78,6 +85,12 @@ class UniGen(WitnessSampler):
         prohibitively conservative; the default 9 keeps the empirical
         confidence far above the required 0.8 (verified by the test suite)
         at a fraction of the cost.
+    prepared:
+        A :class:`repro.api.PreparedFormula` for this formula (e.g. loaded
+        from a cache file, or shared with another sampler).  When given,
+        :meth:`prepare` adopts its lines-1–11 artifact instead of running
+        the easy-case BSAT call and ApproxMC.  Its ``epsilon`` and
+        ``sampling_set`` must match this sampler's.
     """
 
     name = "UniGen"
@@ -93,6 +106,7 @@ class UniGen(WitnessSampler):
         approxmc_iterations: int | None = 9,
         approxmc_search: str = "linear",
         hash_density: float = 0.5,
+        prepared=None,
     ):
         super().__init__()
         self.cnf = cnf
@@ -118,6 +132,11 @@ class UniGen(WitnessSampler):
         self._easy_witnesses: list[Witness] | None = None
         self._q: int | None = None
         self.approx_count_value: int | None = None
+        self.approx_count_result: CountResult | None = None
+        self._engine: CellSearch | None = None
+        self._adopted = prepared
+        if prepared is not None:
+            self._check_prepared_compatible(prepared)
 
     # ------------------------------------------------------------------
     @property
@@ -138,22 +157,74 @@ class UniGen(WitnessSampler):
         """Upper end of the hash-size window {q−3..q} (after prepare())."""
         return self._q
 
+    @property
+    def easy_witnesses(self) -> list[Witness] | None:
+        """The full witness list when the easy case applied (lines 5–7)."""
+        return self._easy_witnesses
+
     # ------------------------------------------------------------------
+    def _check_prepared_compatible(self, prepared) -> None:
+        """Reject an artifact built for a different formula, ε, or sampling
+        set: the witness list / window {q−3..q} and the hash family are tied
+        to all three, and a mismatch silently voids Theorem 1."""
+        p_eps = getattr(prepared, "epsilon", None)
+        if p_eps is not None and abs(float(p_eps) - self.epsilon) > 1e-9:
+            raise SamplingError(
+                f"prepared artifact was built for epsilon={p_eps}, "
+                f"sampler uses epsilon={self.epsilon}"
+            )
+        p_svars = getattr(prepared, "sampling_set", None)
+        if p_svars is not None and sorted(p_svars) != sorted(self._svars):
+            raise SamplingError(
+                "prepared artifact was built for a different sampling set"
+            )
+        p_cnf = getattr(prepared, "cnf", None)
+        if p_cnf is not None and p_cnf is not self.cnf:
+            from ..cnf.dimacs import dimacs_body
+
+            if dimacs_body(p_cnf) != dimacs_body(self.cnf):
+                raise SamplingError(
+                    "prepared artifact was built for a different formula"
+                )
+
     def prepare(self) -> None:
         """Run lines 1–11 once: easy-case check and the ApproxMC estimate.
 
-        Idempotent; called automatically by the first :meth:`sample`.
-        Raises :class:`~repro.errors.UnsatisfiableError` if ``F`` has no
-        witnesses at all (the paper's generators assume ``R_F ≠ ∅``).
+        Idempotent; called automatically by the first :meth:`sample`.  When
+        a prepared artifact was supplied, its outputs are adopted instead —
+        no BSAT or ApproxMC calls are made.  Raises
+        :class:`~repro.errors.UnsatisfiableError` if ``F`` has no witnesses
+        at all (the paper's generators assume ``R_F ≠ ∅``).
         """
         if self._prepared:
             return
         start = time.monotonic()
         try:
-            self._prepare_inner()
+            if self._adopted is not None:
+                self._adopt_prepared(self._adopted)
+            else:
+                self._prepare_inner()
         finally:
             self.stats.setup_time_seconds += time.monotonic() - start
         self._prepared = True
+
+    def _adopt_prepared(self, prepared) -> None:
+        easy = getattr(prepared, "easy_witnesses", None)
+        if easy is not None:
+            self._easy_witnesses = [dict(w) for w in easy]
+            return
+        q = getattr(prepared, "q", None)
+        if q is None:
+            raise SamplingError(
+                "prepared artifact has neither easy witnesses nor a q window"
+            )
+        self._q = int(q)
+        count = getattr(prepared, "approx_count", None)
+        if isinstance(count, CountResult):
+            self.approx_count_result = count
+            self.approx_count_value = count.count
+        elif count is not None:
+            self.approx_count_value = int(count)
 
     def _prepare_inner(self) -> None:
         hi = self.kp.hi_thresh
@@ -185,6 +256,7 @@ class UniGen(WitnessSampler):
         result = counter.count()
         if result.count is None:
             raise SamplingError("ApproxMC failed in every iteration")
+        self.approx_count_result = result
         self.approx_count_value = result.count
         # Line 10: q = ceil(log2 C + log2 1.8 - log2 pivot).
         self._q = math.ceil(
@@ -192,52 +264,35 @@ class UniGen(WitnessSampler):
         )
 
     # ------------------------------------------------------------------
+    def _find_accepted_cell(self) -> AcceptedCell | None:
+        """Run the shared lines-12–19 search once (after :meth:`prepare`)."""
+        assert self._q is not None and self._family is not None
+        if self._engine is None:
+            self._engine = CellSearch(
+                cnf=self.cnf,
+                family=self._family,
+                sampling_set=self._svars,
+                hi_thresh=self.kp.hi_thresh,
+                lo_thresh=self.kp.lo_thresh,
+                rng=self._rng,
+                stats=self.stats,
+                bsat_budget=self._bsat_budget,
+                max_retries=self._max_retries,
+            )
+        cell = self._engine.find_accepted_cell(self._q)
+        if cell is not None:
+            self._last_cell_size = len(cell.models)
+            self._last_hash_size = cell.hash_size
+        return cell
+
     def _sample_once(self) -> Witness | None:
         self.prepare()
         if self._easy_witnesses is not None:
+            self._last_cell_size = len(self._easy_witnesses)
             return dict(self._rng.choice(self._easy_witnesses))
-        assert self._q is not None and self._family is not None
-        hi = self.kp.hi_thresh
-        lo = self.kp.lo_thresh
-        q = self._q
-
-        # Lines 11–17: i sweeps q−3 .. q (i starts at q−4, pre-incremented).
-        i = q - 4
-        cell_models: list[Witness] = []
-        while i < q:
-            i += 1
-            if i < 0:
-                # Degenerate tiny-count case: an i below zero means "no
-                # hashing"; the easy case would have caught it, but guard
-                # against ApproxMC underestimates.
-                continue
-            retries = 0
-            while True:
-                constraint = self._family.draw(i, self._rng)
-                hashed = self.cnf.conjoined_with(xors=constraint.xors)
-                cell = bsat(
-                    hashed,
-                    hi + 1,
-                    sampling_set=self._svars,
-                    rng=self._rng,
-                    budget=self._bsat_budget,
-                )
-                self.stats.bsat_calls += 1
-                self.stats.xor_clauses_added += len(constraint.xors)
-                self.stats.xor_literals_added += sum(
-                    len(x) for x in constraint.xors
-                )
-                if not cell.budget_exhausted:
-                    break
-                # Section 5: repeat lines 14–16 without incrementing i.
-                self.stats.bsat_timeouts += 1
-                retries += 1
-                if retries > self._max_retries:
-                    raise BudgetExhausted(
-                        f"BSAT timed out {retries} times at hash size {i}"
-                    )
-            cell_models = cell.models
-            if lo <= len(cell_models) <= hi:
-                return dict(self._rng.choice(cell_models))
-        # Lines 18–19: window exhausted without an acceptable cell.
-        return None
+        cell = self._find_accepted_cell()
+        if cell is None:
+            # Lines 18–19: window exhausted without an acceptable cell.
+            return None
+        # Lines 21–22: one uniform member of the accepted cell.
+        return dict(self._rng.choice(cell.models))

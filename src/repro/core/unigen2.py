@@ -15,13 +15,16 @@ witness is still marginally almost-uniform, which is what constrained-random
 verification consumes; applications needing full independence should stick
 to :class:`~repro.core.unigen.UniGen`.
 
-This class reuses the parent's ``prepare()`` (lines 1–11) unchanged and only
-changes how an accepted cell is consumed.
+This class reuses the parent's ``prepare()`` (lines 1–11) and the shared
+:class:`~repro.core.cellsearch.CellSearch` engine (lines 12–19) unchanged —
+the only thing it overrides is the *consumption* of an accepted cell:
+``batch_size()`` witnesses per cell instead of one.
 """
 
 from __future__ import annotations
 
 import math
+import time
 
 from .base import Witness
 from .unigen import UniGen
@@ -33,7 +36,8 @@ class UniGen2(UniGen):
     ``sample()`` behaves exactly like UniGen (one witness, same guarantee).
     ``sample_batch()`` returns up to ``⌈loThresh⌉`` distinct witnesses from
     one accepted cell; ``sample_stream(n)`` chains batches until ``n``
-    witnesses are collected.
+    witnesses are collected (it is the base class's ``sample_until`` under
+    its historical name).
     """
 
     name = "UniGen2"
@@ -50,77 +54,30 @@ class UniGen2(UniGen):
         """
         self.prepare()
         want = self.batch_size()
-        if self._easy_witnesses is not None:
-            # Easy case: the full witness list is cached; independent
-            # uniform draws are free, so return genuinely independent ones.
-            batch = [
-                dict(self._rng.choice(self._easy_witnesses)) for _ in range(want)
-            ]
+        start = time.monotonic()
+        try:
+            if self._easy_witnesses is not None:
+                # Easy case: the full witness list is cached; independent
+                # uniform draws are free, so return genuinely independent
+                # ones.
+                batch = [
+                    dict(self._rng.choice(self._easy_witnesses))
+                    for _ in range(want)
+                ]
+                self.stats.attempts += 1
+                self.stats.successes += 1
+                return batch
+            cell = self._find_accepted_cell()
             self.stats.attempts += 1
+            if cell is None:
+                self.stats.failures += 1
+                return []
             self.stats.successes += 1
-            return batch
-        cell = self._accepted_cell()
-        self.stats.attempts += 1
-        if cell is None:
-            self.stats.failures += 1
-            return []
-        self.stats.successes += 1
-        take = min(want, len(cell))
-        return [dict(w) for w in self._rng.sample(cell, take)]
+            take = min(want, len(cell.models))
+            return [dict(w) for w in self._rng.sample(cell.models, take)]
+        finally:
+            self.stats.sample_time_seconds += time.monotonic() - start
 
     def sample_stream(self, n: int, max_attempts: int | None = None) -> list[Witness]:
         """Collect ``n`` witnesses across as many batches as needed."""
-        out: list[Witness] = []
-        attempts = 0
-        while len(out) < n:
-            if max_attempts is not None and attempts >= max_attempts:
-                break
-            batch = self.sample_batch()
-            attempts += 1
-            out.extend(batch[: n - len(out)])
-        return out
-
-    # ------------------------------------------------------------------
-    def _accepted_cell(self) -> list[Witness] | None:
-        """Lines 12–19 of Algorithm 1, returning the whole accepted cell."""
-        assert self._q is not None and self._family is not None
-        hi = self.kp.hi_thresh
-        lo = self.kp.lo_thresh
-        q = self._q
-        i = q - 4
-        while i < q:
-            i += 1
-            if i < 0:
-                continue
-            cell = self._draw_cell(i, hi)
-            if lo <= len(cell) <= hi:
-                return cell
-        return None
-
-    def _draw_cell(self, i: int, hi: int) -> list[Witness]:
-        """One (h, α) draw and bounded enumeration, with timeout retries."""
-        from ..errors import BudgetExhausted
-        from ..sat.enumerate import bsat
-
-        retries = 0
-        while True:
-            constraint = self._family.draw(i, self._rng)
-            hashed = self.cnf.conjoined_with(xors=constraint.xors)
-            cell = bsat(
-                hashed,
-                hi + 1,
-                sampling_set=self._svars,
-                rng=self._rng,
-                budget=self._bsat_budget,
-            )
-            self.stats.bsat_calls += 1
-            self.stats.xor_clauses_added += len(constraint.xors)
-            self.stats.xor_literals_added += sum(len(x) for x in constraint.xors)
-            if not cell.budget_exhausted:
-                return cell.models
-            self.stats.bsat_timeouts += 1
-            retries += 1
-            if retries > self._max_retries:
-                raise BudgetExhausted(
-                    f"BSAT timed out {retries} times at hash size {i}"
-                )
+        return self.sample_until(n, max_attempts=max_attempts)

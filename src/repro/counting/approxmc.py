@@ -109,7 +109,14 @@ class ApproxMC:
         self._family = HxorFamily(self._svars) if self._svars else None
 
     def count(self) -> CountResult:
-        """Run the full median-of-cores procedure."""
+        """Run the full median-of-cores procedure.
+
+        The returned :class:`~repro.counting.types.CountResult` carries the
+        estimate's full provenance (exactness, iteration/failure counts);
+        UniGen retains it verbatim so a cached
+        :class:`repro.api.PreparedFormula` records not just the count but
+        how it was obtained.
+        """
         # Shortcut shared by every core iteration: if |R| <= pivot, the count
         # is exact and no hashing is needed.
         first = bsat(

@@ -31,3 +31,24 @@ class CountResult:
 
     def __bool__(self) -> bool:
         return self.count is not None
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (stored inside cached prepare artifacts)."""
+        return {
+            "count": self.count,
+            "exact": self.exact,
+            "iterations": self.iterations,
+            "failures": self.failures,
+            "nodes": self.nodes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CountResult":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored."""
+        return cls(
+            count=data.get("count"),
+            exact=bool(data.get("exact", False)),
+            iterations=int(data.get("iterations", 0)),
+            failures=int(data.get("failures", 0)),
+            nodes=int(data.get("nodes", 0)),
+        )

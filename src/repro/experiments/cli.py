@@ -1,15 +1,21 @@
 """Command-line interface: ``python -m repro`` / the ``repro`` script.
 
-Subcommands regenerate every artifact of the paper's evaluation:
+Subcommands regenerate every artifact of the paper's evaluation and expose
+the sampling lifecycle as a tool:
 
 * ``repro table1`` / ``repro table2`` — the runtime/uniformity comparison
   tables (UniGen vs UniWit) with paper-vs-measured summary;
 * ``repro figure1`` — the uniformity histogram comparison (UniGen vs US);
 * ``repro ablations`` — the A1–A5 design-choice studies;
-* ``repro sample FILE.cnf`` — UniGen as a tool: almost-uniform witnesses of
-  a DIMACS file (``c ind`` lines supply the sampling set);
+* ``repro prepare FILE.cnf --out state.json`` — run Algorithm 1's lines
+  1–11 once and cache the artifact;
+* ``repro sample FILE.cnf`` — witnesses of a DIMACS file (``c ind`` lines
+  supply the sampling set); ``--sampler`` picks any registered algorithm,
+  ``--prepared state.json`` reuses a cached artifact, ``--smoke`` runs the
+  built-in self-check CI exercises;
 * ``repro count FILE.cnf`` — ApproxMC as a tool;
-* ``repro benchmarks`` — list the registry.
+* ``repro samplers`` — list the sampler registry;
+* ``repro benchmarks`` — list the benchmark registry.
 """
 
 from __future__ import annotations
@@ -17,9 +23,16 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..api import (
+    PreparedFormula,
+    SamplerConfig,
+    available_samplers,
+    get_entry,
+    make_sampler,
+    prepare,
+)
 from ..cnf.dimacs import read_dimacs
 from ..counting.approxmc import ApproxMC
-from ..core.unigen import UniGen
 from ..sat.types import Budget
 from ..suite.registry import entries
 from .ablations import run_all_ablations
@@ -64,13 +77,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("benchmarks", help="list the benchmark registry")
     _add_common(p)
+    p.add_argument("--names-only", action="store_true",
+                   help="print bare benchmark names (feed to --names)")
 
     p = sub.add_parser("sample", help="sample witnesses of a DIMACS file")
-    p.add_argument("cnf_file")
+    p.add_argument("cnf_file", nargs="?", default=None)
     p.add_argument("-n", "--num", type=int, default=1)
+    p.add_argument("--sampler", default="unigen",
+                   help=f"algorithm name, one of {available_samplers()}")
+    p.add_argument("--prepared", metavar="STATE_JSON", default=None,
+                   help="reuse a cached artifact from `repro prepare --out`"
+                        " (skips the easy-case check and ApproxMC)")
+    p.add_argument("--epsilon", type=float, default=None,
+                   help="uniformity tolerance (default: 6.0, or the value"
+                        " recorded in --prepared)")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--bsat-timeout", type=float, default=60.0)
+    p.add_argument("--xor-count", type=int, default=None,
+                   help="XOR count s (required by --sampler xorsample)")
+    p.add_argument("--smoke", action="store_true",
+                   help="fast self-check of the whole lifecycle on a tiny"
+                        " built-in formula (used by CI)")
+
+    p = sub.add_parser(
+        "prepare",
+        help="run lines 1-11 once and cache the artifact as JSON",
+    )
+    p.add_argument("cnf_file")
+    p.add_argument("--out", required=True, metavar="STATE_JSON")
     p.add_argument("--epsilon", type=float, default=6.0)
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--bsat-timeout", type=float, default=60.0)
+
+    p = sub.add_parser("samplers", help="list the sampler registry")
 
     p = sub.add_parser("count", help="approximately count a DIMACS file")
     p.add_argument("cnf_file")
@@ -100,6 +139,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-query conflict budget")
 
     return parser
+
+
+def _run_smoke() -> int:
+    """``repro sample --smoke``: seconds-fast lifecycle self-check for CI.
+
+    Exercises prepare → serialize → deserialize → every registered sampler
+    on a tiny built-in formula, validating each returned witness.
+    """
+    from ..cnf.formula import CNF
+
+    cnf = CNF()
+    cnf.add_clause([1, 2, 3])
+    cnf.add_clause([-1, -2])
+    cnf.add_xor([4, 5, 6], rhs=True)
+    cnf.sampling_set = [1, 2, 3, 4, 5, 6]
+
+    config = SamplerConfig(epsilon=6.0, seed=7, xor_count=2)
+    artifact = prepare(cnf, config)
+    roundtrip = PreparedFormula.from_dict(artifact.to_dict())
+    print(f"c prepare: {artifact.describe()}")
+
+    failures = 0
+    for name in available_samplers():
+        entry = get_entry(name)
+        target = roundtrip if entry.supports_prepared else cnf
+        sampler = make_sampler(name, target, config)
+        witnesses = sampler.sample_until(3, max_attempts=20)
+        ok = witnesses and all(cnf.evaluate(w) for w in witnesses)
+        if not ok:
+            failures += 1
+        print(f"c {name:10s} {'ok' if ok else 'FAIL'} "
+              f"({len(witnesses)} witnesses)")
+    print("c smoke " + ("ok" if failures == 0 else f"FAILED ({failures})"))
+    return 0 if failures == 0 else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -143,6 +216,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "benchmarks":
+        if args.names_only:
+            from ..suite.registry import names
+
+            for name in names():
+                print(name)
+            return 0
         for entry in entries():
             instance = entry.build(args.scale)
             marker = "T1" if entry.in_table1 else "  "
@@ -156,34 +235,99 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "sample":
         from ..errors import ReproError, UnsatisfiableError
 
-        cnf = read_dimacs(args.cnf_file)
-        sampler = UniGen(
-            cnf,
-            epsilon=args.epsilon,
-            rng=args.seed,
-            bsat_budget=Budget(timeout_seconds=args.bsat_timeout),
-            approxmc_search="galloping",
-        )
+        if args.smoke:
+            return _run_smoke()
+        if args.cnf_file is None and args.prepared is None:
+            print("c error: need a CNF file, --prepared, or --smoke",
+                  file=sys.stderr)
+            return 2
         try:
-            sampler.prepare()
+            epsilon = args.epsilon
+            if args.prepared is not None:
+                target = PreparedFormula.load(args.prepared)
+                print(f"c prepared artifact: {target.describe()}",
+                      file=sys.stderr)
+                if epsilon is None:
+                    # The artifact records the ε it was built under; adopting
+                    # it under a different ε is rejected, so default to its.
+                    epsilon = target.epsilon
+                if args.cnf_file is not None:
+                    # The artifact embeds the formula it was prepared from;
+                    # sampling a *different* positional file would silently
+                    # produce witnesses of the wrong formula.
+                    from ..cnf.dimacs import dimacs_body
+
+                    if dimacs_body(read_dimacs(args.cnf_file)) != dimacs_body(
+                        target.cnf
+                    ):
+                        print(
+                            f"c error: {args.cnf_file} differs from the "
+                            f"formula embedded in {args.prepared}; re-run "
+                            "`repro prepare` or drop one of the two inputs",
+                            file=sys.stderr,
+                        )
+                        return 2
+            else:
+                target = read_dimacs(args.cnf_file)
+            config = SamplerConfig(
+                epsilon=6.0 if epsilon is None else epsilon,
+                seed=args.seed,
+                bsat_timeout_s=args.bsat_timeout,
+                approxmc_search="galloping",
+                xor_count=args.xor_count,
+            )
+            sampler = make_sampler(args.sampler, target, config)
+            preparer = getattr(sampler, "prepare", None)
+            if callable(preparer):
+                preparer()
         except UnsatisfiableError:
             print("s UNSATISFIABLE")
             return 1
-        except ReproError as exc:
+        except (ReproError, ValueError, OSError) as exc:
             print(f"c error: {exc}", file=sys.stderr)
             return 2
-        for _ in range(args.num):
-            witness = sampler.sample()
+        for witness in sampler.sample_many(args.num):
             if witness is None:
                 print("BOT")  # the ⊥ outcome
                 continue
             lits = [v if witness[v] else -v for v in sorted(witness)]
             print("v " + " ".join(str(l) for l in lits) + " 0")
         print(
-            f"c success={sampler.stats.success_probability:.3f} "
+            f"c sampler={sampler.name} "
+            f"success={sampler.stats.success_probability:.3f} "
             f"avg_xor_len={sampler.stats.avg_xor_length:.1f}",
             file=sys.stderr,
         )
+        return 0
+
+    if args.command == "prepare":
+        from ..errors import ReproError, UnsatisfiableError
+
+        config = SamplerConfig(
+            epsilon=args.epsilon,
+            seed=args.seed,
+            bsat_timeout_s=args.bsat_timeout,
+            approxmc_search="galloping",
+        )
+        try:
+            cnf = read_dimacs(args.cnf_file)
+            artifact = prepare(cnf, config)
+            artifact.save(args.out)
+        except UnsatisfiableError:
+            print("s UNSATISFIABLE")
+            return 1
+        except (ReproError, OSError) as exc:
+            print(f"c error: {exc}", file=sys.stderr)
+            return 2
+        print(f"c wrote {args.out}")
+        print(f"c {artifact.describe()}")
+        return 0
+
+    if args.command == "samplers":
+        for name in available_samplers():
+            entry = get_entry(name)
+            prep = "prepare+sample" if entry.supports_prepared else "sample-only"
+            print(f"{name:10s} [{prep:14s}] {entry.summary}")
         return 0
 
     if args.command == "count":

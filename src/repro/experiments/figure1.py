@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.unigen import UniGen
+from ..api import SamplerConfig, make_sampler
 from ..core.us import IdealUniformSampler
 from ..rng import RandomSource, as_random_source
 from ..stats.uniformity import (
@@ -105,8 +105,11 @@ def run_figure1(
     result.us_tv = total_variation_from_uniform(us_draws, count)
 
     # UniGen draws (witness space) using the same random source, per §5.
-    sampler = UniGen(
-        cnf, epsilon=epsilon, rng=rng, approxmc_search="galloping"
+    sampler = make_sampler(
+        "unigen",
+        cnf,
+        SamplerConfig(epsilon=epsilon, approxmc_search="galloping"),
+        rng=rng,
     )
     svars = instance.sampling_set
     unigen_draws: list[tuple[int, ...]] = []

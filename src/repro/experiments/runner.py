@@ -12,8 +12,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..api import SamplerConfig, make_sampler
 from ..core.base import WitnessSampler
 from ..errors import BudgetExhausted, ReproError
+from ..rng import RandomSource
 from ..suite.families import BenchmarkInstance
 
 
@@ -103,3 +105,26 @@ def run_sampler(
     if stats.xor_clauses_added:
         measurement.avg_xor_len = stats.avg_xor_length
     return measurement
+
+
+def run_named_sampler(
+    instance: BenchmarkInstance,
+    sampler_name: str,
+    config: SamplerConfig,
+    n_samples: int,
+    overall_timeout_s: float | None = None,
+    keep_witnesses: bool = False,
+    rng: RandomSource | None = None,
+) -> SamplerMeasurement:
+    """:func:`run_sampler` with the sampler picked from the registry by name.
+
+    This is how the tables/CLI select algorithms — no hard-coded sampler
+    imports; anything in :func:`repro.api.available_samplers` works.
+    """
+    return run_sampler(
+        instance,
+        lambda inst: make_sampler(sampler_name, inst.cnf, config, rng=rng),
+        n_samples=n_samples,
+        overall_timeout_s=overall_timeout_s,
+        keep_witnesses=keep_witnesses,
+    )

@@ -19,13 +19,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.unigen import UniGen
-from ..core.uniwit import UniWit
+from ..api import SamplerConfig
 from ..rng import RandomSource, as_random_source
-from ..sat.types import Budget
 from ..suite.registry import RegistryEntry, entries, table1_entries
 from .report import format_cell, render_table
-from .runner import SamplerMeasurement, run_sampler
+from .runner import SamplerMeasurement, run_named_sampler
 
 
 @dataclass
@@ -53,39 +51,39 @@ class TableConfig:
     approxmc_search: str = "galloping"
     seed: int = 2014
     include_uniwit: bool = True
+    # Registry names of the two columns; any entry of
+    # repro.api.available_samplers() works (e.g. "unigen2" vs "uniwit").
+    sampler: str = "unigen"
+    baseline: str = "uniwit"
 
 
 def run_row(entry: RegistryEntry, config: TableConfig, rng: RandomSource) -> TableRow:
     """Measure one registry row under the paper's protocol."""
     instance = entry.build(config.scale)
-    budget = Budget(timeout_seconds=config.bsat_timeout_s)
+    api_config = SamplerConfig(
+        epsilon=config.epsilon,
+        bsat_timeout_s=config.bsat_timeout_s,
+        approxmc_search=config.approxmc_search,
+    )
 
-    unigen_rng = rng.spawn()
-    unigen = run_sampler(
+    unigen = run_named_sampler(
         instance,
-        lambda inst: UniGen(
-            inst.cnf,
-            epsilon=config.epsilon,
-            rng=unigen_rng,
-            bsat_budget=budget,
-            approxmc_search=config.approxmc_search,
-        ),
+        config.sampler,
+        api_config,
         n_samples=config.unigen_samples,
         overall_timeout_s=config.per_instance_timeout_s,
+        rng=rng.spawn(),
     )
 
     uniwit = None
     if config.include_uniwit:
-        uniwit_rng = rng.spawn()
-        uniwit = run_sampler(
+        uniwit = run_named_sampler(
             instance,
-            lambda inst: UniWit(
-                inst.cnf,
-                rng=uniwit_rng,
-                bsat_budget=budget,
-            ),
+            config.baseline,
+            api_config,
             n_samples=config.uniwit_samples,
             overall_timeout_s=config.per_instance_timeout_s,
+            rng=rng.spawn(),
         )
 
     return TableRow(

@@ -19,6 +19,7 @@ from .registry import (
     build_figure1,
     entries,
     get,
+    names,
     table1_entries,
 )
 
@@ -37,6 +38,7 @@ __all__ = [
     "entries",
     "table1_entries",
     "get",
+    "names",
     "build",
     "build_figure1",
     "SCALES",

@@ -306,6 +306,11 @@ def entries() -> list[RegistryEntry]:
     return list(_ENTRIES)
 
 
+def names() -> list[str]:
+    """All benchmark names, in the paper's grouping order (CLI helper)."""
+    return [e.name for e in _ENTRIES]
+
+
 def table1_entries() -> list[RegistryEntry]:
     """The Table 1 subset (the paper's headline comparison)."""
     return [e for e in _ENTRIES if e.in_table1]

@@ -37,10 +37,12 @@ class TestErrorHierarchy:
 class TestLazyPackageApi:
     @pytest.mark.parametrize(
         "name",
-        ["UniGen", "UniWit", "XorSamplePrime", "PawsStyle", "ApproxMC",
-         "ExactCounter", "Solver", "bsat", "Budget", "HxorFamily",
+        ["UniGen", "UniGen2", "UniWit", "XorSamplePrime", "PawsStyle",
+         "ApproxMC", "ExactCounter", "Solver", "bsat", "Budget", "HxorFamily",
          "find_independent_support", "IdealUniformSampler",
-         "compute_kappa_pivot"],
+         "EnumerativeUniformSampler", "compute_kappa_pivot", "SampleResult",
+         "WitnessSampler", "SamplerConfig", "PreparedFormula", "prepare",
+         "make_sampler", "available_samplers", "register_sampler"],
     )
     def test_lazy_attributes_resolve(self, name):
         assert getattr(repro, name) is not None

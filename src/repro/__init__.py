@@ -62,6 +62,9 @@ def __getattr__(name):  # pragma: no cover - thin lazy-import shim
         "make_sampler": "repro.api",
         "available_samplers": "repro.api",
         "register_sampler": "repro.api",
+        "ParallelSamplerConfig": "repro.parallel",
+        "ParallelSampleReport": "repro.parallel",
+        "sample_parallel": "repro.parallel",
         "ApproxMC": "repro.counting",
         "ExactCounter": "repro.counting",
         "Solver": "repro.sat",

@@ -20,9 +20,16 @@ and shared by any number of samplers — none of which re-run ApproxMC.
 ``sample()``, ``sample_result()`` (a :class:`SampleResult` with cell size,
 hash size and timing), ``sample_batch()``, ``sample_until(n)`` and
 ``iter_samples()``.
+
+The per-sample phase also fans out over a process pool
+(:mod:`repro.parallel`, re-exported here): ``sample_parallel(pf, n,
+config, ParallelSamplerConfig(jobs=8))`` draws the same witness stream as
+a serial run of the same root seed, merged into an ordered
+:class:`ParallelSampleReport`.
 """
 
 from ..core.base import SampleResult, SamplerStats, Witness, WitnessSampler
+from ..parallel import ParallelSamplerConfig, ParallelSampleReport, sample_parallel
 from .config import SamplerConfig
 from .prepared import PREPARED_FORMAT_VERSION, PreparedFormula, prepare
 from .registry import (
@@ -35,6 +42,9 @@ from .registry import (
 
 __all__ = [
     "SamplerConfig",
+    "ParallelSamplerConfig",
+    "ParallelSampleReport",
+    "sample_parallel",
     "PreparedFormula",
     "PREPARED_FORMAT_VERSION",
     "prepare",

@@ -28,20 +28,29 @@ from pathlib import Path
 
 from ..cnf.dimacs import parse_dimacs, to_dimacs
 from ..cnf.formula import CNF
-from ..core.base import Witness
+from ..core.base import Witness, lits_to_witness, witness_to_lits
 from ..counting.types import CountResult
 from ..errors import SamplingError
 
 #: Bumped whenever the serialized layout changes incompatibly.
 PREPARED_FORMAT_VERSION = 1
 
+#: Keys that must be present in a serialized artifact.
+_REQUIRED_KEYS = frozenset({"format_version", "dimacs", "epsilon"})
 
-def _witness_to_lits(witness: Witness) -> list[int]:
-    return [v if witness[v] else -v for v in sorted(witness)]
-
-
-def _lits_to_witness(lits: list[int]) -> Witness:
-    return {abs(l): l > 0 for l in lits}
+#: Every key :meth:`PreparedFormula.to_dict` writes.  Unknown keys are
+#: rejected rather than ignored: an artifact is a cache of exact sampler
+#: state, and a field this version cannot interpret could change sampling
+#: behaviour silently.
+_KNOWN_KEYS = _REQUIRED_KEYS | {
+    "name",
+    "sampling_set",
+    "easy_witnesses",
+    "q",
+    "approx_count",
+    "prepare_bsat_calls",
+    "prepare_time_seconds",
+}
 
 
 @dataclass
@@ -108,7 +117,7 @@ class PreparedFormula:
             "epsilon": self.epsilon,
             "sampling_set": list(self.sampling_set),
             "easy_witnesses": (
-                [_witness_to_lits(w) for w in self.easy_witnesses]
+                [witness_to_lits(w) for w in self.easy_witnesses]
                 if self.easy_witnesses is not None
                 else None
             ),
@@ -122,29 +131,78 @@ class PreparedFormula:
 
     @classmethod
     def from_dict(cls, data: dict) -> "PreparedFormula":
-        """Inverse of :meth:`to_dict`."""
-        version = data.get("format_version")
+        """Inverse of :meth:`to_dict`.
+
+        Strict: the dict must carry exactly the schema :meth:`to_dict`
+        writes.  Missing required fields, unknown fields, a wrong format
+        version, or untranslatable values all raise
+        :class:`~repro.errors.SamplingError` — never a bare ``KeyError`` —
+        so a corrupted or hand-edited cache file fails loudly at the API
+        boundary instead of deep inside a sampler.
+        """
+        if not isinstance(data, dict):
+            raise SamplingError(
+                f"prepared-formula artifact must be a dict, got "
+                f"{type(data).__name__}"
+            )
+        missing = sorted(_REQUIRED_KEYS - data.keys())
+        if missing:
+            raise SamplingError(
+                f"prepared-formula artifact is missing fields: {missing}"
+            )
+        unknown = sorted(data.keys() - _KNOWN_KEYS)
+        if unknown:
+            raise SamplingError(
+                f"prepared-formula artifact has unknown fields: {unknown} "
+                f"(format version {PREPARED_FORMAT_VERSION} defines "
+                f"{sorted(_KNOWN_KEYS)})"
+            )
+        version = data["format_version"]
         if version != PREPARED_FORMAT_VERSION:
             raise SamplingError(
                 f"unsupported prepared-formula format version {version!r} "
                 f"(this library writes version {PREPARED_FORMAT_VERSION})"
             )
         easy = data.get("easy_witnesses")
+        if easy is not None and (not isinstance(easy, list) or not easy):
+            # A prepared formula is satisfiable by construction, so the
+            # easy payload is either absent or a non-empty witness list.
+            raise SamplingError(
+                "easy_witnesses must be null or a non-empty list, got "
+                f"{easy!r}"
+            )
+        if (easy is None) == (data.get("q") is None):
+            # The class invariant: exactly one of the two payloads is set.
+            raise SamplingError(
+                "prepared-formula artifact must carry exactly one of "
+                "'easy_witnesses' (the enumerated easy case) and 'q' (the "
+                "hashed-case window), got "
+                f"easy_witnesses={easy!r}, q={data.get('q')!r}"
+            )
         count = data.get("approx_count")
-        return cls(
-            cnf=parse_dimacs(data["dimacs"], name=data.get("name", "")),
-            epsilon=float(data["epsilon"]),
-            sampling_set=[int(v) for v in data.get("sampling_set", [])],
-            easy_witnesses=(
-                [_lits_to_witness(lits) for lits in easy]
-                if easy is not None
-                else None
-            ),
-            q=None if data.get("q") is None else int(data["q"]),
-            approx_count=CountResult.from_dict(count) if count else None,
-            prepare_bsat_calls=int(data.get("prepare_bsat_calls", 0)),
-            prepare_time_seconds=float(data.get("prepare_time_seconds", 0.0)),
-        )
+        try:
+            return cls(
+                cnf=parse_dimacs(data["dimacs"], name=data.get("name", "")),
+                epsilon=float(data["epsilon"]),
+                sampling_set=[int(v) for v in data.get("sampling_set") or []],
+                easy_witnesses=(
+                    [lits_to_witness(lits) for lits in easy]
+                    if easy is not None
+                    else None
+                ),
+                q=None if data.get("q") is None else int(data["q"]),
+                approx_count=CountResult.from_dict(count) if count else None,
+                prepare_bsat_calls=int(data.get("prepare_bsat_calls") or 0),
+                prepare_time_seconds=float(
+                    data.get("prepare_time_seconds") or 0.0
+                ),
+            )
+        except SamplingError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise SamplingError(
+                f"malformed prepared-formula artifact: {exc!r}"
+            ) from exc
 
     def save(self, path: str | Path) -> None:
         """Write the artifact as JSON (the ``repro prepare --out`` format)."""
@@ -155,7 +213,13 @@ class PreparedFormula:
     @classmethod
     def load(cls, path: str | Path) -> "PreparedFormula":
         """Read an artifact written by :meth:`save`."""
-        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise SamplingError(
+                f"prepared-formula file {path} is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(data)
 
     def describe(self) -> str:
         """One human-readable line for CLI output."""

@@ -21,10 +21,25 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Iterator
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Iterator
 
 Witness = dict[int, bool]
+
+
+def witness_to_lits(witness: Witness) -> list[int]:
+    """Canonical signed-literal list form of a witness (sorted by variable).
+
+    The wire format for witnesses crossing a process or JSON boundary —
+    used by :class:`~repro.api.prepared.PreparedFormula` and the parallel
+    engine's worker results.
+    """
+    return [v if witness[v] else -v for v in sorted(witness)]
+
+
+def lits_to_witness(lits: Iterable[int]) -> Witness:
+    """Inverse of :func:`witness_to_lits`."""
+    return {abs(l): l > 0 for l in lits}
 
 
 @dataclass(frozen=True)
@@ -57,6 +72,28 @@ class SampleResult:
 
     def __bool__(self) -> bool:
         return self.witness is not None
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (witness as a signed-literal list)."""
+        return {
+            "witness": (
+                None if self.witness is None else witness_to_lits(self.witness)
+            ),
+            "cell_size": self.cell_size,
+            "hash_size": self.hash_size,
+            "time_seconds": self.time_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SampleResult":
+        """Inverse of :meth:`to_dict` (the parallel engine's wire format)."""
+        lits = data.get("witness")
+        return cls(
+            witness=None if lits is None else lits_to_witness(lits),
+            cell_size=data.get("cell_size"),
+            hash_size=data.get("hash_size"),
+            time_seconds=float(data.get("time_seconds", 0.0)),
+        )
 
 
 @dataclass
@@ -93,6 +130,33 @@ class SamplerStats:
         if self.attempts == 0:
             return 0.0
         return self.sample_time_seconds / self.attempts
+
+    def merge(self, other: "SamplerStats") -> "SamplerStats":
+        """Accumulate ``other``'s counters into this one (returns self).
+
+        Every field of :class:`SamplerStats` is additive, so merging is
+        well-defined across samplers over the same formula — this is how
+        the parallel engine folds per-worker stats into one run total.
+        """
+        for f in self.__dataclass_fields__:
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+        return self
+
+    @classmethod
+    def merged(cls, parts: Iterable["SamplerStats"]) -> "SamplerStats":
+        """One cumulative :class:`SamplerStats` over all of ``parts``."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SamplerStats":
+        return cls(**{f: data[f] for f in cls.__dataclass_fields__ if f in data})
 
 
 class WitnessSampler(ABC):
@@ -157,21 +221,58 @@ class WitnessSampler(ABC):
         witness = self.sample()
         return [] if witness is None else [witness]
 
+    def sample_until_results(
+        self, n: int, max_attempts: int | None = None
+    ) -> list[SampleResult]:
+        """The retry loop with per-draw provenance; the one implementation.
+
+        Draws batches until ``n`` witnesses are delivered or
+        ``max_attempts`` :meth:`sample_batch` calls are spent.  A ⊥ batch
+        contributes one failed :class:`SampleResult`; a successful batch
+        contributes one entry per *kept* witness (extras beyond ``n`` are
+        discarded), sharing the batch's cell provenance with its timing
+        split evenly.  Both :meth:`sample_until` and the parallel engine's
+        workers are thin wrappers over this.
+        """
+        out: list[SampleResult] = []
+        delivered = 0
+        attempts = 0
+        while delivered < n:
+            if max_attempts is not None and attempts >= max_attempts:
+                break
+            start = time.monotonic()
+            batch = self.sample_batch()
+            elapsed = time.monotonic() - start
+            attempts += 1
+            cell = self._last_cell_size
+            hsize = self._last_hash_size
+            if not batch:
+                out.append(
+                    SampleResult(None, cell, hsize, time_seconds=elapsed)
+                )
+                continue
+            kept = batch[: n - delivered]
+            for witness in kept:
+                out.append(
+                    SampleResult(
+                        witness, cell, hsize,
+                        time_seconds=elapsed / len(batch),
+                    )
+                )
+            delivered += len(kept)
+        return out
+
     def sample_until(self, n: int, max_attempts: int | None = None) -> list[Witness]:
         """Draw batches until ``n`` witnesses (or ``max_attempts`` attempts).
 
-        This is the single retry-loop implementation shared by all
-        samplers; each :meth:`sample_batch` call counts as one attempt.
+        Each :meth:`sample_batch` call counts as one attempt; the loop
+        itself lives in :meth:`sample_until_results`.
         """
-        out: list[Witness] = []
-        attempts = 0
-        while len(out) < n:
-            if max_attempts is not None and attempts >= max_attempts:
-                break
-            batch = self.sample_batch()
-            attempts += 1
-            out.extend(batch[: n - len(out)])
-        return out
+        return [
+            r.witness
+            for r in self.sample_until_results(n, max_attempts=max_attempts)
+            if r.witness is not None
+        ]
 
     def iter_samples(
         self, limit: int | None = None, max_attempts: int | None = None

@@ -44,3 +44,27 @@ class UnsatisfiableError(ReproError):
 class SamplingError(ReproError):
     """Raised for unrecoverable sampler failures (distinct from ``None``
     returns, which indicate the bounded-probability ⊥ outcome of Theorem 1)."""
+
+
+class WorkerFailure(SamplingError):
+    """Raised by the parallel engine when a worker process fails.
+
+    Exceptions cannot cross the process boundary intact, so the worker
+    captures the original type name, message, and traceback text and the
+    engine re-raises them wrapped in this type.  ``chunk_index`` identifies
+    the failed unit of work; ``remote_type`` and ``remote_traceback`` keep
+    the original failure debuggable from the parent.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        chunk_index: int | None = None,
+        remote_type: str | None = None,
+        remote_traceback: str | None = None,
+    ):
+        self.chunk_index = chunk_index
+        self.remote_type = remote_type
+        self.remote_traceback = remote_traceback
+        super().__init__(message)

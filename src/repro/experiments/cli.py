@@ -11,8 +11,11 @@ the sampling lifecycle as a tool:
   1–11 once and cache the artifact;
 * ``repro sample FILE.cnf`` — witnesses of a DIMACS file (``c ind`` lines
   supply the sampling set); ``--sampler`` picks any registered algorithm,
-  ``--prepared state.json`` reuses a cached artifact, ``--smoke`` runs the
-  built-in self-check CI exercises;
+  ``--prepared state.json`` reuses a cached artifact, ``--jobs N`` fans the
+  drawing out over a worker pool, ``--smoke`` runs the built-in self-check
+  CI exercises (``--smoke --jobs 2`` adds the parallel-engine leg);
+* ``repro bench-throughput`` — witnesses/sec of the parallel engine across
+  job counts on a suite benchmark or a DIMACS file;
 * ``repro count FILE.cnf`` — ApproxMC as a tool;
 * ``repro samplers`` — list the sampler registry;
 * ``repro benchmarks`` — list the benchmark registry.
@@ -82,7 +85,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sample", help="sample witnesses of a DIMACS file")
     p.add_argument("cnf_file", nargs="?", default=None)
-    p.add_argument("-n", "--num", type=int, default=1)
+    p.add_argument("-n", "--num", type=int, default=1,
+                   help="witnesses to deliver (failed draws are retried, up"
+                        " to 10x n attempts; undelivered ones print BOT)")
     p.add_argument("--sampler", default="unigen",
                    help=f"algorithm name, one of {available_samplers()}")
     p.add_argument("--prepared", metavar="STATE_JSON", default=None,
@@ -95,9 +100,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bsat-timeout", type=float, default=60.0)
     p.add_argument("--xor-count", type=int, default=None,
                    help="XOR count s (required by --sampler xorsample)")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="sample through the parallel engine with N worker"
+                        " processes (N=1 runs the identical chunked pipeline"
+                        " in-process); default: classic serial path")
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="witnesses per parallel work unit (default: derived"
+                        " from -n, independent of --jobs)")
     p.add_argument("--smoke", action="store_true",
                    help="fast self-check of the whole lifecycle on a tiny"
-                        " built-in formula (used by CI)")
+                        " built-in formula (used by CI); with --jobs N also"
+                        " exercises the parallel engine")
+
+    p = sub.add_parser(
+        "bench-throughput",
+        help="measure parallel sampling throughput (witnesses/sec) vs jobs",
+    )
+    p.add_argument("cnf_file", nargs="?", default=None,
+                   help="DIMACS file; omit to use a suite benchmark (--name)")
+    p.add_argument("--name", default="s1196a_7_4",
+                   help="suite benchmark name (ignored when a CNF file is"
+                        " given); see `repro benchmarks --names-only`")
+    p.add_argument("--scale", choices=("quick", "full"), default="quick")
+    p.add_argument("-n", "--num", type=int, default=200,
+                   help="witnesses per job-count measurement")
+    p.add_argument("--jobs", type=int, nargs="+", default=[1, 2, 4],
+                   metavar="N", help="job counts to measure")
+    p.add_argument("--sampler", default="unigen2")
+    p.add_argument("--seed", type=int, default=2014)
+    p.add_argument("--epsilon", type=float, default=6.0)
+    p.add_argument("--chunk-size", type=int, default=None)
 
     p = sub.add_parser(
         "prepare",
@@ -141,13 +173,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_smoke() -> int:
+def _print_witnesses(witnesses, shortfall: int) -> None:
+    """DIMACS-style output: one ``v`` line per witness, ``BOT`` per
+    requested-but-undelivered one (serial and parallel paths share this)."""
+    from ..core.base import witness_to_lits
+
+    for witness in witnesses:
+        print("v " + " ".join(str(l) for l in witness_to_lits(witness)) + " 0")
+    for _ in range(max(0, shortfall)):
+        print("BOT")
+
+
+def _run_smoke(jobs: int | None = None) -> int:
     """``repro sample --smoke``: seconds-fast lifecycle self-check for CI.
 
     Exercises prepare → serialize → deserialize → every registered sampler
-    on a tiny built-in formula, validating each returned witness.
+    on a tiny built-in formula, validating each returned witness.  With
+    ``jobs`` set, additionally runs the parallel engine at that job count
+    and asserts jobs-invariance: the pool must draw exactly the witnesses
+    the in-process ``jobs=1`` pipeline draws under the same root seed.
     """
     from ..cnf.formula import CNF
+    from ..parallel import ParallelSamplerConfig, sample_parallel
 
     cnf = CNF()
     cnf.add_clause([1, 2, 3])
@@ -171,6 +218,25 @@ def _run_smoke() -> int:
             failures += 1
         print(f"c {name:10s} {'ok' if ok else 'FAIL'} "
               f"({len(witnesses)} witnesses)")
+
+    if jobs is not None and jobs > 1:
+        serial = sample_parallel(
+            roundtrip, 8, config, ParallelSamplerConfig(jobs=1)
+        )
+        pooled = sample_parallel(
+            roundtrip, 8, config, ParallelSamplerConfig(jobs=jobs)
+        )
+        ok = (
+            pooled.witnesses == serial.witnesses
+            and len(pooled.witnesses) == 8
+            and all(cnf.evaluate(w) for w in pooled.witnesses)
+        )
+        if not ok:
+            failures += 1
+        print(f"c parallel   {'ok' if ok else 'FAIL'} "
+              f"(jobs={jobs}, {len(pooled.witnesses)} witnesses, "
+              f"jobs-invariant={pooled.witnesses == serial.witnesses})")
+
     print("c smoke " + ("ok" if failures == 0 else f"FAILED ({failures})"))
     return 0 if failures == 0 else 1
 
@@ -236,7 +302,7 @@ def main(argv: list[str] | None = None) -> int:
         from ..errors import ReproError, UnsatisfiableError
 
         if args.smoke:
-            return _run_smoke()
+            return _run_smoke(jobs=args.jobs)
         if args.cnf_file is None and args.prepared is None:
             print("c error: need a CNF file, --prepared, or --smoke",
                   file=sys.stderr)
@@ -276,6 +342,30 @@ def main(argv: list[str] | None = None) -> int:
                 approxmc_search="galloping",
                 xor_count=args.xor_count,
             )
+            if args.jobs is not None:
+                from ..errors import WorkerFailure
+                from ..parallel import ParallelSamplerConfig, sample_parallel
+
+                try:
+                    report = sample_parallel(
+                        target,
+                        args.num,
+                        config,
+                        ParallelSamplerConfig(
+                            jobs=args.jobs,
+                            sampler=args.sampler,
+                            chunk_size=args.chunk_size,
+                        ),
+                    )
+                except WorkerFailure as exc:
+                    # Sample-only samplers discover UNSAT inside a worker;
+                    # report it the way the serial path does.
+                    if exc.remote_type == "UnsatisfiableError":
+                        raise UnsatisfiableError(str(exc)) from exc
+                    raise
+                _print_witnesses(report.witnesses, report.shortfall)
+                print(f"c {report.describe()}", file=sys.stderr)
+                return 0
             sampler = make_sampler(args.sampler, target, config)
             preparer = getattr(sampler, "prepare", None)
             if callable(preparer):
@@ -286,12 +376,21 @@ def main(argv: list[str] | None = None) -> int:
         except (ReproError, ValueError, OSError) as exc:
             print(f"c error: {exc}", file=sys.stderr)
             return 2
-        for witness in sampler.sample_many(args.num):
-            if witness is None:
-                print("BOT")  # the ⊥ outcome
-                continue
-            lits = [v if witness[v] else -v for v in sorted(witness)]
-            print("v " + " ".join(str(l) for l in lits) + " 0")
+        try:
+            # Same -n contract as the parallel path: deliver args.num
+            # witnesses (bounded retries), BOT lines only for the shortfall.
+            witnesses = sampler.sample_until(
+                args.num, max_attempts=10 * max(1, args.num)
+            )
+        except UnsatisfiableError:
+            # Sample-only samplers (uniwit, xorsample, …) have no prepare
+            # phase and discover UNSAT on the first draw.
+            print("s UNSATISFIABLE")
+            return 1
+        except ReproError as exc:
+            print(f"c error: {exc}", file=sys.stderr)
+            return 2
+        _print_witnesses(witnesses, args.num - len(witnesses))
         print(
             f"c sampler={sampler.name} "
             f"success={sampler.stats.success_probability:.3f} "
@@ -321,6 +420,64 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         print(f"c wrote {args.out}")
         print(f"c {artifact.describe()}")
+        return 0
+
+    if args.command == "bench-throughput":
+        from ..errors import ReproError
+        from ..parallel import ParallelSamplerConfig, sample_parallel
+
+        try:
+            if args.cnf_file is not None:
+                cnf = read_dimacs(args.cnf_file)
+                label = args.cnf_file
+            else:
+                from ..suite import build
+
+                cnf = build(args.name, args.scale).cnf
+                label = f"{args.name} ({args.scale})"
+            config = SamplerConfig(
+                epsilon=args.epsilon,
+                seed=args.seed,
+                approxmc_search="galloping",
+            )
+            entry = get_entry(args.sampler)
+            # Prepare once so every job count measures pure lines-12–22
+            # throughput, not a redundant ApproxMC per measurement.
+            target = prepare(cnf, config) if entry.supports_prepared else cnf
+        except (ReproError, ValueError, OSError) as exc:
+            print(f"c error: {exc}", file=sys.stderr)
+            return 2
+        print(f"c bench-throughput: {label}, sampler={entry.name}, "
+              f"n={args.num}, seed={args.seed}")
+        measurements = []
+        try:
+            for jobs in args.jobs:
+                report = sample_parallel(
+                    target,
+                    args.num,
+                    config,
+                    ParallelSamplerConfig(
+                        jobs=jobs,
+                        sampler=args.sampler,
+                        chunk_size=args.chunk_size,
+                    ),
+                )
+                measurements.append((jobs, report))
+        except (ReproError, ValueError) as exc:
+            print(f"c error: {exc}", file=sys.stderr)
+            return 2
+        # Speedups are relative to the fewest-jobs measurement (the 1-job
+        # run when present), whatever order --jobs listed them in.
+        baseline = min(measurements, key=lambda m: m[0])[1].witnesses_per_second
+        print(f"{'jobs':>5s} {'witnesses':>10s} {'wall s':>8s} "
+              f"{'wit/s':>8s} {'speedup':>8s}")
+        for jobs, report in measurements:
+            speedup = (
+                report.witnesses_per_second / baseline if baseline else 0.0
+            )
+            print(f"{jobs:5d} {len(report.witnesses):10d} "
+                  f"{report.wall_time_seconds:8.2f} "
+                  f"{report.witnesses_per_second:8.1f} {speedup:7.2f}x")
         return 0
 
     if args.command == "samplers":

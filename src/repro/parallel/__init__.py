@@ -1,0 +1,30 @@
+"""Multiprocess sampling over :class:`~repro.api.prepared.PreparedFormula`.
+
+The one-time phase of Algorithm 1 runs once in the parent; its serialized
+artifact ships to ``jobs`` workers, each drawing chunks of witnesses under
+deterministically derived seeds::
+
+    from repro.api import SamplerConfig
+    from repro.parallel import ParallelSamplerConfig, sample_parallel
+
+    report = sample_parallel(
+        cnf_or_prepared,
+        1000,
+        SamplerConfig(seed=42),
+        ParallelSamplerConfig(jobs=8, sampler="unigen2"),
+    )
+    report.witnesses            # ordered, identical for jobs=1 and jobs=8
+    report.witnesses_per_second
+
+See :mod:`repro.parallel.engine` for the design notes and guarantees.
+"""
+
+from .config import ParallelSamplerConfig, default_chunk_size
+from .engine import ParallelSampleReport, sample_parallel
+
+__all__ = [
+    "ParallelSamplerConfig",
+    "ParallelSampleReport",
+    "sample_parallel",
+    "default_chunk_size",
+]

@@ -1,0 +1,106 @@
+"""Configuration of the parallel sampling engine.
+
+Separated from :class:`~repro.api.config.SamplerConfig` on purpose: the
+sampler config describes *what* is sampled (the algorithm's knobs, shared
+verbatim by every worker), while :class:`ParallelSamplerConfig` describes
+*how the work is spread* — job count, chunking, pool start method, and the
+per-chunk failure guards.  The split keeps one invariant easy to state:
+**nothing in this class may influence which witnesses are drawn.**  The
+drawn multiset is a pure function of ``(formula, sampler, SamplerConfig,
+root seed, n, chunk_size)``; ``jobs``, scheduling, and the start method
+only change how fast the same stream is produced.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from dataclasses import asdict, dataclass, fields
+
+
+def default_chunk_size(n: int) -> int:
+    """The chunking policy: a pure function of ``n`` alone.
+
+    Deliberately **not** a function of the job count — if it were, running
+    the same seed under ``--jobs 1`` and ``--jobs 8`` would partition the
+    per-chunk seed sequence differently and draw different witnesses.
+    Aims for enough chunks to keep any pool busy (≥ 2 per witness up to 32
+    chunks) while amortizing the per-chunk sampler construction.
+    """
+    if n <= 0:
+        return 1
+    return max(1, min(16, math.ceil(n / 32)))
+
+
+@dataclass
+class ParallelSamplerConfig:
+    """How :func:`~repro.parallel.engine.sample_parallel` spreads the work.
+
+    ``jobs``
+        Worker process count.  ``1`` runs the identical chunked pipeline
+        in-process (no pool), which is what makes the jobs-invariance
+        guarantee testable.
+    ``sampler``
+        Registry name of the algorithm every worker runs
+        (:func:`repro.api.available_samplers` lists them).
+    ``chunk_size``
+        Witnesses per unit of work; ``None`` applies
+        :func:`default_chunk_size`.  Part of the determinism key — two runs
+        agree only if their chunking agrees.
+    ``max_attempts_factor``
+        Per chunk, allow ``chunk_size × factor`` batch attempts before
+        returning short (⊥-heavy samplers must terminate, Theorem 1 only
+        bounds the failure probability away from 1).
+    ``start_method``
+        ``multiprocessing`` start method; ``None`` picks ``fork`` where the
+        platform offers it (cheap on Linux) falling back to ``spawn``.
+        Either way the :class:`~repro.api.prepared.PreparedFormula` crosses
+        the process boundary through its serialized dict form.
+    ``chunk_timeout_s``
+        Per-chunk wall-clock cap (the parallel analogue of the paper's
+        2,500 s BSAT cap); any chunk exceeding it makes the run raise
+        :class:`~repro.errors.BudgetExhausted`.  Enforced two ways: the
+        engine stops waiting on a hung chunk after at most this long
+        (terminating the pool), and every *completed* chunk's self-measured
+        time is checked against the cap — so an overrun masked by waiting
+        on an earlier chunk is still reported, just not interrupted early.
+        Setting it forces pool execution even at ``jobs=1`` (an in-process
+        chunk cannot be interrupted), which changes nothing about the
+        drawn witnesses.
+    """
+
+    jobs: int = 1
+    sampler: str = "unigen"
+    chunk_size: int | None = None
+    max_attempts_factor: int = 10
+    start_method: str | None = None
+    chunk_timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.max_attempts_factor < 1:
+            raise ValueError("max_attempts_factor must be >= 1")
+
+    def resolved_start_method(self) -> str:
+        """The concrete start method to hand to ``multiprocessing``."""
+        if self.start_method is not None:
+            return self.start_method
+        available = multiprocessing.get_all_start_methods()
+        return "fork" if "fork" in available else "spawn"
+
+    def resolve_chunk_size(self, n: int) -> int:
+        """The chunk size actually used for a run of ``n`` witnesses."""
+        return self.chunk_size if self.chunk_size else default_chunk_size(n)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ParallelSamplerConfig":
+        """Build from a dict, ignoring unknown keys (forward compatible)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})

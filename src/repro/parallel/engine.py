@@ -1,0 +1,267 @@
+"""The parallel sampling engine: Algorithm 1's per-sample phase, fanned out.
+
+The DAC'14 paper's scalability argument rests on an observation this module
+operationalizes: once lines 1–11 have produced the hash-size window (the
+:class:`~repro.api.prepared.PreparedFormula`), every per-sample run of
+lines 12–22 is independent — embarrassingly parallel.  The engine:
+
+1. runs (or adopts) the one-time phase **in the parent**, so ApproxMC is
+   paid exactly once no matter the job count;
+2. serializes the artifact and ships it to ``jobs`` worker processes via
+   the pool initializer (one deserialization per worker, not per chunk);
+3. splits the request into chunks whose seeds are *derived, not drawn*:
+   chunk ``k`` samples under ``derive_seed(root_seed, k)``, so results are
+   reproducible regardless of which worker runs which chunk in what order —
+   and identical across job counts;
+4. merges per-chunk results back **in chunk order** into one witness list,
+   one ordered :class:`~repro.core.base.SampleResult` stream, and one
+   merged :class:`~repro.core.base.SamplerStats`, wrapped with wall-clock
+   throughput in a :class:`ParallelSampleReport`.
+
+Worker exceptions surface as :class:`~repro.errors.WorkerFailure` with the
+remote traceback attached; a chunk overrunning ``chunk_timeout_s``
+terminates the pool and raises :class:`~repro.errors.BudgetExhausted`.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+
+from ..core.base import SampleResult, SamplerStats, Witness
+from ..errors import BudgetExhausted, WorkerFailure
+from ..rng import derive_seed, fresh_root_seed
+from .config import ParallelSamplerConfig
+from .worker import init_worker, run_chunk
+
+
+@dataclass
+class ParallelSampleReport:
+    """Everything one parallel run produced, merged and ordered.
+
+    ``witnesses`` and ``results`` are in chunk order (chunk 0's draws
+    first), which is also the exact order a ``jobs=1`` run of the same seed
+    produces them in.  ``root_seed`` is always concrete — when the caller
+    seeded from OS entropy it records the drawn root, so any run can be
+    replayed exactly.
+    """
+
+    witnesses: list[Witness]
+    results: list[SampleResult]
+    stats: SamplerStats
+    sampler: str
+    jobs: int
+    n_requested: int
+    chunk_size: int
+    n_chunks: int
+    root_seed: int
+    wall_time_seconds: float
+    chunk_times: list[float] = field(default_factory=list)
+
+    @property
+    def witnesses_per_second(self) -> float:
+        """End-to-end throughput (pool setup and merge included)."""
+        if self.wall_time_seconds <= 0:
+            return 0.0
+        return len(self.witnesses) / self.wall_time_seconds
+
+    @property
+    def shortfall(self) -> int:
+        """Requested-but-undelivered witnesses (⊥-heavy chunks ran out of
+        attempts); 0 on a fully successful run."""
+        return self.n_requested - len(self.witnesses)
+
+    def describe(self) -> str:
+        """One human-readable line for CLI output."""
+        return (
+            f"{len(self.witnesses)}/{self.n_requested} witnesses via "
+            f"{self.sampler} [jobs={self.jobs}, {self.n_chunks} chunks × "
+            f"{self.chunk_size}, seed={self.root_seed}] in "
+            f"{self.wall_time_seconds:.2f}s "
+            f"({self.witnesses_per_second:.1f} witnesses/s, "
+            f"success={self.stats.success_probability:.3f})"
+        )
+
+
+def _chunk_plan(
+    n: int, chunk_size: int, root_seed: int, max_attempts_factor: int
+) -> list[tuple[int, int, int, int]]:
+    """The task list: ``(index, derived seed, count, max_attempts)`` rows.
+
+    A pure function of ``(n, chunk_size, root_seed)`` — nothing about jobs
+    or scheduling enters, which is the whole determinism argument.
+    """
+    tasks = []
+    for index in range(math.ceil(n / chunk_size)):
+        count = min(chunk_size, n - index * chunk_size)
+        tasks.append(
+            (
+                index,
+                derive_seed(root_seed, index),
+                count,
+                max(1, count * max_attempts_factor),
+            )
+        )
+    return tasks
+
+
+def _build_payload(cnf_or_prepared, entry, config) -> dict:
+    """The serialized per-worker payload (plain dicts and strings only).
+
+    For samplers with a prepare phase the expensive lines 1–11 run *here*,
+    in the parent, exactly once; workers adopt the artifact.  Samplers
+    without one get the formula as DIMACS text (``c ind``/``x`` lines
+    included) — the amortization gap the paper's Section 5 measures.
+    """
+    from ..api.prepared import PreparedFormula, prepare
+    from ..cnf.dimacs import to_dimacs
+
+    payload = {"sampler": entry.name, "config": config.to_dict()}
+    if entry.supports_prepared:
+        if isinstance(cnf_or_prepared, PreparedFormula):
+            artifact = cnf_or_prepared
+        else:
+            artifact = prepare(cnf_or_prepared, config)
+        payload["prepared"] = artifact.to_dict()
+    else:
+        cnf = (
+            cnf_or_prepared.cnf
+            if isinstance(cnf_or_prepared, PreparedFormula)
+            else cnf_or_prepared
+        )
+        payload["dimacs"] = to_dimacs(cnf)
+        payload["name"] = cnf.name
+    return payload
+
+
+def _raise_worker_failure(raw: dict) -> None:
+    error = raw["error"]
+    raise WorkerFailure(
+        f"worker chunk {raw['chunk']} failed with {error['type']}: "
+        f"{error['message']}",
+        chunk_index=raw["chunk"],
+        remote_type=error["type"],
+        remote_traceback=error["traceback"],
+    )
+
+
+def sample_parallel(
+    cnf_or_prepared,
+    n: int,
+    config=None,
+    parallel: ParallelSamplerConfig | None = None,
+) -> ParallelSampleReport:
+    """Draw ``n`` witnesses across a process pool; the parallel entry point.
+
+    ``cnf_or_prepared``
+        A :class:`~repro.cnf.formula.CNF` or a
+        :class:`~repro.api.prepared.PreparedFormula`.  Passing the raw
+        formula to a prepare-phase sampler runs lines 1–11 once in the
+        parent first.
+    ``config``
+        The shared :class:`~repro.api.config.SamplerConfig`; its ``seed``
+        is the run's root seed (OS entropy is drawn — and recorded in the
+        report — when it is ``None``).
+    ``parallel``
+        A :class:`ParallelSamplerConfig`; defaults to a single job.
+
+    Guarantee: with a fixed root seed the returned witness sequence is a
+    pure function of ``(formula, sampler, config, n, chunk_size)`` — the
+    job count, pool scheduling, and start method cannot change it.
+    """
+    from ..api.config import SamplerConfig
+    from ..api.prepared import PreparedFormula
+    from ..api.registry import get_entry, make_sampler
+
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    parallel = parallel or ParallelSamplerConfig()
+    config = config or SamplerConfig()
+    entry = get_entry(parallel.sampler)
+    # Pre-flight: construct (and discard) one sampler in the parent so bad
+    # arguments — an ε/sampling-set mismatch with the artifact, a missing
+    # xor_count — fail here with a clean error instead of in every worker.
+    # Unlike make_sampler, the engine does accept an artifact for samplers
+    # without a prepare phase: they simply get its embedded formula.
+    preflight_target = cnf_or_prepared
+    if not entry.supports_prepared and isinstance(
+        cnf_or_prepared, PreparedFormula
+    ):
+        preflight_target = cnf_or_prepared.cnf
+    make_sampler(entry.name, preflight_target, config)
+
+    root_seed = config.seed if config.seed is not None else fresh_root_seed()
+    chunk_size = parallel.resolve_chunk_size(n)
+    tasks = _chunk_plan(n, chunk_size, root_seed, parallel.max_attempts_factor)
+
+    start = time.monotonic()
+    payload = _build_payload(cnf_or_prepared, entry, config)
+    if parallel.jobs == 1 and parallel.chunk_timeout_s is None:
+        # Same payload, same worker code path, no pool: byte-identical
+        # results to any multi-job run of the same root seed.  A chunk
+        # timeout forces the pool route below even at jobs=1 — inline
+        # execution cannot interrupt a hung BSAT call.
+        init_worker(payload)
+        raw_results = [run_chunk(task) for task in tasks]
+    else:
+        ctx = multiprocessing.get_context(parallel.resolved_start_method())
+        with ctx.Pool(
+            processes=parallel.jobs,
+            initializer=init_worker,
+            initargs=(payload,),
+        ) as pool:
+            handles = [pool.apply_async(run_chunk, (task,)) for task in tasks]
+            raw_results = []
+            for task, handle in zip(tasks, handles):
+                try:
+                    raw_results.append(handle.get(parallel.chunk_timeout_s))
+                except multiprocessing.TimeoutError:
+                    pool.terminate()
+                    raise BudgetExhausted(
+                        f"parallel chunk {task[0]} exceeded chunk_timeout_s="
+                        f"{parallel.chunk_timeout_s}"
+                    ) from None
+
+    witnesses: list[Witness] = []
+    results: list[SampleResult] = []
+    stats_parts: list[SamplerStats] = []
+    chunk_times: list[float] = []
+    for raw in raw_results:  # already in chunk order
+        if raw["error"] is not None:
+            _raise_worker_failure(raw)
+        if (
+            parallel.chunk_timeout_s is not None
+            and raw["time_seconds"] > parallel.chunk_timeout_s
+        ):
+            # The get()-side guard above only bounds waiting; a chunk that
+            # overran while the engine was blocked on an earlier handle is
+            # caught here from the worker's own clock, so the cap holds for
+            # every chunk regardless of overlap.
+            raise BudgetExhausted(
+                f"parallel chunk {raw['chunk']} ran "
+                f"{raw['time_seconds']:.3f}s, exceeding chunk_timeout_s="
+                f"{parallel.chunk_timeout_s}"
+            )
+        chunk_results = [SampleResult.from_dict(r) for r in raw["results"]]
+        results.extend(chunk_results)
+        # Witnesses are carried inside the results (serialized once); the
+        # flat list shares those dict objects rather than copying them.
+        witnesses.extend(r.witness for r in chunk_results if r.ok)
+        stats_parts.append(SamplerStats.from_dict(raw["stats"]))
+        chunk_times.append(raw["time_seconds"])
+
+    return ParallelSampleReport(
+        witnesses=witnesses,
+        results=results,
+        stats=SamplerStats.merged(stats_parts),
+        sampler=entry.name,
+        jobs=parallel.jobs,
+        n_requested=n,
+        chunk_size=chunk_size,
+        n_chunks=len(tasks),
+        root_seed=root_seed,
+        wall_time_seconds=time.monotonic() - start,
+        chunk_times=chunk_times,
+    )

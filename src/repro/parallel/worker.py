@@ -1,0 +1,113 @@
+"""Worker-side of the parallel sampling engine.
+
+Everything here runs inside a pool process (or, for ``jobs=1``, inline in
+the parent — through the *same* code path, so the jobs-invariance guarantee
+is enforced by construction rather than by careful duplication).
+
+Lifecycle:
+
+* :func:`init_worker` runs once per process as the pool initializer.  It
+  receives the serialized payload — a :class:`~repro.api.prepared.
+  PreparedFormula` **dict** (or DIMACS text for samplers without a prepare
+  phase), the sampler's registry name, and the shared sampler-config dict —
+  and deserializes it into module state.  Shipping the dict rather than a
+  pickled object means the JSON round trip that ``repro prepare --out``
+  relies on is exercised on every parallel run.
+* :func:`run_chunk` handles one unit of work: build a **fresh** sampler
+  seeded from the chunk's deterministically derived seed, run the base
+  class's :meth:`~repro.core.base.WitnessSampler.sample_until_results`
+  retry loop for up to ``count`` witnesses, and return a plain-dict result
+  (the per-draw :class:`~repro.core.base.SampleResult` dicts — witnesses
+  ride inside them, serialized once — and the chunk's
+  :class:`~repro.core.base.SamplerStats`).  Exceptions never cross the
+  boundary raw — they are captured with their traceback text and re-raised
+  by the engine as :class:`~repro.errors.WorkerFailure`.
+
+API imports happen inside functions: :mod:`repro.api` re-exports the
+parallel entry points, so module-level imports here would be circular.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+
+from ..rng import RandomSource
+
+#: Per-process deserialized payload, set by :func:`init_worker`.
+_STATE: "WorkerState | None" = None
+
+
+class WorkerState:
+    """The payload after deserialization: target formula + sampler recipe."""
+
+    def __init__(self, payload: dict):
+        from ..api.config import SamplerConfig
+        from ..api.prepared import PreparedFormula
+        from ..cnf.dimacs import parse_dimacs
+
+        self.sampler_name: str = payload["sampler"]
+        self.config = SamplerConfig.from_dict(payload["config"])
+        prepared = payload.get("prepared")
+        if prepared is not None:
+            # The serialization round trip "in anger": every worker adopts
+            # the artifact exactly the way `repro sample --prepared` does.
+            self.target = PreparedFormula.from_dict(prepared)
+        else:
+            self.target = parse_dimacs(
+                payload["dimacs"], name=payload.get("name", "")
+            )
+
+
+def init_worker(payload: dict) -> None:
+    """Pool initializer: deserialize the payload once per process."""
+    global _STATE
+    _STATE = WorkerState(payload)
+
+
+def run_chunk(task: tuple[int, int, int, int]) -> dict:
+    """Execute one chunk: ``(chunk_index, seed, count, max_attempts)``.
+
+    Returns a JSON-friendly dict; on failure the ``error`` key carries the
+    exception's type name, message, and formatted traceback instead of the
+    witnesses.
+    """
+    chunk_index, seed, count, max_attempts = task
+    start = time.monotonic()
+    try:
+        from ..api.registry import make_sampler
+
+        if _STATE is None:
+            raise RuntimeError(
+                "worker process not initialized (init_worker did not run)"
+            )
+        sampler = make_sampler(
+            _STATE.sampler_name,
+            _STATE.target,
+            _STATE.config,
+            rng=RandomSource(seed),
+        )
+        # The shared retry loop; ⊥ entries ride along so observed success
+        # probability survives the merge.
+        results = sampler.sample_until_results(
+            count, max_attempts=max_attempts
+        )
+        return {
+            "chunk": chunk_index,
+            "results": [r.to_dict() for r in results],
+            "stats": sampler.stats.to_dict(),
+            "time_seconds": time.monotonic() - start,
+            "error": None,
+        }
+    except Exception as exc:  # noqa: BLE001 — must not kill the pool
+        return {
+            "chunk": chunk_index,
+            "results": [],
+            "stats": None,
+            "time_seconds": time.monotonic() - start,
+            "error": {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            },
+        }

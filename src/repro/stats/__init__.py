@@ -3,12 +3,16 @@
 from .uniformity import (
     ChiSquareResult,
     EnvelopeCheck,
+    FrequencyRatioCheck,
+    UniformityGateReport,
     chi_square_uniform,
     empirical_distribution,
+    frequency_ratio_check,
     kl_from_uniform,
     occurrence_histogram,
     theorem1_envelope,
     total_variation_from_uniform,
+    uniformity_gate,
     witness_key,
 )
 
@@ -21,5 +25,9 @@ __all__ = [
     "total_variation_from_uniform",
     "theorem1_envelope",
     "EnvelopeCheck",
+    "frequency_ratio_check",
+    "FrequencyRatioCheck",
+    "uniformity_gate",
+    "UniformityGateReport",
     "witness_key",
 ]

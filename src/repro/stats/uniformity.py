@@ -169,6 +169,133 @@ def theorem1_envelope(
     return check
 
 
+@dataclass
+class FrequencyRatioCheck:
+    """Min/max per-witness occurrence counts measured against uniform.
+
+    With ``N`` draws over a universe of ``M`` witnesses the uniform
+    expectation per witness is ``N/M``; ``max_over_expected`` and
+    ``min_over_expected`` are the extreme observed counts divided by that
+    expectation (unseen witnesses count as 0, so ``min_over_expected`` is
+    0 whenever coverage is incomplete).  The check passes when both
+    extremes lie within a multiplicative ``bound`` of the expectation —
+    a blunter instrument than χ², but it catches exactly the failure mode
+    a buggy parallel merge would introduce: some witnesses drawn twice as
+    often (duplicated chunks) or never (dropped chunks).
+    """
+
+    n_draws: int
+    universe_size: int
+    bound: float
+    min_count: int
+    max_count: int
+    coverage: float
+
+    @property
+    def expected(self) -> float:
+        return self.n_draws / self.universe_size
+
+    @property
+    def max_over_expected(self) -> float:
+        return self.max_count / self.expected if self.expected else 0.0
+
+    @property
+    def min_over_expected(self) -> float:
+        return self.min_count / self.expected if self.expected else 0.0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.max_over_expected <= self.bound
+            and self.min_over_expected >= 1.0 / self.bound
+        )
+
+
+def frequency_ratio_check(
+    draws: Sequence[Hashable], universe_size: int, bound: float = 2.0
+) -> FrequencyRatioCheck:
+    """Check the min/max witness frequencies against the uniform expectation.
+
+    ``bound`` is the allowed multiplicative deviation; callers should size
+    the expected count per witness ``N/M`` so binomial noise clears it.
+    The binding side is the *lower* tail: with ``bound=2`` a uniform
+    sampler's witness lands below ``N/2M`` with probability ≈ 1.3e-3 at
+    ``N/M = 30`` but ≲ 2e-5 at ``N/M = 60`` — multiply by ``M`` for the
+    family-wise false-alarm rate and size ``N`` accordingly (the test
+    suite uses ``N/M ≥ 60``).
+    """
+    if universe_size <= 0:
+        raise ValueError("universe must be non-empty")
+    if bound <= 1.0:
+        raise ValueError("bound must be > 1")
+    per_item = Counter(draws)
+    if len(per_item) > universe_size:
+        raise ValueError("universe_size smaller than observed support")
+    max_count = max(per_item.values(), default=0)
+    min_count = (
+        min(per_item.values()) if len(per_item) == universe_size else 0
+    )
+    return FrequencyRatioCheck(
+        n_draws=len(draws),
+        universe_size=universe_size,
+        bound=bound,
+        min_count=min_count,
+        max_count=max_count,
+        coverage=len(per_item) / universe_size,
+    )
+
+
+@dataclass
+class UniformityGateReport:
+    """Combined verdict of the χ² test and the frequency-ratio check.
+
+    This is the pass/fail gate the test suite applies to witness streams —
+    serial and parallel runs of the same sampler must clear the identical
+    gate (the statistical half of the parallel engine's acceptance
+    criteria).
+    """
+
+    chi_square: ChiSquareResult
+    ratio: FrequencyRatioCheck
+    alpha: float
+
+    @property
+    def passed(self) -> bool:
+        return not self.chi_square.rejects_uniformity(self.alpha) and self.ratio.ok
+
+    def describe(self) -> str:
+        return (
+            f"{'PASS' if self.passed else 'FAIL'}: "
+            f"chi2={self.chi_square.statistic:.1f} "
+            f"(dof={self.chi_square.dof}, p={self.chi_square.p_value:.4f}, "
+            f"alpha={self.alpha:g}), counts in "
+            f"[{self.ratio.min_over_expected:.2f}, "
+            f"{self.ratio.max_over_expected:.2f}]x of uniform "
+            f"(bound {self.ratio.bound:g}x, "
+            f"coverage {self.ratio.coverage:.0%})"
+        )
+
+
+def uniformity_gate(
+    draws: Sequence[Hashable],
+    universe_size: int,
+    alpha: float = 0.01,
+    ratio_bound: float = 2.0,
+) -> UniformityGateReport:
+    """The one-call uniformity verdict over a witness stream.
+
+    Runs :func:`chi_square_uniform` (global shape, at significance
+    ``alpha``) and :func:`frequency_ratio_check` (worst-witness extremes,
+    at ``ratio_bound``) and passes only when both do.  Meaningful when the
+    expected count per witness ``len(draws)/universe_size`` is ≳ 5.
+    """
+    return UniformityGateReport(
+        chi_square=chi_square_uniform(draws, universe_size),
+        ratio=frequency_ratio_check(draws, universe_size, bound=ratio_bound),
+        alpha=alpha,
+    )
+
+
 def witness_key(model: dict[int, bool], svars: Sequence[int]) -> tuple[int, ...]:
     """Canonical hashable projection of a model onto the sampling set."""
     return tuple(v if model[v] else -v for v in sorted(svars))

@@ -1,0 +1,157 @@
+"""Round-trip fuzzing of the ``PreparedFormula`` JSON schema.
+
+The artifact file is the one piece of library state users hand-edit, cache
+on disk, and ship between processes — so ``from_dict`` must be a hard API
+boundary: any malformed input fails with the repro error hierarchy
+(``SamplingError`` for schema violations, ``DimacsParseError`` for a bad
+embedded formula), **never** a bare ``KeyError``/``TypeError`` escaping
+from deep inside the loader.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.api import PreparedFormula, SamplerConfig, prepare
+from repro.cnf import exactly_k_solutions_formula
+from repro.errors import ReproError, SamplingError
+
+REQUIRED = ("format_version", "dimacs", "epsilon")
+OPTIONAL = (
+    "name",
+    "sampling_set",
+    "easy_witnesses",
+    "q",
+    "approx_count",
+    "prepare_bsat_calls",
+    "prepare_time_seconds",
+)
+
+#: Junk values a corrupted or hand-edited JSON file could plausibly carry.
+JUNK = [None, 0, -1, 3.5, True, "garbage", [], [[]], {}, {"x": 1}, "1e999"]
+
+
+def easy_artifact():
+    cnf = exactly_k_solutions_formula(6, 20)
+    cnf.sampling_set = range(1, 7)
+    return prepare(cnf, SamplerConfig(seed=1))
+
+
+def hashed_artifact():
+    cnf = exactly_k_solutions_formula(11, 600)
+    cnf.sampling_set = range(1, 12)
+    return prepare(cnf, SamplerConfig(seed=1))
+
+
+@pytest.fixture(scope="module", params=["easy", "hashed"])
+def valid_dict(request):
+    artifact = easy_artifact() if request.param == "easy" else hashed_artifact()
+    # Through actual JSON text, as `repro prepare --out` writes it.
+    return json.loads(json.dumps(artifact.to_dict()))
+
+
+class TestSchemaValidation:
+    def test_valid_dict_round_trips(self, valid_dict):
+        assert PreparedFormula.from_dict(valid_dict).to_dict() == valid_dict
+
+    @pytest.mark.parametrize("key", REQUIRED)
+    def test_missing_required_field_raises_sampling_error(self, valid_dict, key):
+        data = dict(valid_dict)
+        del data[key]
+        with pytest.raises(SamplingError, match="missing"):
+            PreparedFormula.from_dict(data)
+
+    @pytest.mark.parametrize("key", OPTIONAL)
+    def test_missing_optional_field_never_raises_keyerror(self, valid_dict, key):
+        data = dict(valid_dict)
+        del data[key]
+        try:
+            PreparedFormula.from_dict(data)
+        except ReproError:
+            pass  # rejecting is fine; escaping KeyError would not be
+
+    @pytest.mark.parametrize(
+        "extra", ["bogus", "easy_witnesse", "Epsilon", "_private"]
+    )
+    def test_extra_field_raises_sampling_error(self, valid_dict, extra):
+        data = dict(valid_dict)
+        data[extra] = 1
+        with pytest.raises(SamplingError, match="unknown fields"):
+            PreparedFormula.from_dict(data)
+
+    def test_non_dict_input_raises_sampling_error(self):
+        for junk in (None, 7, "{}", ["format_version"]):
+            with pytest.raises(SamplingError, match="must be a dict"):
+                PreparedFormula.from_dict(junk)
+
+    def test_exactly_one_payload_enforced(self, valid_dict):
+        # Neither payload: an artifact that would otherwise only explode
+        # at first draw, deep inside UniGen._adopt_prepared.
+        data = dict(valid_dict, easy_witnesses=None, q=None)
+        with pytest.raises(SamplingError, match="exactly one"):
+            PreparedFormula.from_dict(data)
+        # Both payloads: would silently sample the easy list and ignore q.
+        data = dict(valid_dict, easy_witnesses=[[1, -2]], q=4)
+        with pytest.raises(SamplingError, match="exactly one"):
+            PreparedFormula.from_dict(data)
+
+    def test_wrong_format_version_raises_sampling_error(self, valid_dict):
+        data = dict(valid_dict, format_version=999)
+        with pytest.raises(SamplingError, match="format version"):
+            PreparedFormula.from_dict(data)
+
+    def test_corrupt_json_file_raises_sampling_error(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SamplingError, match="not valid JSON"):
+            PreparedFormula.load(path)
+
+
+class TestMutationFuzz:
+    """Randomly mutate every field; the loader must reject or accept, and
+    every rejection must be a repro error."""
+
+    TRIALS = 300
+
+    def test_random_value_mutations_stay_inside_error_hierarchy(
+        self, valid_dict
+    ):
+        rng = random.Random(20140601)
+        keys = list(valid_dict)
+        rejected = 0
+        for _ in range(self.TRIALS):
+            data = dict(valid_dict)
+            for key in rng.sample(keys, rng.randint(1, 3)):
+                data[key] = rng.choice(JUNK)
+            try:
+                result = PreparedFormula.from_dict(data)
+            except ReproError:
+                rejected += 1  # the contract: typed rejection, no crash
+            else:
+                # Accepted mutants must still be coherent artifacts.
+                assert result.cnf.num_vars >= 0
+                assert isinstance(result.epsilon, float)
+        # The junk pool is hostile; most mutants must be rejected (the
+        # remainder are genuinely coercible values like epsilon=True→1.0).
+        assert rejected > self.TRIALS * 0.7
+
+    def test_witness_list_mutations(self, valid_dict):
+        if valid_dict["easy_witnesses"] is None:
+            pytest.skip("hashed artifact has no witness list")
+        for junk in (7, [None], [[None]], [["x"]], {}):
+            data = dict(valid_dict, easy_witnesses=junk)
+            with pytest.raises(ReproError):
+                PreparedFormula.from_dict(data)
+
+    def test_sampling_set_mutations(self, valid_dict):
+        for junk in (7, [None], ["x"], [[1]]):
+            data = dict(valid_dict, sampling_set=junk)
+            with pytest.raises(ReproError):
+                PreparedFormula.from_dict(data)
+
+    def test_dimacs_mutations(self, valid_dict):
+        for junk in (7, None, [], "p cnf oops", "no header at all x"):
+            data = dict(valid_dict, dimacs=junk)
+            with pytest.raises(ReproError):
+                PreparedFormula.from_dict(data)

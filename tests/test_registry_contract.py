@@ -1,0 +1,125 @@
+"""Property-based contract tests for the sampler registry.
+
+For **every** registered sampler name — including ones added after this
+test was written, which is the point of iterating the registry rather than
+a hand-kept list — the contract is:
+
+* ``make_sampler(name, cnf, config)`` yields only satisfying assignments,
+  and each witness assigns every variable of the sampling set;
+* for entries with ``supports_prepared``, building from a
+  :class:`~repro.api.prepared.PreparedFormula` yields the same behaviour
+  (still only satisfying assignments) without re-running the prepare
+  phase; entries without it must reject the artifact;
+* the :class:`~repro.core.base.SampleResult` surface is populated: the
+  witness/⊥ outcome, non-negative timing, and stats accounting that adds
+  up.
+
+Randomness (the *property* part) comes from hypothesis driving the rng
+seed: the contract must hold for any seed, not just a lucky fixed one.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    SamplerConfig,
+    available_samplers,
+    get_entry,
+    make_sampler,
+    prepare,
+)
+from repro.cnf import exactly_k_solutions_formula
+from repro.rng import RandomSource
+
+SVARS = list(range(1, 7))
+
+
+def small_instance():
+    cnf = exactly_k_solutions_formula(6, 20)
+    cnf.sampling_set = SVARS
+    return cnf
+
+
+def config_for(seed=None):
+    # xor_count provided so the xorsample entry is constructible; harmless
+    # for the others.
+    return SamplerConfig(epsilon=6.0, seed=seed, xor_count=2)
+
+
+@pytest.fixture(scope="module")
+def shared_artifact():
+    return prepare(small_instance(), config_for(seed=5))
+
+
+def assert_witness_contract(cnf, witness):
+    assert cnf.evaluate(witness), "sampler returned a non-model"
+    missing = [v for v in SVARS if v not in witness]
+    assert not missing, f"witness omits sampling-set vars {missing}"
+
+
+@pytest.mark.parametrize("name", available_samplers())
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_cnf_built_sampler_yields_only_satisfying_assignments(name, seed):
+    cnf = small_instance()
+    sampler = make_sampler(name, cnf, config_for(), rng=RandomSource(seed))
+    witnesses = sampler.sample_until(3, max_attempts=40)
+    assert witnesses, f"{name} produced nothing in 40 attempts (seed {seed})"
+    for witness in witnesses:
+        assert_witness_contract(cnf, witness)
+
+
+@pytest.mark.parametrize("name", available_samplers())
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_sample_result_fields_are_populated(name, seed):
+    cnf = small_instance()
+    sampler = make_sampler(name, cnf, config_for(), rng=RandomSource(seed))
+    before = sampler.stats.attempts
+    result = sampler.sample_result()
+    assert sampler.stats.attempts == before + 1
+    assert result.time_seconds >= 0.0
+    if result.ok:
+        assert_witness_contract(cnf, result.witness)
+        assert bool(result) and result.witness is not None
+    else:
+        assert not bool(result)
+        assert sampler.stats.failures >= 1
+    assert (
+        sampler.stats.successes + sampler.stats.failures
+        == sampler.stats.attempts
+    )
+
+
+@pytest.mark.parametrize("name", available_samplers())
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_prepared_contract_per_registry_flag(name, shared_artifact, seed):
+    entry = get_entry(name)
+    config = config_for()
+    if not entry.supports_prepared:
+        with pytest.raises(ValueError, match="no prepare phase"):
+            make_sampler(name, shared_artifact, config)
+        return
+    sampler = make_sampler(
+        name, shared_artifact, config, rng=RandomSource(seed)
+    )
+    witnesses = sampler.sample_until(3, max_attempts=40)
+    assert witnesses
+    for witness in witnesses:
+        assert_witness_contract(shared_artifact.cnf, witness)
+    # Adoption means the worker-side prepare makes zero BSAT calls.
+    assert sampler.stats.bsat_calls == 0

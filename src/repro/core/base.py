@@ -143,11 +143,18 @@ class SamplerStats:
         return self
 
     @classmethod
-    def merged(cls, parts: Iterable["SamplerStats"]) -> "SamplerStats":
-        """One cumulative :class:`SamplerStats` over all of ``parts``."""
+    def merged(cls, parts: Iterable["SamplerStats | None"]) -> "SamplerStats":
+        """One cumulative :class:`SamplerStats` over all of ``parts``.
+
+        ``None`` entries are skipped: a failed chunk's raw result carries
+        ``stats: None`` across the wire, and both the pool engine and the
+        distributed coordinator merge whatever stats *did* arrive when
+        assembling an error report.
+        """
         total = cls()
         for part in parts:
-            total.merge(part)
+            if part is not None:
+                total.merge(part)
         return total
 
     def to_dict(self) -> dict:

@@ -1,0 +1,60 @@
+"""Distributed sampling: a fault-tolerant chunk queue over any transport.
+
+The per-sample phase of Algorithm 1 is embarrassingly parallel once the
+once-per-formula phase has produced the
+:class:`~repro.api.prepared.PreparedFormula`.  PR 2 fanned it over a local
+process pool; this package lifts the same chunk plan onto a broker so
+independent ``repro worker`` processes — same host or shared filesystem —
+can pull work, with leases, heartbeats, and lost-chunk retry::
+
+    from repro.api import SamplerConfig, prepare
+    from repro.distributed import FileBroker, sample_distributed
+
+    broker = FileBroker("/var/spool/repro")        # workers watch this dir
+    report = sample_distributed(
+        broker, prepare(cnf, SamplerConfig(seed=42)), 1000,
+        SamplerConfig(seed=42), sampler="unigen2",
+    )
+
+The headline guarantee carries over from the pool engine: a chunk is
+re-issued after a crash *with its original derived seed*, so the merged
+witness stream is bit-identical to a single-process run regardless of
+worker count, failures, or arrival order.  See
+:mod:`repro.distributed.broker` for the queue semantics and
+:mod:`repro.distributed.coordinator` for the submit/collect halves.
+"""
+
+from .broker import (
+    Broker,
+    BrokerProgress,
+    InMemoryBroker,
+    JobSpec,
+    Lease,
+)
+from .clock import FakeClock, wall_clock
+from .coordinator import (
+    SubmittedJob,
+    sample_distributed,
+    submit_job,
+    wait_for_report,
+)
+from .filebroker import FileBroker
+from .worker import WorkerReport, default_worker_id, run_worker
+
+__all__ = [
+    "Broker",
+    "BrokerProgress",
+    "InMemoryBroker",
+    "FileBroker",
+    "JobSpec",
+    "Lease",
+    "FakeClock",
+    "wall_clock",
+    "SubmittedJob",
+    "submit_job",
+    "wait_for_report",
+    "sample_distributed",
+    "run_worker",
+    "WorkerReport",
+    "default_worker_id",
+]

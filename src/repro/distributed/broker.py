@@ -1,0 +1,363 @@
+"""The broker abstraction: a lease-based chunk queue with retry.
+
+The unit of work is the :class:`~repro.parallel.plan.ChunkTask` row from
+the shared chunk plan — index, *derived* seed, count, attempt budget.  The
+broker never invents work and never reorders the stream: it hands out task
+rows, collects raw result dicts keyed by chunk index, and re-issues rows
+whose lease expired.  Because a re-issued row carries its original seed,
+the merged witness stream is bit-identical to a single-process run no
+matter how many workers died along the way — fault tolerance and the
+jobs-invariance guarantee are the same mechanism.
+
+Lifecycle of one chunk::
+
+    pending ──lease()──▶ leased ──ack(result)──▶ done
+       ▲                   │
+       └──requeue_expired()/nack()──┘        (delivery + 1; after
+                                              max_deliveries: lost)
+
+Leases carry deadlines; workers extend them with :meth:`Broker.heartbeat`
+while a chunk runs.  Operations on a lease the broker no longer honours
+raise :class:`~repro.errors.LeaseExpired` — the fence that stops a slow
+worker from double-delivering behind a retry.
+
+Two transports implement the protocol: :class:`InMemoryBroker` (here) for
+tests and single-process orchestration, and
+:class:`~repro.distributed.filebroker.FileBroker` for independent worker
+processes over a spool directory.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import DistributedError, LeaseExpired
+from ..parallel.plan import ChunkTask
+from .clock import Clock, wall_clock
+
+#: Default seconds a lease lives without a heartbeat.
+DEFAULT_LEASE_TIMEOUT_S = 30.0
+
+#: Default total deliveries (first issue + retries) before a chunk is lost.
+DEFAULT_MAX_DELIVERIES = 5
+
+
+def new_id() -> str:
+    """An opaque unique id for jobs and leases (never seed-derived)."""
+    return uuid.uuid4().hex
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One sampling job: the worker payload plus its chunk-plan rows.
+
+    ``payload`` is the serialized recipe from
+    :func:`~repro.parallel.plan.build_payload` — for prepare-phase samplers
+    it embeds the :class:`~repro.api.prepared.PreparedFormula` dict, so the
+    expensive once-per-formula phase crosses the transport exactly once.
+    """
+
+    job_id: str
+    payload: dict
+    tasks: tuple[ChunkTask, ...]
+    lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S
+    max_deliveries: int = DEFAULT_MAX_DELIVERIES
+
+    def to_dict(self) -> dict:
+        """JSON wire form (spool ``job.json``); inverse of :meth:`from_dict`."""
+        return {
+            "job_id": self.job_id,
+            "payload": self.payload,
+            "tasks": [t.to_dict() for t in self.tasks],
+            "lease_timeout_s": self.lease_timeout_s,
+            "max_deliveries": self.max_deliveries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        return cls(
+            job_id=data["job_id"],
+            payload=data["payload"],
+            tasks=tuple(ChunkTask.from_dict(t) for t in data["tasks"]),
+            lease_timeout_s=float(data["lease_timeout_s"]),
+            max_deliveries=int(data["max_deliveries"]),
+        )
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One outstanding grant of a chunk to a worker, with a deadline."""
+
+    job_id: str
+    task: ChunkTask
+    lease_id: str
+    worker_id: str
+    deadline: float
+    delivery: int
+
+    @property
+    def chunk_index(self) -> int:
+        return self.task.index
+
+
+@dataclass
+class BrokerProgress:
+    """A point-in-time census of the queue, for wait loops and CLIs."""
+
+    n_tasks: int = 0
+    pending: int = 0
+    leased: int = 0
+    done: int = 0
+    lost: int = 0
+    requeues: int = 0
+    workers: set[str] = field(default_factory=set)
+
+    def describe(self) -> str:
+        return (
+            f"{self.done}/{self.n_tasks} chunks done "
+            f"({self.pending} pending, {self.leased} leased, "
+            f"{self.lost} lost, {self.requeues} requeued, "
+            f"{len(self.workers)} workers)"
+        )
+
+
+class Broker(ABC):
+    """The chunk-queue protocol both transports implement.
+
+    One broker hosts one job at a time (``submit`` on an incomplete job is
+    rejected); sequential jobs reuse the broker.  All methods are safe to
+    call from multiple workers — the in-memory transport locks, the file
+    transport relies on atomic renames.
+    """
+
+    @abstractmethod
+    def submit(
+        self,
+        payload: dict,
+        tasks: list[ChunkTask],
+        *,
+        lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+        max_deliveries: int = DEFAULT_MAX_DELIVERIES,
+    ) -> JobSpec:
+        """Enqueue a new job; every task starts pending."""
+
+    @abstractmethod
+    def job(self) -> JobSpec | None:
+        """The currently hosted job, or ``None`` before any submit."""
+
+    @abstractmethod
+    def lease(self, worker_id: str) -> Lease | None:
+        """Claim one pending chunk, or ``None`` when nothing is pending.
+
+        ``None`` does not mean the job is finished — chunks may be leased
+        to other workers and might yet be requeued; poll
+        :meth:`is_complete` / :meth:`progress` to distinguish.
+        """
+
+    @abstractmethod
+    def heartbeat(self, lease: Lease) -> Lease:
+        """Extend a live lease's deadline; raises
+        :class:`~repro.errors.LeaseExpired` if the broker no longer honours
+        it (expired-and-requeued, superseded, or already completed)."""
+
+    @abstractmethod
+    def ack(self, lease: Lease, result: dict) -> None:
+        """Deliver a chunk's raw result dict and release the lease.
+
+        Raises :class:`~repro.errors.LeaseExpired` for a stale lease; the
+        result is then discarded — whoever holds the live lease (or already
+        delivered) produced the identical draws from the same seed.
+        """
+
+    @abstractmethod
+    def nack(self, lease: Lease, reason: str = "") -> None:
+        """Give a chunk back (worker shutting down, transient local
+        trouble).  Counts against the delivery budget like an expiry."""
+
+    @abstractmethod
+    def requeue_expired(self) -> list[int]:
+        """Re-issue every chunk whose lease deadline has passed; returns the
+        chunk indices requeued.  Chunks out of delivery budget move to the
+        lost set instead.  Called by whoever waits on the job — brokers do
+        not run background timers of their own."""
+
+    @abstractmethod
+    def results(self) -> dict[int, dict]:
+        """Raw result dicts delivered so far, keyed by chunk index."""
+
+    @abstractmethod
+    def lost(self) -> dict[int, int]:
+        """Chunks declared lost: index → deliveries burned."""
+
+    @abstractmethod
+    def progress(self) -> BrokerProgress:
+        """The queue census (pending/leased/done/lost/requeues/workers)."""
+
+    def is_complete(self) -> bool:
+        """True when every chunk of the current job has a result."""
+        spec = self.job()
+        return spec is not None and len(self.results()) == len(spec.tasks)
+
+    def _check_submittable(self) -> None:
+        spec = self.job()
+        if spec is not None and not self.is_complete() and not self.lost():
+            raise DistributedError(
+                f"job {spec.job_id} is still in flight; a broker hosts one "
+                "job at a time"
+            )
+
+
+class InMemoryBroker(Broker):
+    """The in-process transport: dicts, a deque, and one lock.
+
+    The reference implementation of the protocol's semantics, used by the
+    test suite (with a :class:`~repro.distributed.clock.FakeClock` to
+    expire leases deterministically) and by single-process orchestration.
+    """
+
+    def __init__(self, clock: Clock = wall_clock):
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._spec: JobSpec | None = None
+        self._pending: deque[tuple[ChunkTask, int]] = deque()
+        self._leased: dict[int, Lease] = {}
+        self._results: dict[int, dict] = {}
+        self._lost: dict[int, int] = {}
+        self._requeues = 0
+        self._workers: set[str] = set()
+
+    def submit(
+        self,
+        payload: dict,
+        tasks: list[ChunkTask],
+        *,
+        lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+        max_deliveries: int = DEFAULT_MAX_DELIVERIES,
+    ) -> JobSpec:
+        with self._lock:
+            self._check_submittable()
+            spec = JobSpec(
+                job_id=new_id(),
+                payload=payload,
+                tasks=tuple(tasks),
+                lease_timeout_s=lease_timeout_s,
+                max_deliveries=max_deliveries,
+            )
+            self._spec = spec
+            self._pending = deque((task, 1) for task in spec.tasks)
+            self._leased.clear()
+            self._results.clear()
+            self._lost.clear()
+            self._requeues = 0
+            self._workers.clear()
+            return spec
+
+    def job(self) -> JobSpec | None:
+        with self._lock:
+            return self._spec
+
+    def lease(self, worker_id: str) -> Lease | None:
+        with self._lock:
+            if self._spec is None or not self._pending:
+                return None
+            task, delivery = self._pending.popleft()
+            lease = Lease(
+                job_id=self._spec.job_id,
+                task=task,
+                lease_id=new_id(),
+                worker_id=worker_id,
+                deadline=self._clock() + self._spec.lease_timeout_s,
+                delivery=delivery,
+            )
+            self._leased[task.index] = lease
+            return lease
+
+    def _live(self, lease: Lease, what: str) -> Lease:
+        current = self._leased.get(lease.chunk_index)
+        if current is None or current.lease_id != lease.lease_id:
+            raise LeaseExpired(
+                f"{what}: lease {lease.lease_id[:8]} on chunk "
+                f"{lease.chunk_index} is no longer held",
+                chunk_index=lease.chunk_index,
+                lease_id=lease.lease_id,
+            )
+        return current
+
+    def heartbeat(self, lease: Lease) -> Lease:
+        with self._lock:
+            current = self._live(lease, "heartbeat")
+            assert self._spec is not None
+            extended = Lease(
+                job_id=current.job_id,
+                task=current.task,
+                lease_id=current.lease_id,
+                worker_id=current.worker_id,
+                deadline=self._clock() + self._spec.lease_timeout_s,
+                delivery=current.delivery,
+            )
+            self._leased[lease.chunk_index] = extended
+            return extended
+
+    def ack(self, lease: Lease, result: dict) -> None:
+        with self._lock:
+            self._live(lease, "ack")
+            del self._leased[lease.chunk_index]
+            self._results[lease.chunk_index] = result
+            self._workers.add(lease.worker_id)
+
+    def nack(self, lease: Lease, reason: str = "") -> None:
+        with self._lock:
+            self._live(lease, "nack")
+            del self._leased[lease.chunk_index]
+            self._retire_or_requeue(lease)
+
+    def _retire_or_requeue(self, lease: Lease) -> bool:
+        """Requeue (True) or declare lost (False) a surrendered chunk."""
+        assert self._spec is not None
+        if lease.delivery >= self._spec.max_deliveries:
+            self._lost[lease.chunk_index] = lease.delivery
+            return False
+        self._pending.append((lease.task, lease.delivery + 1))
+        self._requeues += 1
+        return True
+
+    def requeue_expired(self) -> list[int]:
+        with self._lock:
+            if self._spec is None:
+                return []
+            now = self._clock()
+            expired = [
+                lease
+                for lease in self._leased.values()
+                if lease.deadline <= now
+            ]
+            requeued = []
+            for lease in expired:
+                del self._leased[lease.chunk_index]
+                if self._retire_or_requeue(lease):
+                    requeued.append(lease.chunk_index)
+            return requeued
+
+    def results(self) -> dict[int, dict]:
+        with self._lock:
+            return dict(self._results)
+
+    def lost(self) -> dict[int, int]:
+        with self._lock:
+            return dict(self._lost)
+
+    def progress(self) -> BrokerProgress:
+        with self._lock:
+            return BrokerProgress(
+                n_tasks=len(self._spec.tasks) if self._spec else 0,
+                pending=len(self._pending),
+                leased=len(self._leased),
+                done=len(self._results),
+                lost=len(self._lost),
+                requeues=self._requeues,
+                workers=set(self._workers),
+            )

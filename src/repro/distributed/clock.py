@@ -1,0 +1,49 @@
+"""Injectable time for the distributed queue.
+
+Lease deadlines, heartbeat intervals, and requeue decisions all compare
+"now" against stored timestamps.  Hard-coding ``time.time`` would make
+every fault-tolerance test a wall-clock test — sleeping past deadlines and
+flaking under CI load.  Instead every broker takes a ``clock`` argument: a
+zero-argument callable returning seconds as a float.
+
+* Production uses :data:`wall_clock` (``time.time``).  Wall time — not
+  ``time.monotonic`` — because :class:`~repro.distributed.filebroker.
+  FileBroker` deadlines are written to spool files read by *other
+  processes*, and monotonic clocks are only comparable within one process.
+  Clock skew between hosts sharing a spool merely stretches or shrinks
+  lease lifetimes; correctness never depends on the deadline being exact,
+  because an expired-and-retried chunk reruns under its original seed.
+* Tests use :class:`FakeClock` and call :meth:`FakeClock.advance` to expire
+  leases instantly, deterministically, and without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: A zero-argument "now in seconds" callable.
+Clock = Callable[[], float]
+
+#: The production clock (see module docstring for why wall time).
+wall_clock: Clock = time.time
+
+
+class FakeClock:
+    """A manually-advanced clock for deterministic lease-expiry tests."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward (negative jumps are rejected) and return it."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by {seconds}; time is monotone")
+        self._now += seconds
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FakeClock(now={self._now!r})"

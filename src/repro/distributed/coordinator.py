@@ -1,0 +1,251 @@
+"""The coordinator: submit a sampling job, babysit leases, merge the stream.
+
+This is the broker-path twin of :func:`repro.parallel.engine.
+sample_parallel`, split into its two halves so the CLI can run them in
+different processes:
+
+* :func:`submit_job` — run (or adopt) the once-per-formula phase, build the
+  chunk plan from the root seed, and enqueue it.  After this returns, the
+  submitting process holds nothing the workers need.
+* :func:`wait_for_report` — poll the broker, re-issuing expired leases
+  (the coordinator is the failure detector; brokers run no timers), and
+  fold the collected raw results into the same ordered
+  :class:`~repro.parallel.engine.ParallelSampleReport` the pool returns.
+
+Because the plan, payload, and merge are the shared pure functions of
+:mod:`repro.parallel.plan`, a distributed run over any number of workers —
+including runs where workers were SIGKILLed mid-chunk and their leases
+retried — produces the byte-identical witness stream of a single-process
+run under the same root seed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..errors import ChunkLost, DistributedError
+from ..parallel.config import ParallelSamplerConfig
+from ..parallel.engine import ParallelSampleReport
+from ..parallel.plan import (
+    build_payload,
+    chunk_plan,
+    merge_chunk_results,
+    raise_worker_failure,
+)
+from ..rng import fresh_root_seed
+from .broker import (
+    DEFAULT_LEASE_TIMEOUT_S,
+    DEFAULT_MAX_DELIVERIES,
+    Broker,
+    JobSpec,
+)
+from .clock import Clock, wall_clock
+
+
+@dataclass(frozen=True)
+class SubmittedJob:
+    """Everything :func:`wait_for_report` needs to collect one job."""
+
+    spec: JobSpec
+    sampler: str
+    n_requested: int
+    chunk_size: int
+    root_seed: int
+
+
+def submit_job(
+    broker: Broker,
+    cnf_or_prepared,
+    n: int,
+    config=None,
+    *,
+    sampler: str = "unigen",
+    chunk_size: int | None = None,
+    max_attempts_factor: int = 10,
+    lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+    max_deliveries: int = DEFAULT_MAX_DELIVERIES,
+) -> SubmittedJob:
+    """Prepare (if needed), plan, and enqueue a sampling job.
+
+    The chunk plan is the identical pure function of
+    ``(n, chunk_size, root seed)`` the pool engine uses — the transport
+    changes, the stream cannot.
+    """
+    from ..api.config import SamplerConfig
+    from ..api.prepared import PreparedFormula
+    from ..api.registry import get_entry, make_sampler
+
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    config = config or SamplerConfig()
+    entry = get_entry(sampler)
+    # Same pre-flight as the pool engine: bad arguments fail here, in the
+    # submitting process, instead of inside every worker that pulls a chunk.
+    preflight_target = cnf_or_prepared
+    if not entry.supports_prepared and isinstance(
+        cnf_or_prepared, PreparedFormula
+    ):
+        preflight_target = cnf_or_prepared.cnf
+    make_sampler(entry.name, preflight_target, config)
+
+    root_seed = config.seed if config.seed is not None else fresh_root_seed()
+    resolved_chunk_size = ParallelSamplerConfig(
+        sampler=entry.name, chunk_size=chunk_size
+    ).resolve_chunk_size(n)
+    tasks = chunk_plan(n, resolved_chunk_size, root_seed, max_attempts_factor)
+    payload = build_payload(cnf_or_prepared, entry, config)
+    spec = broker.submit(
+        payload,
+        tasks,
+        lease_timeout_s=lease_timeout_s,
+        max_deliveries=max_deliveries,
+    )
+    return SubmittedJob(
+        spec=spec,
+        sampler=entry.name,
+        n_requested=n,
+        chunk_size=resolved_chunk_size,
+        root_seed=root_seed,
+    )
+
+
+def wait_for_report(
+    broker: Broker,
+    submitted: SubmittedJob,
+    *,
+    poll_interval_s: float = 0.2,
+    timeout_s: float | None = None,
+    clock: Clock = wall_clock,
+    sleep=time.sleep,
+    on_progress=None,
+) -> ParallelSampleReport:
+    """Poll until every chunk is delivered, then merge the ordered stream.
+
+    The coordinator is the job's failure detector: each poll re-issues
+    expired leases (:meth:`~repro.distributed.broker.Broker.
+    requeue_expired`).  Raises
+
+    * :class:`~repro.errors.WorkerFailure` as soon as any delivered chunk
+      carries a worker-captured exception (workers only deliver
+      *deterministic* library errors — retrying a chunk that found the
+      formula UNSAT would find it UNSAT again; worker-local trouble like
+      MemoryError is nacked and retried instead of delivered);
+    * :class:`~repro.errors.ChunkLost` when a chunk burns its delivery
+      budget without an ack;
+    * :class:`~repro.errors.DistributedError` on overall timeout.
+
+    ``on_progress`` (optional) receives the
+    :class:`~repro.distributed.broker.BrokerProgress` once per poll.
+    """
+    spec = submitted.spec
+    start = clock()
+    while True:
+        broker.requeue_expired()
+        results = broker.results()
+        for raw in results.values():
+            if raw["error"] is not None:
+                raise_worker_failure(raw)
+        lost = broker.lost()
+        if lost:
+            index, deliveries = next(iter(sorted(lost.items())))
+            raise ChunkLost(
+                f"chunk {index} was issued {deliveries} times without an "
+                f"ack (max_deliveries={spec.max_deliveries}); no live "
+                "workers, or the chunk kills whoever runs it",
+                chunk_index=index,
+                deliveries=deliveries,
+            )
+        if on_progress is not None:
+            on_progress(broker.progress())
+        if len(results) == len(spec.tasks):
+            break
+        if timeout_s is not None and clock() - start > timeout_s:
+            raise DistributedError(
+                f"job {spec.job_id} incomplete after {timeout_s}s "
+                f"({broker.progress().describe()})"
+            )
+        sleep(poll_interval_s)
+
+    merged = merge_chunk_results(
+        [results[task.index] for task in spec.tasks]
+    )
+    progress = broker.progress()
+    return ParallelSampleReport(
+        witnesses=merged.witnesses,
+        results=merged.results,
+        stats=merged.stats,
+        sampler=submitted.sampler,
+        jobs=max(1, len(progress.workers)),
+        n_requested=submitted.n_requested,
+        chunk_size=submitted.chunk_size,
+        n_chunks=len(spec.tasks),
+        root_seed=submitted.root_seed,
+        wall_time_seconds=clock() - start,
+        chunk_times=merged.chunk_times,
+        requeues=progress.requeues,
+    )
+
+
+def sample_distributed(
+    broker: Broker,
+    cnf_or_prepared,
+    n: int,
+    config=None,
+    *,
+    sampler: str = "unigen",
+    chunk_size: int | None = None,
+    max_attempts_factor: int = 10,
+    lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+    max_deliveries: int = DEFAULT_MAX_DELIVERIES,
+    inline_workers: int = 0,
+    poll_interval_s: float = 0.05,
+    timeout_s: float | None = None,
+) -> ParallelSampleReport:
+    """Submit + wait in one call; the library-level distributed entry point.
+
+    With ``inline_workers > 0``, that many worker *threads* serve the
+    broker from this process (GIL-bound — a convenience for tests and
+    single-host InMemoryBroker runs, not a throughput device; real
+    deployments run ``repro worker`` processes against a shared spool).
+    """
+    from .worker import run_worker
+
+    submitted = submit_job(
+        broker,
+        cnf_or_prepared,
+        n,
+        config,
+        sampler=sampler,
+        chunk_size=chunk_size,
+        max_attempts_factor=max_attempts_factor,
+        lease_timeout_s=lease_timeout_s,
+        max_deliveries=max_deliveries,
+    )
+    threads = []
+    if inline_workers > 0:
+        import threading
+
+        for i in range(inline_workers):
+            thread = threading.Thread(
+                target=run_worker,
+                args=(broker,),
+                kwargs=dict(
+                    worker_id=f"inline-{i}",
+                    poll_interval_s=poll_interval_s,
+                    drain=True,
+                ),
+                daemon=True,
+            )
+            thread.start()
+            threads.append(thread)
+    try:
+        return wait_for_report(
+            broker,
+            submitted,
+            poll_interval_s=poll_interval_s,
+            timeout_s=timeout_s,
+        )
+    finally:
+        for thread in threads:
+            thread.join(timeout=5.0)

@@ -1,0 +1,390 @@
+"""The spool-directory transport: independent processes over one directory.
+
+A :class:`FileBroker` needs nothing but a directory every participant can
+reach — the same host or a shared filesystem.  Layout::
+
+    spool/
+      job.json           # the JobSpec (payload + chunk plan), written last
+      pending/00003.json # one claimable file per queued chunk
+      leased/00003.json  # the same chunk while a worker holds its lease
+      results/00003.json # the chunk's raw result dict (+ worker id)
+      lost/00003.json    # chunks that burned their delivery budget
+      requeues.log       # one appended line per re-issue (progress counter)
+
+Every state transition is an atomic ``rename``/``replace``:
+
+* **claim** — ``rename(pending/X, leased/X)``.  POSIX guarantees exactly
+  one racing worker wins; losers get ``FileNotFoundError`` and move on.
+  The winner then rewrites the leased file with its lease metadata
+  (lease id, worker id, deadline).
+* **publish** — every file is written to a temp name and ``os.replace``\\ d
+  into place, so readers never observe partial JSON.  ``job.json`` is
+  written *after* the pending files: its appearance is the signal that the
+  queue is fully populated.
+* **retry** — the requeue scan first atomically rewrites the expired
+  ``leased/X`` *without* its lease id (fencing off any late heartbeat/ack)
+  and with the delivery count bumped, then atomically renames it back to
+  ``pending/X``.  The chunk therefore exists in some state at every
+  instant — a crash between the two steps leaves it in ``leased/`` where
+  the next expiry scan (via the mtime fallback) picks it up again — and
+  its task row (and thus its derived seed) is carried through unchanged.
+
+Fencing is by lease id: ``ack``/``heartbeat``/``nack`` verify the leased
+file still records *their* lease and raise
+:class:`~repro.errors.LeaseExpired` otherwise.  The windows between the
+individual file operations are not transactional, so under extreme races a
+chunk can be executed twice — but never delivered twice with different
+content, because a chunk's result is a pure function of its task row.
+Deadlines are wall-clock (see :mod:`repro.distributed.clock`): skew between
+hosts only stretches lease lifetimes, never correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..errors import DistributedError, LeaseExpired
+from ..parallel.plan import ChunkTask
+from .broker import (
+    DEFAULT_LEASE_TIMEOUT_S,
+    DEFAULT_MAX_DELIVERIES,
+    Broker,
+    BrokerProgress,
+    JobSpec,
+    Lease,
+    new_id,
+)
+from .clock import Clock, wall_clock
+
+
+def _write_atomic(path: Path, data: dict) -> None:
+    """Publish ``data`` as JSON at ``path`` without a partial-read window."""
+    tmp = path.with_name(f".{path.name}.{new_id()}.tmp")
+    tmp.write_text(json.dumps(data), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path) -> dict | None:
+    """Parse a spool file; ``None`` when it vanished under us (lost a race).
+
+    Unparseable content is *not* a race — every writer publishes via
+    atomic replace, so a torn read is impossible and garbage means real
+    corruption (disk trouble, a stray editor).  Surface it as a clean
+    :class:`~repro.errors.DistributedError` instead of a traceback.
+    """
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return None
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise DistributedError(f"corrupt spool file {path}: {exc}") from exc
+
+
+class FileBroker(Broker):
+    """Chunk queue over a spool directory (see module docstring)."""
+
+    def __init__(self, spool: str | Path, clock: Clock = wall_clock):
+        self.spool = Path(spool)
+        self._clock = clock
+        self._job_cache: tuple[tuple[int, int], JobSpec] | None = None
+        # Result files are write-once (identical on any duplicate
+        # delivery), so parse each at most once per broker instance even
+        # though completion is polled every couple hundred milliseconds.
+        self._result_cache: dict[str, dict] = {}
+        for sub in ("pending", "leased", "results", "lost"):
+            (self.spool / sub).mkdir(parents=True, exist_ok=True)
+
+    # -- paths ----------------------------------------------------------
+    @property
+    def _job_path(self) -> Path:
+        return self.spool / "job.json"
+
+    @property
+    def _requeue_log(self) -> Path:
+        return self.spool / "requeues.log"
+
+    def _chunk_path(self, state: str, index: int) -> Path:
+        return self.spool / state / f"{index:05d}.json"
+
+    # -- protocol -------------------------------------------------------
+    def submit(
+        self,
+        payload: dict,
+        tasks: list[ChunkTask],
+        *,
+        lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+        max_deliveries: int = DEFAULT_MAX_DELIVERIES,
+    ) -> JobSpec:
+        self._check_submittable()
+        spec = JobSpec(
+            job_id=new_id(),
+            payload=payload,
+            tasks=tuple(tasks),
+            lease_timeout_s=lease_timeout_s,
+            max_deliveries=max_deliveries,
+        )
+        # Unpublish the previous job first: while job.json is absent no
+        # worker leases anything, so restaging can't hand a new chunk to a
+        # worker still initialized with the old payload.  Then clear the
+        # old state and stage every pending chunk *before* the new
+        # job.json announces the queue is ready.
+        self._job_path.unlink(missing_ok=True)
+        self._result_cache.clear()  # old job's filenames are reused
+        for sub in ("pending", "leased", "results", "lost"):
+            for stale in (self.spool / sub).glob("*.json"):
+                stale.unlink(missing_ok=True)
+        self._requeue_log.unlink(missing_ok=True)
+        for task in spec.tasks:
+            _write_atomic(
+                self._chunk_path("pending", task.index),
+                {"job_id": spec.job_id, "task": task.to_dict(), "delivery": 1},
+            )
+        _write_atomic(self._job_path, spec.to_dict())
+        return spec
+
+    def job(self) -> JobSpec | None:
+        try:
+            stat = self._job_path.stat()
+        except FileNotFoundError:
+            return None
+        key = (stat.st_mtime_ns, stat.st_size)
+        if self._job_cache is not None and self._job_cache[0] == key:
+            return self._job_cache[1]
+        data = _read_json(self._job_path)
+        if data is None:
+            return None
+        try:
+            spec = JobSpec.from_dict(data)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DistributedError(
+                f"corrupt spool file {self._job_path}: {exc!r}"
+            ) from exc
+        self._job_cache = (key, spec)
+        return spec
+
+    def lease(self, worker_id: str) -> Lease | None:
+        spec = self.job()
+        if spec is None:
+            return None
+        for pending in sorted((self.spool / "pending").glob("*.json")):
+            record = _read_json(pending)
+            if record is None:
+                continue  # another worker claimed it between list and read
+            leased_path = self.spool / "leased" / pending.name
+            try:
+                os.rename(pending, leased_path)
+            except FileNotFoundError:
+                continue  # lost the claim race
+            task = ChunkTask.from_dict(record["task"])
+            lease = Lease(
+                job_id=record["job_id"],
+                task=task,
+                lease_id=new_id(),
+                worker_id=worker_id,
+                deadline=self._clock() + spec.lease_timeout_s,
+                delivery=int(record["delivery"]),
+            )
+            _write_atomic(leased_path, self._lease_record(lease))
+            return lease
+        return None
+
+    @staticmethod
+    def _lease_record(lease: Lease) -> dict:
+        return {
+            "job_id": lease.job_id,
+            "task": lease.task.to_dict(),
+            "delivery": lease.delivery,
+            "lease_id": lease.lease_id,
+            "worker_id": lease.worker_id,
+            "deadline": lease.deadline,
+        }
+
+    def _live_record(self, lease: Lease, what: str) -> dict:
+        record = _read_json(self._chunk_path("leased", lease.chunk_index))
+        if record is None or record.get("lease_id") != lease.lease_id:
+            raise LeaseExpired(
+                f"{what}: lease {lease.lease_id[:8]} on chunk "
+                f"{lease.chunk_index} is no longer held",
+                chunk_index=lease.chunk_index,
+                lease_id=lease.lease_id,
+            )
+        return record
+
+    def heartbeat(self, lease: Lease) -> Lease:
+        self._live_record(lease, "heartbeat")
+        spec = self.job()
+        if spec is None or spec.job_id != lease.job_id:
+            raise LeaseExpired(
+                f"heartbeat: job {lease.job_id} is gone",
+                chunk_index=lease.chunk_index,
+                lease_id=lease.lease_id,
+            )
+        extended = Lease(
+            job_id=lease.job_id,
+            task=lease.task,
+            lease_id=lease.lease_id,
+            worker_id=lease.worker_id,
+            deadline=self._clock() + spec.lease_timeout_s,
+            delivery=lease.delivery,
+        )
+        _write_atomic(
+            self._chunk_path("leased", lease.chunk_index),
+            self._lease_record(extended),
+        )
+        return extended
+
+    def ack(self, lease: Lease, result: dict) -> None:
+        self._live_record(lease, "ack")
+        _write_atomic(
+            self._chunk_path("results", lease.chunk_index),
+            {
+                "job_id": lease.job_id,
+                "worker_id": lease.worker_id,
+                "delivery": lease.delivery,
+                "result": result,
+            },
+        )
+        self._chunk_path("leased", lease.chunk_index).unlink(missing_ok=True)
+
+    def nack(self, lease: Lease, reason: str = "") -> None:
+        self._live_record(lease, "nack")
+        spec = self.job()
+        max_deliveries = spec.max_deliveries if spec else DEFAULT_MAX_DELIVERIES
+        self._retire_or_requeue(
+            lease.chunk_index,
+            lease.task.to_dict(),
+            lease.job_id,
+            lease.delivery,
+            max_deliveries,
+        )
+
+    def _retire_or_requeue(
+        self,
+        index: int,
+        task_dict: dict,
+        job_id: str,
+        delivery: int,
+        max_deliveries: int,
+    ) -> bool:
+        """Requeue (True) or retire to lost (False) a surrendered chunk.
+
+        The chunk must exist in *some* spool state at every instant, so the
+        ``leased/X`` file is never unlinked before its successor exists:
+
+        * retire: write ``lost/X``, then unlink (a crash in between leaves
+          both — harmless, the lost record is idempotent);
+        * requeue: atomically rewrite ``leased/X`` with the delivery bumped
+          and the lease id stripped — fencing off any late heartbeat/ack —
+          then atomically *rename* it to ``pending/X``.  A crash between
+          the two steps leaves the chunk in ``leased/`` with no deadline,
+          where the next expiry scan's mtime fallback retires or requeues
+          it again.
+        """
+        leased_path = self._chunk_path("leased", index)
+        if delivery >= max_deliveries:
+            _write_atomic(
+                self._chunk_path("lost", index),
+                {"job_id": job_id, "task": task_dict, "delivery": delivery},
+            )
+            leased_path.unlink(missing_ok=True)
+            return False
+        _write_atomic(
+            leased_path,
+            {"job_id": job_id, "task": task_dict, "delivery": delivery + 1},
+        )
+        try:
+            os.rename(leased_path, self._chunk_path("pending", index))
+        except FileNotFoundError:
+            return True  # a concurrent scan completed the same requeue
+        with open(self._requeue_log, "a", encoding="utf-8") as log:
+            log.write(f"{index}\n")
+        return True
+
+    def requeue_expired(self) -> list[int]:
+        spec = self.job()
+        if spec is None:
+            return []
+        now = self._clock()
+        requeued = []
+        for leased in sorted((self.spool / "leased").glob("*.json")):
+            record = _read_json(leased)
+            if record is None:
+                continue
+            deadline = record.get("deadline")
+            if deadline is None:
+                # The claim-rename landed but the lease metadata rewrite has
+                # not yet: treat the claim instant (file mtime) as the lease
+                # start so a worker that died in that window still expires.
+                try:
+                    deadline = leased.stat().st_mtime + spec.lease_timeout_s
+                except FileNotFoundError:
+                    continue
+            if deadline > now:
+                continue
+            index = int(record["task"]["index"])
+            if self._retire_or_requeue(
+                index,
+                record["task"],
+                record["job_id"],
+                int(record["delivery"]),
+                spec.max_deliveries,
+            ):
+                requeued.append(index)
+        return requeued
+
+    def _result_records(self) -> list[dict]:
+        spec = self.job()
+        if spec is None:
+            return []
+        records = []
+        for path in (self.spool / "results").glob("*.json"):
+            record = self._result_cache.get(path.name)
+            if record is None or record["job_id"] != spec.job_id:
+                # Cache miss — or another process replaced the job (and
+                # thus this filename's content) since we cached it.
+                record = _read_json(path)
+                if record is None:
+                    continue
+                self._result_cache[path.name] = record
+            # A result delivered against a different job never counts.
+            if record["job_id"] == spec.job_id:
+                records.append(record)
+        return records
+
+    def results(self) -> dict[int, dict]:
+        return {
+            int(record["result"]["chunk"]): record["result"]
+            for record in self._result_records()
+        }
+
+    def lost(self) -> dict[int, int]:
+        out = {}
+        for path in (self.spool / "lost").glob("*.json"):
+            record = _read_json(path)
+            if record is not None:
+                out[int(record["task"]["index"])] = int(record["delivery"])
+        return out
+
+    def progress(self) -> BrokerProgress:
+        spec = self.job()
+        records = self._result_records()
+        done = len(records)
+        workers = {record["worker_id"] for record in records}
+        try:
+            requeues = len(self._requeue_log.read_text().splitlines())
+        except FileNotFoundError:
+            requeues = 0
+        return BrokerProgress(
+            n_tasks=len(spec.tasks) if spec else 0,
+            pending=len(list((self.spool / "pending").glob("*.json"))),
+            leased=len(list((self.spool / "leased").glob("*.json"))),
+            done=done,
+            lost=len(list((self.spool / "lost").glob("*.json"))),
+            requeues=requeues,
+            workers=workers,
+        )
+
+
+__all__ = ["FileBroker"]

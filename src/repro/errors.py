@@ -46,6 +46,61 @@ class SamplingError(ReproError):
     returns, which indicate the bounded-probability ⊥ outcome of Theorem 1)."""
 
 
+class DistributedError(ReproError):
+    """Base class for broker/worker-queue failures (:mod:`repro.distributed`).
+
+    Distinct from :class:`SamplingError` on purpose: these describe the
+    *transport* — leases, heartbeats, spool files — never the sampling
+    math.  A distributed run that fails with one of these drew nothing
+    wrong; it simply could not finish moving chunks around.
+    """
+
+
+class LeaseExpired(DistributedError):
+    """Raised when a lease-scoped operation (heartbeat, ack, nack) refers to
+    a lease the broker no longer honours.
+
+    This is the fencing mechanism that keeps lost-chunk retry safe: once a
+    lease's deadline passes and the chunk is re-issued, the original
+    holder's ack is rejected, so a slow-but-alive worker cannot double-
+    deliver a chunk behind the broker's back.  Workers treat it as a benign
+    signal to drop the result and move on — the re-issued lease reruns the
+    chunk under the *same* derived seed, so nothing is lost but time.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        chunk_index: int | None = None,
+        lease_id: str | None = None,
+    ):
+        self.chunk_index = chunk_index
+        self.lease_id = lease_id
+        super().__init__(message)
+
+
+class ChunkLost(DistributedError):
+    """Raised when a chunk exhausted its delivery budget without an ack.
+
+    Every lease expiry re-issues the chunk with its original seed; after
+    ``max_deliveries`` such attempts the broker declares the chunk lost and
+    the whole job fails — returning a witness stream with a hole would
+    silently break both the ordering contract and uniformity.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        chunk_index: int | None = None,
+        deliveries: int | None = None,
+    ):
+        self.chunk_index = chunk_index
+        self.deliveries = deliveries
+        super().__init__(message)
+
+
 class WorkerFailure(SamplingError):
     """Raised by the parallel engine when a worker process fails.
 

@@ -16,6 +16,15 @@ the sampling lifecycle as a tool:
   CI exercises (``--smoke --jobs 2`` adds the parallel-engine leg);
 * ``repro bench-throughput`` — witnesses/sec of the parallel engine across
   job counts on a suite benchmark or a DIMACS file;
+* ``repro broker SPOOL FILE.cnf`` — submit a sampling job to a spool-
+  directory chunk queue and wait for ``repro worker`` processes to drain
+  it (``--workers N`` also spawns local ones); expired leases are retried
+  with their original derived seeds, so the merged stream is identical to
+  a single-process run;
+* ``repro worker SPOOL`` — pull and run chunks from a spool queue
+  (heartbeats its leases; ``--drain`` exits once the job completes);
+* ``repro sample --broker SPOOL`` — the one-command distributed path:
+  submit, spawn ``--jobs`` local workers, collect;
 * ``repro count FILE.cnf`` — ApproxMC as a tool;
 * ``repro samplers`` — list the sampler registry;
 * ``repro benchmarks`` — list the benchmark registry.
@@ -111,6 +120,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fast self-check of the whole lifecycle on a tiny"
                         " built-in formula (used by CI); with --jobs N also"
                         " exercises the parallel engine")
+    p.add_argument("--broker", metavar="SPOOL", default=None,
+                   help="sample through a spool-directory chunk queue:"
+                        " submits the job, spawns --jobs local `repro"
+                        " worker` processes (default 2; 0 = rely on"
+                        " externally started workers), and merges their"
+                        " chunks")
+    p.add_argument("--lease-timeout", type=float, default=30.0,
+                   help="seconds a broker chunk lease lives without a"
+                        " heartbeat before it is retried (--broker only)")
+    p.add_argument("--report-json", metavar="PATH", default=None,
+                   help="also write the full sampling report (witnesses,"
+                        " per-draw results, merged stats) as JSON")
 
     p = sub.add_parser(
         "bench-throughput",
@@ -130,6 +151,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2014)
     p.add_argument("--epsilon", type=float, default=6.0)
     p.add_argument("--chunk-size", type=int, default=None)
+
+    p = sub.add_parser(
+        "broker",
+        help="submit a sampling job to a spool-directory chunk queue and "
+             "wait for workers to drain it",
+    )
+    p.add_argument("spool", help="spool directory (created if missing); "
+                                 "`repro worker` processes watch it")
+    p.add_argument("cnf_file", nargs="?", default=None)
+    p.add_argument("-n", "--num", type=int, default=1)
+    p.add_argument("--sampler", default="unigen",
+                   help=f"algorithm name, one of {available_samplers()}")
+    p.add_argument("--prepared", metavar="STATE_JSON", default=None,
+                   help="reuse a cached artifact from `repro prepare --out`")
+    p.add_argument("--epsilon", type=float, default=None)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--bsat-timeout", type=float, default=60.0)
+    p.add_argument("--xor-count", type=int, default=None)
+    p.add_argument("--chunk-size", type=int, default=None)
+    p.add_argument("--lease-timeout", type=float, default=30.0,
+                   help="seconds a chunk lease lives without a heartbeat "
+                        "before the chunk is retried (original seed kept)")
+    p.add_argument("--max-deliveries", type=int, default=5,
+                   help="total issues of one chunk before the job fails")
+    p.add_argument("--poll", type=float, default=0.2,
+                   help="seconds between queue polls / expiry scans")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="overall seconds to wait for the job (default: "
+                        "forever)")
+    p.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="also spawn N local `repro worker` processes "
+                        "(default 0: external workers drain the queue)")
+    p.add_argument("--report-json", metavar="PATH", default=None)
+
+    p = sub.add_parser(
+        "worker",
+        help="pull and run sampling chunks from a spool-directory queue",
+    )
+    p.add_argument("spool")
+    p.add_argument("--worker-id", default=None,
+                   help="identity recorded in leases (default: host:pid)")
+    p.add_argument("--poll", type=float, default=0.2,
+                   help="seconds between polls when the queue is empty")
+    p.add_argument("--idle-timeout", type=float, default=None,
+                   help="exit after this long without work (default: "
+                        "poll forever)")
+    p.add_argument("--max-chunks", type=int, default=None,
+                   help="exit after completing this many chunks")
+    p.add_argument("--drain", action="store_true",
+                   help="exit once the current job is complete")
+    # Fault-injection hook for the chaos tests: SIGKILL our own process
+    # right after leasing the Nth chunk (mid-chunk, nothing acked).
+    p.add_argument("--chaos-kill-after", type=int, default=None,
+                   help=argparse.SUPPRESS)
 
     p = sub.add_parser(
         "prepare",
@@ -171,6 +246,160 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-query conflict budget")
 
     return parser
+
+
+def _resolve_sample_target(cnf_file, prepared_path, epsilon):
+    """The CNF-or-artifact resolution shared by ``sample`` and ``broker``.
+
+    Returns ``(target, epsilon)``; raises ``ValueError`` when a positional
+    CNF disagrees with the formula embedded in the artifact (sampling a
+    different file than the artifact was prepared from would silently
+    produce witnesses of the wrong formula).
+    """
+    if prepared_path is None:
+        return read_dimacs(cnf_file), epsilon
+    target = PreparedFormula.load(prepared_path)
+    print(f"c prepared artifact: {target.describe()}", file=sys.stderr)
+    if epsilon is None:
+        # The artifact records the ε it was built under; adopting it
+        # under a different ε is rejected, so default to its.
+        epsilon = target.epsilon
+    if cnf_file is not None:
+        from ..cnf.dimacs import dimacs_body
+
+        if dimacs_body(read_dimacs(cnf_file)) != dimacs_body(target.cnf):
+            raise ValueError(
+                f"{cnf_file} differs from the formula embedded in "
+                f"{prepared_path}; re-run `repro prepare` or drop one of "
+                "the two inputs"
+            )
+    return target, epsilon
+
+
+def _spawn_local_workers(spool, count: int, poll: float):
+    """Start ``count`` drain-mode ``repro worker`` subprocesses on ``spool``.
+
+    The children inherit our environment plus this package's source root on
+    ``PYTHONPATH``, so they resolve the same ``repro`` regardless of how
+    the parent was launched.
+    """
+    import os
+    import subprocess
+    from pathlib import Path
+
+    src_root = str(Path(__file__).resolve().parents[2])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        src_root + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src_root
+    )
+    return [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker", str(spool),
+             "--drain", "--poll", str(poll)],
+            env=env,
+        )
+        for _ in range(count)
+    ]
+
+
+def _sample_via_broker(
+    spool,
+    target,
+    n: int,
+    config,
+    *,
+    sampler: str,
+    chunk_size: int | None,
+    lease_timeout_s: float,
+    max_deliveries: int = 5,
+    poll: float = 0.2,
+    timeout: float | None = None,
+    workers: int = 0,
+):
+    """Submit to a :class:`FileBroker` spool, optionally spawn local
+    workers, and collect the merged report.
+
+    A worker-side ``UnsatisfiableError`` (sample-only samplers discover
+    UNSAT inside a chunk) is re-raised as the real thing so callers report
+    it exactly like the serial path.
+    """
+    from ..distributed import FileBroker, submit_job, wait_for_report
+    from ..errors import UnsatisfiableError, WorkerFailure
+
+    broker = FileBroker(spool)
+    submitted = submit_job(
+        broker,
+        target,
+        n,
+        config,
+        sampler=sampler,
+        chunk_size=chunk_size,
+        lease_timeout_s=lease_timeout_s,
+        max_deliveries=max_deliveries,
+    )
+    print(
+        f"c broker: job {submitted.spec.job_id[:8]} submitted to {spool} "
+        f"({len(submitted.spec.tasks)} chunks × {submitted.chunk_size}, "
+        f"seed={submitted.root_seed}, lease={lease_timeout_s:g}s)",
+        file=sys.stderr,
+    )
+    procs = _spawn_local_workers(spool, workers, poll)
+    try:
+        return wait_for_report(
+            broker, submitted, poll_interval_s=poll, timeout_s=timeout
+        )
+    except WorkerFailure as exc:
+        if exc.remote_type == "UnsatisfiableError":
+            raise UnsatisfiableError(str(exc)) from exc
+        raise
+    finally:
+        for proc in procs:
+            try:
+                proc.wait(timeout=10.0)
+            except Exception:  # noqa: BLE001 — a stuck worker must not
+                proc.kill()  # wedge the coordinator's exit path
+                proc.wait()
+
+
+def _maybe_report_json(path, data: dict) -> None:
+    """Write the ``--report-json`` artifact (no-op when the flag is off)."""
+    if path is None:
+        return
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2)
+    print(f"c wrote report {path}", file=sys.stderr)
+
+
+def _serial_report_dict(sampler_name, sampler, results, witnesses, n,
+                        seed) -> dict:
+    """The serial path's ``--report-json`` payload — same schema (and the
+    same registry-canonical sampler name) as
+    :meth:`~repro.parallel.engine.ParallelSampleReport.to_dict`, so report
+    consumers never branch on how the witnesses were drawn."""
+    from ..core.base import witness_to_lits
+
+    stats = sampler.stats
+    wall = stats.sample_time_seconds
+    return {
+        "sampler": sampler_name,
+        "jobs": 1,
+        "n_requested": n,
+        "n_delivered": len(witnesses),
+        "chunk_size": n,
+        "n_chunks": 1,
+        "root_seed": seed,
+        "requeues": 0,
+        "wall_time_seconds": wall,
+        "witnesses_per_second": len(witnesses) / wall if wall > 0 else 0.0,
+        "chunk_times": [wall],
+        "witnesses": [witness_to_lits(w) for w in witnesses],
+        "results": [r.to_dict() for r in results],
+        "stats": stats.to_dict(),
+    }
 
 
 def _print_witnesses(witnesses, shortfall: int) -> None:
@@ -308,33 +537,9 @@ def main(argv: list[str] | None = None) -> int:
                   file=sys.stderr)
             return 2
         try:
-            epsilon = args.epsilon
-            if args.prepared is not None:
-                target = PreparedFormula.load(args.prepared)
-                print(f"c prepared artifact: {target.describe()}",
-                      file=sys.stderr)
-                if epsilon is None:
-                    # The artifact records the ε it was built under; adopting
-                    # it under a different ε is rejected, so default to its.
-                    epsilon = target.epsilon
-                if args.cnf_file is not None:
-                    # The artifact embeds the formula it was prepared from;
-                    # sampling a *different* positional file would silently
-                    # produce witnesses of the wrong formula.
-                    from ..cnf.dimacs import dimacs_body
-
-                    if dimacs_body(read_dimacs(args.cnf_file)) != dimacs_body(
-                        target.cnf
-                    ):
-                        print(
-                            f"c error: {args.cnf_file} differs from the "
-                            f"formula embedded in {args.prepared}; re-run "
-                            "`repro prepare` or drop one of the two inputs",
-                            file=sys.stderr,
-                        )
-                        return 2
-            else:
-                target = read_dimacs(args.cnf_file)
+            target, epsilon = _resolve_sample_target(
+                args.cnf_file, args.prepared, args.epsilon
+            )
             config = SamplerConfig(
                 epsilon=6.0 if epsilon is None else epsilon,
                 seed=args.seed,
@@ -342,6 +547,24 @@ def main(argv: list[str] | None = None) -> int:
                 approxmc_search="galloping",
                 xor_count=args.xor_count,
             )
+            if args.broker is not None:
+                report = _sample_via_broker(
+                    args.broker,
+                    target,
+                    args.num,
+                    config,
+                    sampler=args.sampler,
+                    chunk_size=args.chunk_size,
+                    lease_timeout_s=args.lease_timeout,
+                    poll=0.1,
+                    # --jobs doubles as the local worker count here; 0 means
+                    # externally started `repro worker`s drain the queue.
+                    workers=2 if args.jobs is None else args.jobs,
+                )
+                _print_witnesses(report.witnesses, report.shortfall)
+                print(f"c {report.describe()}", file=sys.stderr)
+                _maybe_report_json(args.report_json, report.to_dict())
+                return 0
             if args.jobs is not None:
                 from ..errors import WorkerFailure
                 from ..parallel import ParallelSamplerConfig, sample_parallel
@@ -365,6 +588,7 @@ def main(argv: list[str] | None = None) -> int:
                     raise
                 _print_witnesses(report.witnesses, report.shortfall)
                 print(f"c {report.describe()}", file=sys.stderr)
+                _maybe_report_json(args.report_json, report.to_dict())
                 return 0
             sampler = make_sampler(args.sampler, target, config)
             preparer = getattr(sampler, "prepare", None)
@@ -379,7 +603,7 @@ def main(argv: list[str] | None = None) -> int:
         try:
             # Same -n contract as the parallel path: deliver args.num
             # witnesses (bounded retries), BOT lines only for the shortfall.
-            witnesses = sampler.sample_until(
+            results = sampler.sample_until_results(
                 args.num, max_attempts=10 * max(1, args.num)
             )
         except UnsatisfiableError:
@@ -390,6 +614,7 @@ def main(argv: list[str] | None = None) -> int:
         except ReproError as exc:
             print(f"c error: {exc}", file=sys.stderr)
             return 2
+        witnesses = [r.witness for r in results if r.ok]
         _print_witnesses(witnesses, args.num - len(witnesses))
         print(
             f"c sampler={sampler.name} "
@@ -397,6 +622,76 @@ def main(argv: list[str] | None = None) -> int:
             f"avg_xor_len={sampler.stats.avg_xor_length:.1f}",
             file=sys.stderr,
         )
+        _maybe_report_json(
+            args.report_json,
+            _serial_report_dict(get_entry(args.sampler).name, sampler,
+                                results, witnesses, args.num, args.seed),
+        )
+        return 0
+
+    if args.command == "broker":
+        from ..errors import ReproError, UnsatisfiableError
+
+        if args.cnf_file is None and args.prepared is None:
+            print("c error: need a CNF file or --prepared", file=sys.stderr)
+            return 2
+        try:
+            target, epsilon = _resolve_sample_target(
+                args.cnf_file, args.prepared, args.epsilon
+            )
+            config = SamplerConfig(
+                epsilon=6.0 if epsilon is None else epsilon,
+                seed=args.seed,
+                bsat_timeout_s=args.bsat_timeout,
+                approxmc_search="galloping",
+                xor_count=args.xor_count,
+            )
+            report = _sample_via_broker(
+                args.spool,
+                target,
+                args.num,
+                config,
+                sampler=args.sampler,
+                chunk_size=args.chunk_size,
+                lease_timeout_s=args.lease_timeout,
+                max_deliveries=args.max_deliveries,
+                poll=args.poll,
+                timeout=args.timeout,
+                workers=args.workers,
+            )
+        except UnsatisfiableError:
+            print("s UNSATISFIABLE")
+            return 1
+        except (ReproError, ValueError, OSError) as exc:
+            print(f"c error: {exc}", file=sys.stderr)
+            return 2
+        _print_witnesses(report.witnesses, report.shortfall)
+        print(f"c {report.describe()}", file=sys.stderr)
+        _maybe_report_json(args.report_json, report.to_dict())
+        return 0
+
+    if args.command == "worker":
+        from ..distributed import FileBroker, run_worker
+        from ..errors import ReproError
+
+        try:
+            broker = FileBroker(args.spool)
+            report = run_worker(
+                broker,
+                worker_id=args.worker_id,
+                poll_interval_s=args.poll,
+                idle_timeout_s=args.idle_timeout,
+                max_chunks=args.max_chunks,
+                drain=args.drain,
+                chaos_kill_after=args.chaos_kill_after,
+            )
+        except KeyboardInterrupt:  # clean shutdown: lease already nacked
+            print("c worker interrupted", file=sys.stderr)
+            return 130
+        except (ReproError, OSError) as exc:
+            print(f"c error: {exc}", file=sys.stderr)
+            return 2
+        print(f"c {report.describe()}", file=sys.stderr)
         return 0
 
     if args.command == "prepare":

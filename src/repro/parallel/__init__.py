@@ -21,10 +21,22 @@ See :mod:`repro.parallel.engine` for the design notes and guarantees.
 
 from .config import ParallelSamplerConfig, default_chunk_size
 from .engine import ParallelSampleReport, sample_parallel
+from .plan import (
+    ChunkTask,
+    MergedChunks,
+    build_payload,
+    chunk_plan,
+    merge_chunk_results,
+)
 
 __all__ = [
     "ParallelSamplerConfig",
     "ParallelSampleReport",
     "sample_parallel",
     "default_chunk_size",
+    "ChunkTask",
+    "MergedChunks",
+    "build_payload",
+    "chunk_plan",
+    "merge_chunk_results",
 ]

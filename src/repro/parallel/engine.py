@@ -25,15 +25,15 @@ terminates the pool and raises :class:`~repro.errors.BudgetExhausted`.
 
 from __future__ import annotations
 
-import math
 import multiprocessing
 import time
 from dataclasses import dataclass, field
 
-from ..core.base import SampleResult, SamplerStats, Witness
-from ..errors import BudgetExhausted, WorkerFailure
-from ..rng import derive_seed, fresh_root_seed
+from ..core.base import SampleResult, SamplerStats, Witness, witness_to_lits
+from ..errors import BudgetExhausted
+from ..rng import fresh_root_seed
 from .config import ParallelSamplerConfig
+from .plan import build_payload, chunk_plan, merge_chunk_results
 from .worker import init_worker, run_chunk
 
 
@@ -59,6 +59,9 @@ class ParallelSampleReport:
     root_seed: int
     wall_time_seconds: float
     chunk_times: list[float] = field(default_factory=list)
+    #: Chunk re-issues after lost leases; always 0 on the pool path, where a
+    #: dead worker kills the run instead of being retried.
+    requeues: int = 0
 
     @property
     def witnesses_per_second(self) -> float:
@@ -75,76 +78,38 @@ class ParallelSampleReport:
 
     def describe(self) -> str:
         """One human-readable line for CLI output."""
+        retried = f", {self.requeues} requeued" if self.requeues else ""
         return (
             f"{len(self.witnesses)}/{self.n_requested} witnesses via "
             f"{self.sampler} [jobs={self.jobs}, {self.n_chunks} chunks × "
-            f"{self.chunk_size}, seed={self.root_seed}] in "
+            f"{self.chunk_size}{retried}, seed={self.root_seed}] in "
             f"{self.wall_time_seconds:.2f}s "
             f"({self.witnesses_per_second:.1f} witnesses/s, "
             f"success={self.stats.success_probability:.3f})"
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the ``--report-json`` schema).
 
-def _chunk_plan(
-    n: int, chunk_size: int, root_seed: int, max_attempts_factor: int
-) -> list[tuple[int, int, int, int]]:
-    """The task list: ``(index, derived seed, count, max_attempts)`` rows.
-
-    A pure function of ``(n, chunk_size, root_seed)`` — nothing about jobs
-    or scheduling enters, which is the whole determinism argument.
-    """
-    tasks = []
-    for index in range(math.ceil(n / chunk_size)):
-        count = min(chunk_size, n - index * chunk_size)
-        tasks.append(
-            (
-                index,
-                derive_seed(root_seed, index),
-                count,
-                max(1, count * max_attempts_factor),
-            )
-        )
-    return tasks
-
-
-def _build_payload(cnf_or_prepared, entry, config) -> dict:
-    """The serialized per-worker payload (plain dicts and strings only).
-
-    For samplers with a prepare phase the expensive lines 1–11 run *here*,
-    in the parent, exactly once; workers adopt the artifact.  Samplers
-    without one get the formula as DIMACS text (``c ind``/``x`` lines
-    included) — the amortization gap the paper's Section 5 measures.
-    """
-    from ..api.prepared import PreparedFormula, prepare
-    from ..cnf.dimacs import to_dimacs
-
-    payload = {"sampler": entry.name, "config": config.to_dict()}
-    if entry.supports_prepared:
-        if isinstance(cnf_or_prepared, PreparedFormula):
-            artifact = cnf_or_prepared
-        else:
-            artifact = prepare(cnf_or_prepared, config)
-        payload["prepared"] = artifact.to_dict()
-    else:
-        cnf = (
-            cnf_or_prepared.cnf
-            if isinstance(cnf_or_prepared, PreparedFormula)
-            else cnf_or_prepared
-        )
-        payload["dimacs"] = to_dimacs(cnf)
-        payload["name"] = cnf.name
-    return payload
-
-
-def _raise_worker_failure(raw: dict) -> None:
-    error = raw["error"]
-    raise WorkerFailure(
-        f"worker chunk {raw['chunk']} failed with {error['type']}: "
-        f"{error['message']}",
-        chunk_index=raw["chunk"],
-        remote_type=error["type"],
-        remote_traceback=error["traceback"],
-    )
+        Witnesses appear in their canonical signed-literal wire form; the
+        per-draw results and merged stats use their own ``to_dict`` layouts.
+        """
+        return {
+            "sampler": self.sampler,
+            "jobs": self.jobs,
+            "n_requested": self.n_requested,
+            "n_delivered": len(self.witnesses),
+            "chunk_size": self.chunk_size,
+            "n_chunks": self.n_chunks,
+            "root_seed": self.root_seed,
+            "requeues": self.requeues,
+            "wall_time_seconds": self.wall_time_seconds,
+            "witnesses_per_second": self.witnesses_per_second,
+            "chunk_times": list(self.chunk_times),
+            "witnesses": [witness_to_lits(w) for w in self.witnesses],
+            "results": [r.to_dict() for r in self.results],
+            "stats": self.stats.to_dict(),
+        }
 
 
 def sample_parallel(
@@ -194,10 +159,10 @@ def sample_parallel(
 
     root_seed = config.seed if config.seed is not None else fresh_root_seed()
     chunk_size = parallel.resolve_chunk_size(n)
-    tasks = _chunk_plan(n, chunk_size, root_seed, parallel.max_attempts_factor)
+    tasks = chunk_plan(n, chunk_size, root_seed, parallel.max_attempts_factor)
 
     start = time.monotonic()
-    payload = _build_payload(cnf_or_prepared, entry, config)
+    payload = build_payload(cnf_or_prepared, entry, config)
     if parallel.jobs == 1 and parallel.chunk_timeout_s is None:
         # Same payload, same worker code path, no pool: byte-identical
         # results to any multi-job run of the same root seed.  A chunk
@@ -224,38 +189,17 @@ def sample_parallel(
                         f"{parallel.chunk_timeout_s}"
                     ) from None
 
-    witnesses: list[Witness] = []
-    results: list[SampleResult] = []
-    stats_parts: list[SamplerStats] = []
-    chunk_times: list[float] = []
-    for raw in raw_results:  # already in chunk order
-        if raw["error"] is not None:
-            _raise_worker_failure(raw)
-        if (
-            parallel.chunk_timeout_s is not None
-            and raw["time_seconds"] > parallel.chunk_timeout_s
-        ):
-            # The get()-side guard above only bounds waiting; a chunk that
-            # overran while the engine was blocked on an earlier handle is
-            # caught here from the worker's own clock, so the cap holds for
-            # every chunk regardless of overlap.
-            raise BudgetExhausted(
-                f"parallel chunk {raw['chunk']} ran "
-                f"{raw['time_seconds']:.3f}s, exceeding chunk_timeout_s="
-                f"{parallel.chunk_timeout_s}"
-            )
-        chunk_results = [SampleResult.from_dict(r) for r in raw["results"]]
-        results.extend(chunk_results)
-        # Witnesses are carried inside the results (serialized once); the
-        # flat list shares those dict objects rather than copying them.
-        witnesses.extend(r.witness for r in chunk_results if r.ok)
-        stats_parts.append(SamplerStats.from_dict(raw["stats"]))
-        chunk_times.append(raw["time_seconds"])
+    # The get()-side guard above only bounds waiting; merge_chunk_results
+    # re-checks every chunk's self-measured time against the cap, so an
+    # overrun masked by waiting on an earlier chunk is still reported.
+    merged = merge_chunk_results(
+        raw_results, chunk_timeout_s=parallel.chunk_timeout_s
+    )
 
     return ParallelSampleReport(
-        witnesses=witnesses,
-        results=results,
-        stats=SamplerStats.merged(stats_parts),
+        witnesses=merged.witnesses,
+        results=merged.results,
+        stats=merged.stats,
         sampler=entry.name,
         jobs=parallel.jobs,
         n_requested=n,
@@ -263,5 +207,5 @@ def sample_parallel(
         n_chunks=len(tasks),
         root_seed=root_seed,
         wall_time_seconds=time.monotonic() - start,
-        chunk_times=chunk_times,
+        chunk_times=merged.chunk_times,
     )

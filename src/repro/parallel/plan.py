@@ -1,0 +1,174 @@
+"""The chunked work plan and result merge shared by every fan-out path.
+
+PR 2's process pool and the distributed broker (:mod:`repro.distributed`)
+must draw the *identical* witness stream from one root seed — that is the
+jobs-invariance guarantee, and it holds because both paths share, verbatim,
+the three pure pieces this module isolates:
+
+* :func:`chunk_plan` — the task list.  A pure function of
+  ``(n, chunk_size, root_seed)``: nothing about jobs, workers, transports,
+  or scheduling enters, which is the whole determinism argument.  Each
+  :class:`ChunkTask` carries its *derived* seed, so a chunk re-issued after
+  a worker crash (or run by a different worker on a different host) draws
+  exactly what the original lease would have drawn.
+* :func:`build_payload` — the serialized per-worker recipe (plain dicts and
+  strings only), identical whether it crosses a ``fork()``, a spool
+  directory, or a socket.
+* :func:`merge_chunk_results` — fold raw per-chunk result dicts, already
+  ordered by chunk index, back into one witness stream, one
+  :class:`~repro.core.base.SampleResult` stream, and one merged
+  :class:`~repro.core.base.SamplerStats`; re-raise worker errors as
+  :class:`~repro.errors.WorkerFailure` and enforce the per-chunk time cap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+from ..core.base import SampleResult, SamplerStats, Witness
+from ..errors import BudgetExhausted, WorkerFailure
+from ..rng import derive_seed
+
+
+class ChunkTask(NamedTuple):
+    """One unit of work: draw ``count`` witnesses under ``seed``.
+
+    A plain tuple subclass on purpose: it unpacks positionally into
+    :func:`repro.parallel.worker.run_chunk` exactly like the raw tuples PR 2
+    shipped, pickles cheaply across the pool boundary, and round-trips
+    through JSON (:meth:`to_dict`/:meth:`from_dict`) for broker transports.
+    ``seed`` is derived from the run's root seed and ``index`` — never drawn
+    from shared state — so the task row itself is the unit of determinism:
+    wherever and however often it runs, it produces the same draws.
+    """
+
+    index: int
+    seed: int
+    count: int
+    max_attempts: int
+
+    def to_dict(self) -> dict:
+        """JSON wire form (broker spool files); inverse of :meth:`from_dict`."""
+        return {
+            "index": self.index,
+            "seed": self.seed,
+            "count": self.count,
+            "max_attempts": self.max_attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChunkTask":
+        return cls(
+            index=int(data["index"]),
+            seed=int(data["seed"]),
+            count=int(data["count"]),
+            max_attempts=int(data["max_attempts"]),
+        )
+
+
+def chunk_plan(
+    n: int, chunk_size: int, root_seed: int, max_attempts_factor: int
+) -> list[ChunkTask]:
+    """The task list: a pure function of ``(n, chunk_size, root_seed)``."""
+    tasks = []
+    for index in range(math.ceil(n / chunk_size)):
+        count = min(chunk_size, n - index * chunk_size)
+        tasks.append(
+            ChunkTask(
+                index=index,
+                seed=derive_seed(root_seed, index),
+                count=count,
+                max_attempts=max(1, count * max_attempts_factor),
+            )
+        )
+    return tasks
+
+
+def build_payload(cnf_or_prepared, entry, config) -> dict:
+    """The serialized per-worker payload (plain dicts and strings only).
+
+    For samplers with a prepare phase the expensive lines 1–11 run *here*,
+    in the submitting process, exactly once; workers adopt the artifact.
+    Samplers without one get the formula as DIMACS text (``c ind``/``x``
+    lines included) — the amortization gap the paper's Section 5 measures.
+    """
+    from ..api.prepared import PreparedFormula, prepare
+    from ..cnf.dimacs import to_dimacs
+
+    payload = {"sampler": entry.name, "config": config.to_dict()}
+    if entry.supports_prepared:
+        if isinstance(cnf_or_prepared, PreparedFormula):
+            artifact = cnf_or_prepared
+        else:
+            artifact = prepare(cnf_or_prepared, config)
+        payload["prepared"] = artifact.to_dict()
+    else:
+        cnf = (
+            cnf_or_prepared.cnf
+            if isinstance(cnf_or_prepared, PreparedFormula)
+            else cnf_or_prepared
+        )
+        payload["dimacs"] = to_dimacs(cnf)
+        payload["name"] = cnf.name
+    return payload
+
+
+def raise_worker_failure(raw: dict) -> None:
+    """Re-raise a worker-captured exception dict as :class:`WorkerFailure`."""
+    error = raw["error"]
+    raise WorkerFailure(
+        f"worker chunk {raw['chunk']} failed with {error['type']}: "
+        f"{error['message']}",
+        chunk_index=raw["chunk"],
+        remote_type=error["type"],
+        remote_traceback=error["traceback"],
+    )
+
+
+@dataclass
+class MergedChunks:
+    """The fold of ordered raw chunk results, transport-agnostic."""
+
+    witnesses: list[Witness] = field(default_factory=list)
+    results: list[SampleResult] = field(default_factory=list)
+    stats: SamplerStats = field(default_factory=SamplerStats)
+    chunk_times: list[float] = field(default_factory=list)
+
+
+def merge_chunk_results(
+    raw_results: list[dict], *, chunk_timeout_s: float | None = None
+) -> MergedChunks:
+    """Merge per-chunk raw dicts (in chunk order) into one ordered stream.
+
+    Raises :class:`~repro.errors.WorkerFailure` for any chunk whose worker
+    captured an exception, and :class:`~repro.errors.BudgetExhausted` for
+    any chunk whose *self-measured* time exceeds ``chunk_timeout_s`` — the
+    worker's own clock, so the cap holds for every chunk regardless of how
+    the waiting overlapped (or, on the broker path, of how late a result
+    file arrived).
+    """
+    merged = MergedChunks()
+    stats_parts: list[SamplerStats] = []
+    for raw in raw_results:
+        if raw["error"] is not None:
+            raise_worker_failure(raw)
+        if (
+            chunk_timeout_s is not None
+            and raw["time_seconds"] > chunk_timeout_s
+        ):
+            raise BudgetExhausted(
+                f"parallel chunk {raw['chunk']} ran "
+                f"{raw['time_seconds']:.3f}s, exceeding chunk_timeout_s="
+                f"{chunk_timeout_s}"
+            )
+        chunk_results = [SampleResult.from_dict(r) for r in raw["results"]]
+        merged.results.extend(chunk_results)
+        # Witnesses are carried inside the results (serialized once); the
+        # flat list shares those dict objects rather than copying them.
+        merged.witnesses.extend(r.witness for r in chunk_results if r.ok)
+        stats_parts.append(SamplerStats.from_dict(raw["stats"]))
+        merged.chunk_times.append(raw["time_seconds"])
+    merged.stats = SamplerStats.merged(stats_parts)
+    return merged

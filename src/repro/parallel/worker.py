@@ -32,10 +32,18 @@ from __future__ import annotations
 import time
 import traceback
 
+from ..errors import ReproError
 from ..rng import RandomSource
 
 #: Per-process deserialized payload, set by :func:`init_worker`.
 _STATE: "WorkerState | None" = None
+
+#: The clock chunks measure themselves with.  An indirection (rather than a
+#: direct ``time.monotonic()`` call) so tests can substitute a fake clock —
+#: under the ``fork`` start method a monkeypatched value is inherited by
+#: pool workers, which lets chunk-timeout behaviour be tested without
+#: wall-clock-sensitive sleeps.
+_monotonic = time.monotonic
 
 
 class WorkerState:
@@ -73,7 +81,7 @@ def run_chunk(task: tuple[int, int, int, int]) -> dict:
     witnesses.
     """
     chunk_index, seed, count, max_attempts = task
-    start = time.monotonic()
+    start = _monotonic()
     try:
         from ..api.registry import make_sampler
 
@@ -96,7 +104,7 @@ def run_chunk(task: tuple[int, int, int, int]) -> dict:
             "chunk": chunk_index,
             "results": [r.to_dict() for r in results],
             "stats": sampler.stats.to_dict(),
-            "time_seconds": time.monotonic() - start,
+            "time_seconds": _monotonic() - start,
             "error": None,
         }
     except Exception as exc:  # noqa: BLE001 — must not kill the pool
@@ -104,10 +112,17 @@ def run_chunk(task: tuple[int, int, int, int]) -> dict:
             "chunk": chunk_index,
             "results": [],
             "stats": None,
-            "time_seconds": time.monotonic() - start,
+            "time_seconds": _monotonic() - start,
             "error": {
                 "type": type(exc).__name__,
                 "message": str(exc),
                 "traceback": traceback.format_exc(),
+                # Library/config errors (UNSAT, bad ε, exhausted budgets)
+                # are deterministic — rerunning the same seed reproduces
+                # them.  Anything else (MemoryError, OSError, …) is
+                # worker-local trouble a different host might not hit; the
+                # distributed queue retries those instead of failing the
+                # job.
+                "retryable": not isinstance(exc, (ReproError, ValueError)),
             },
         }

@@ -1,0 +1,200 @@
+"""CLI golden paths, driven exactly the way a user drives them: subprocess.
+
+The in-process CLI tests elsewhere call ``main(argv)`` directly, which
+skips interpreter startup, ``-m`` dispatch, and real exit-code plumbing.
+These tests run ``python -m repro`` end to end and pin the contracts the
+README advertises:
+
+* ``repro prepare → repro sample --prepared --jobs 2`` — the cached-
+  artifact lifecycle, with jobs-invariant stdout;
+* ``repro sample --broker`` — the distributed path, producing the same
+  stream as the pool path under one seed;
+* exit codes: 0 on success, 1 + ``s UNSATISFIABLE`` for UNSAT (serial,
+  pool, and broker paths alike), 2 for bad input;
+* the ``--report-json`` schema shared by the serial, pool, and broker
+  paths.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPORT_KEYS = {
+    "sampler", "jobs", "n_requested", "n_delivered", "chunk_size",
+    "n_chunks", "root_seed", "requeues", "wall_time_seconds",
+    "witnesses_per_second", "chunk_times", "witnesses", "results", "stats",
+}
+
+TINY_CNF = """\
+p cnf 6 3
+c ind 1 2 3 4 5 6 0
+1 2 3 0
+-1 -2 0
+4 5 6 0
+"""
+
+UNSAT_CNF = """\
+p cnf 1 2
+1 0
+-1 0
+"""
+
+
+def repro(*args, cwd):
+    """Run ``python -m repro`` as a real subprocess."""
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *map(str, args)],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli")
+    (path / "tiny.cnf").write_text(TINY_CNF)
+    (path / "unsat.cnf").write_text(UNSAT_CNF)
+    return path
+
+
+def v_lines(stdout):
+    return [line for line in stdout.splitlines() if line.startswith("v ")]
+
+
+class TestPrepareSampleLifecycle:
+    def test_prepare_writes_a_valid_artifact(self, workdir):
+        proc = repro("prepare", "tiny.cnf", "--out", "state.json",
+                     "--seed", "7", cwd=workdir)
+        assert proc.returncode == 0, proc.stderr
+        assert "c wrote state.json" in proc.stdout
+        artifact = json.loads((workdir / "state.json").read_text())
+        assert artifact["format_version"] == 1
+        assert "dimacs" in artifact and artifact["epsilon"] == 6.0
+
+    def test_sample_prepared_jobs_2_is_jobs_invariant(self, workdir):
+        repro("prepare", "tiny.cnf", "--out", "state.json", cwd=workdir)
+        outputs = {}
+        for jobs in (1, 2):
+            proc = repro("sample", "--prepared", "state.json", "-n", 6,
+                         "--seed", 9, "--jobs", jobs,
+                         "--sampler", "unigen2", cwd=workdir)
+            assert proc.returncode == 0, proc.stderr
+            outputs[jobs] = proc.stdout
+        assert outputs[1] == outputs[2]
+        assert len(v_lines(outputs[1])) == 6
+        assert "BOT" not in outputs[1]
+
+    def test_broker_path_draws_the_same_stream_as_the_pool(self, workdir):
+        pool = repro("sample", "tiny.cnf", "-n", 6, "--seed", 9,
+                     "--jobs", 2, "--sampler", "unigen2", cwd=workdir)
+        assert pool.returncode == 0, pool.stderr
+        broker = repro("sample", "tiny.cnf", "-n", 6, "--seed", 9,
+                       "--broker", "spool", "--sampler", "unigen2",
+                       cwd=workdir)
+        assert broker.returncode == 0, broker.stderr
+        assert v_lines(broker.stdout) == v_lines(pool.stdout)
+        assert "c broker: job" in broker.stderr
+
+    def test_standalone_broker_and_worker_commands(self, workdir):
+        """`repro broker --workers 2` spawns its own `repro worker`s."""
+        proc = repro("broker", "spool-cmd", "tiny.cnf", "-n", 6,
+                     "--seed", 9, "--sampler", "unigen2",
+                     "--workers", 2, "--poll", 0.05,
+                     "--timeout", 90, cwd=workdir)
+        assert proc.returncode == 0, proc.stderr
+        reference = repro("sample", "tiny.cnf", "-n", 6, "--seed", 9,
+                          "--jobs", 1, "--sampler", "unigen2", cwd=workdir)
+        assert v_lines(proc.stdout) == v_lines(reference.stdout)
+
+
+class TestReportJsonSchema:
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            [],                        # serial path
+            ["--jobs", "2"],           # pool path
+            ["--broker", "spool-rj"],  # broker path
+        ],
+        ids=["serial", "pool", "broker"],
+    )
+    def test_schema_is_shared_across_paths(self, workdir, extra):
+        report_name = f"report-{extra[0][2:] if extra else 'serial'}.json"
+        proc = repro("sample", "tiny.cnf", "-n", 5, "--seed", 4,
+                     "--sampler", "unigen2",
+                     "--report-json", report_name, *extra, cwd=workdir)
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads((workdir / report_name).read_text())
+        assert set(report) == REPORT_KEYS
+        assert report["sampler"] == "unigen2"
+        assert report["n_requested"] == 5
+        assert report["n_delivered"] == len(report["witnesses"]) == 5
+        assert report["root_seed"] == 4
+        assert all(
+            isinstance(lit, int) for w in report["witnesses"] for lit in w
+        )
+        # unigen2 is batched: one accepted cell can deliver many witnesses,
+        # so attempts/successes count batches, not draws.
+        assert report["stats"]["successes"] >= 1
+        assert report["stats"]["attempts"] >= report["stats"]["successes"]
+        assert len(report["results"]) >= 5
+        for result in report["results"]:
+            assert {"witness", "cell_size", "hash_size",
+                    "time_seconds"} <= set(result)
+
+    def test_broker_command_report_records_requeues_key(self, workdir):
+        proc = repro("broker", "spool-rep", "tiny.cnf", "-n", 4,
+                     "--seed", 11, "--sampler", "unigen2", "--workers", 1,
+                     "--poll", 0.05, "--timeout", 90,
+                     "--report-json", "broker-report.json", cwd=workdir)
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads((workdir / "broker-report.json").read_text())
+        assert set(report) == REPORT_KEYS
+        assert report["requeues"] == 0  # healthy run: nothing retried
+
+
+class TestExitCodes:
+    def test_unsat_prepare_exits_1(self, workdir):
+        proc = repro("prepare", "unsat.cnf", "--out", "u.json", cwd=workdir)
+        assert proc.returncode == 1
+        assert "s UNSATISFIABLE" in proc.stdout
+
+    @pytest.mark.parametrize(
+        "extra",
+        [[], ["--jobs", "2"], ["--broker", "spool-unsat"]],
+        ids=["serial", "pool", "broker"],
+    )
+    def test_unsat_sample_exits_1_on_every_path(self, workdir, extra):
+        # uniwit has no prepare phase: UNSAT is discovered inside the
+        # draw — in a pool worker / broker chunk on the parallel paths.
+        proc = repro("sample", "unsat.cnf", "--sampler", "uniwit",
+                     "-n", 2, "--seed", 1, *extra, cwd=workdir)
+        assert proc.returncode == 1, proc.stderr
+        assert "s UNSATISFIABLE" in proc.stdout
+
+    def test_missing_file_exits_2(self, workdir):
+        proc = repro("sample", "nope.cnf", "-n", 1, cwd=workdir)
+        assert proc.returncode == 2
+        assert "c error" in proc.stderr
+
+    def test_sample_without_inputs_exits_2(self, workdir):
+        proc = repro("sample", "-n", 1, cwd=workdir)
+        assert proc.returncode == 2
+
+    def test_unknown_sampler_exits_2(self, workdir):
+        proc = repro("sample", "tiny.cnf", "--sampler", "bogus", cwd=workdir)
+        assert proc.returncode == 2
+        assert "unknown sampler" in proc.stderr

@@ -8,6 +8,8 @@ regression here compares ``jobs=1`` against ``jobs=4`` draw-for-draw, not
 just as multisets.
 """
 
+import multiprocessing
+import time
 from collections import Counter
 
 import pytest
@@ -21,16 +23,47 @@ from repro.api import (
 from repro.cnf import CNF, exactly_k_solutions_formula
 from repro.core.base import SampleResult, SamplerStats
 from repro.errors import BudgetExhausted, WorkerFailure
-from repro.parallel import default_chunk_size
-from repro.parallel.engine import _chunk_plan
+from repro.parallel import chunk_plan, default_chunk_size, merge_chunk_results
 from repro.rng import RandomSource, derive_seed
 from repro.stats import witness_key
+
+requires_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fake-clock injection into pool workers relies on fork "
+    "inheriting monkeypatched module state",
+)
 
 
 def hashed_instance(k=600, n=11):
     cnf = exactly_k_solutions_formula(n, k)
     cnf.sampling_set = range(1, n + 1)
     return cnf
+
+
+class _JumpClock:
+    """A fake monotonic clock advancing ``step`` seconds per reading.
+
+    Injected as ``repro.parallel.worker._monotonic`` so every chunk
+    *measures itself* as having run ``step`` seconds — chunk-timeout
+    behaviour becomes testable without wall-clock-sensitive sleeps.
+    Module-level (not a closure) so forked pool workers inherit it.
+    """
+
+    def __init__(self, step: float):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def _blocking_chunk(task):
+    """A chunk that never finishes: the hung-BSAT stand-in for the
+    wait-side timeout test.  The 60 s sleep is an upper bound the test
+    never reaches — the engine must give up after ``chunk_timeout_s``."""
+    time.sleep(60.0)
+    raise AssertionError("the engine should have timed out this chunk")
 
 
 @pytest.fixture(scope="module")
@@ -66,10 +99,10 @@ class TestSeedDerivation:
 
 class TestChunkPlan:
     def test_pure_function_of_n_seed_and_chunk_size(self):
-        assert _chunk_plan(10, 3, 42, 10) == _chunk_plan(10, 3, 42, 10)
-        counts = [t[2] for t in _chunk_plan(10, 3, 42, 10)]
+        assert chunk_plan(10, 3, 42, 10) == chunk_plan(10, 3, 42, 10)
+        counts = [t[2] for t in chunk_plan(10, 3, 42, 10)]
         assert counts == [3, 3, 3, 1]
-        seeds = [t[1] for t in _chunk_plan(10, 3, 42, 10)]
+        seeds = [t[1] for t in chunk_plan(10, 3, 42, 10)]
         assert len(set(seeds)) == len(seeds)
 
     def test_default_chunk_size_independent_of_jobs(self):
@@ -281,19 +314,89 @@ class TestFailurePropagation:
                 ParallelSamplerConfig(jobs=2, sampler="bogus"),
             )
 
+    def test_merge_enforces_the_chunk_budget_from_the_worker_clock(self):
+        # Pure fake-clock test of the cap: no pools, no sleeps, no load
+        # sensitivity.  A chunk whose *self-measured* time exceeds the cap
+        # must fail the merge even though nobody waited on it.
+        def raw(chunk, seconds):
+            return {"chunk": chunk, "results": [], "stats": {},
+                    "time_seconds": seconds, "error": None}
+
+        merged = merge_chunk_results(
+            [raw(0, 1.0), raw(1, 4.9)], chunk_timeout_s=5.0
+        )
+        assert merged.chunk_times == [1.0, 4.9]
+        with pytest.raises(BudgetExhausted, match="chunk_timeout_s"):
+            merge_chunk_results(
+                [raw(0, 1.0), raw(1, 5.1)], chunk_timeout_s=5.0
+            )
+
+    @requires_fork
     @pytest.mark.parametrize("jobs", [1, 2])
-    def test_chunk_timeout_raises_budget_exhausted(self, artifact, jobs):
+    def test_overrunning_chunk_raises_budget_exhausted(
+        self, artifact, jobs, monkeypatch
+    ):
         # jobs=1 included: a timeout must be enforceable there too (the
-        # engine routes through a single-worker pool to make it so).
+        # engine routes through a single-worker pool to make it so).  The
+        # workers' self-measurement clock is faked to jump 10 s per
+        # reading, so every chunk reports a 10 s runtime against a 5 s cap
+        # while actually finishing instantly.
+        monkeypatch.setattr(
+            "repro.parallel.worker._monotonic", _JumpClock(step=10.0)
+        )
         with pytest.raises(BudgetExhausted, match="chunk_timeout_s"):
             sample_parallel(
                 artifact,
                 16,
                 SamplerConfig(seed=1),
                 ParallelSamplerConfig(
-                    jobs=jobs, sampler="unigen", chunk_timeout_s=1e-4
+                    jobs=jobs, sampler="unigen", chunk_timeout_s=5.0,
+                    start_method="fork",
                 ),
             )
+
+    @requires_fork
+    def test_fast_chunks_pass_under_the_same_cap(self, artifact, monkeypatch):
+        # The control for the fake-clock plumbing: tiny self-measured
+        # times sail under the identical cap.
+        monkeypatch.setattr(
+            "repro.parallel.worker._monotonic", _JumpClock(step=1e-6)
+        )
+        report = sample_parallel(
+            artifact,
+            8,
+            SamplerConfig(seed=1),
+            ParallelSamplerConfig(
+                jobs=2, sampler="unigen", chunk_timeout_s=5.0,
+                start_method="fork",
+            ),
+        )
+        assert len(report.witnesses) == 8
+
+    @requires_fork
+    def test_hung_chunk_times_out_on_the_wait_side(
+        self, artifact, monkeypatch
+    ):
+        # A chunk that genuinely hangs (a wedged BSAT call) can't report a
+        # self-measured time; the engine must stop waiting after the cap
+        # and terminate the pool.  Robust under load: the hang (60 s) is
+        # far beyond the cap (0.5 s), so scheduling jitter can only make
+        # the chunk *more* timed out.
+        monkeypatch.setattr(
+            "repro.parallel.engine.run_chunk", _blocking_chunk
+        )
+        start = time.monotonic()
+        with pytest.raises(BudgetExhausted, match="chunk_timeout_s"):
+            sample_parallel(
+                artifact,
+                4,
+                SamplerConfig(seed=1),
+                ParallelSamplerConfig(
+                    jobs=2, sampler="unigen", chunk_timeout_s=0.5,
+                    start_method="fork",
+                ),
+            )
+        assert time.monotonic() - start < 30.0  # gave up, not slept out
 
     def test_invalid_parallel_config_rejected(self):
         with pytest.raises(ValueError, match="jobs"):

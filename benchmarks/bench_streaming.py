@@ -1,0 +1,130 @@
+"""Streaming vs merge-at-end: time-to-first-witness and coordinator RSS.
+
+The execution-layer refactor's pitch, measured: ``repro sample --backend
+serial --stream`` emits its first witness after one chunk, while the
+buffered path emits nothing until the whole run has merged — and the
+streaming coordinator holds O(window) chunks where the buffered one holds
+every witness.  Each mode runs as a **real subprocess** (RSS high-water
+marks are per-process and monotone, so in-process A/B would be
+meaningless); the parent stamps the first ``v`` line on the child's
+stdout and the child reports its own ``ru_maxrss`` on exit.
+
+Emits a ``BENCH_streaming.json`` trajectory point at the repo root.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_streaming.py -v
+  or: PYTHONPATH=src python benchmarks/bench_streaming.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUT_PATH = REPO_ROOT / "BENCH_streaming.json"
+
+N_WITNESSES = 20_000
+SEED = 2014
+
+TINY_CNF = """\
+p cnf 6 3
+c ind 1 2 3 4 5 6 0
+1 2 3 0
+-1 -2 0
+4 5 6 0
+"""
+
+
+def _measure_mode(tmp_path: Path, stream: bool) -> dict:
+    """One `repro sample` child; returns wall, t-first-witness, maxrss."""
+    cnf_path = tmp_path / "bench.cnf"
+    cnf_path.write_text(TINY_CNF)
+    side_channel = tmp_path / f"rss-{'stream' if stream else 'buffered'}.json"
+    argv = [
+        "sample", str(cnf_path), "-n", str(N_WITNESSES),
+        "--seed", str(SEED), "--sampler", "unigen2",
+        "--backend", "serial",
+    ] + (["--stream"] if stream else [])
+    child_code = (
+        "import json, resource, sys\n"
+        "from repro.experiments.cli import main\n"
+        f"rc = main({argv!r})\n"
+        "usage = resource.getrusage(resource.RUSAGE_SELF)\n"
+        f"side = open({str(side_channel)!r}, 'w')\n"
+        "json.dump({'maxrss_kb': usage.ru_maxrss, 'rc': rc}, side)\n"
+        "side.close()\n"
+        "sys.exit(rc)\n"
+    )
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else src
+    )
+    start = time.monotonic()
+    proc = subprocess.Popen(
+        [sys.executable, "-c", child_code],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    t_first = None
+    witnesses = 0
+    for line in proc.stdout:
+        if line.startswith("v "):
+            witnesses += 1
+            if t_first is None:
+                t_first = time.monotonic() - start
+    proc.wait(timeout=600)
+    wall = time.monotonic() - start
+    assert proc.returncode == 0
+    child = json.loads(side_channel.read_text())
+    return {
+        "mode": "streaming" if stream else "buffered",
+        "witnesses": witnesses,
+        "wall_seconds": round(wall, 4),
+        "time_to_first_witness_seconds": round(t_first, 4),
+        "maxrss_kb": child["maxrss_kb"],
+    }
+
+
+def test_streaming_beats_buffered_to_first_witness(tmp_path):
+    buffered = _measure_mode(tmp_path, stream=False)
+    streaming = _measure_mode(tmp_path, stream=True)
+    assert buffered["witnesses"] == N_WITNESSES
+    assert streaming["witnesses"] == N_WITNESSES
+    # The point of the refactor: first output long before the run ends.
+    # The buffered path cannot print before its own total wall time; the
+    # streaming path prints after roughly one chunk.
+    assert (
+        streaming["time_to_first_witness_seconds"]
+        < buffered["time_to_first_witness_seconds"]
+    ), (streaming, buffered)
+
+    point = {
+        "bench": "streaming-vs-buffered",
+        "backend": "serial",
+        "sampler": "unigen2",
+        "n": N_WITNESSES,
+        "seed": SEED,
+        "buffered": buffered,
+        "streaming": streaming,
+        "first_witness_speedup": round(
+            buffered["time_to_first_witness_seconds"]
+            / max(streaming["time_to_first_witness_seconds"], 1e-6),
+            2,
+        ),
+    }
+    OUT_PATH.write_text(json.dumps(point, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+    print(json.dumps(point, indent=2))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        test_streaming_beats_buffered_to_first_witness(Path(tmp))

@@ -157,6 +157,19 @@ class SamplerStats:
                 total.merge(part)
         return total
 
+    def merge_raw(self, data: dict | None) -> "SamplerStats":
+        """Fold one wire-form stats dict into this accumulator (returns self).
+
+        The streaming-safe accumulation primitive: every field is additive,
+        so a long-running stream folds each chunk's stats the moment it
+        arrives and never needs the full list of parts in memory.  ``None``
+        is skipped for the same reason :meth:`merged` skips it — a failed
+        chunk ships ``stats: None``.
+        """
+        if data is not None:
+            self.merge(SamplerStats.from_dict(data))
+        return self
+
     def to_dict(self) -> dict:
         """JSON-serializable form; inverse of :meth:`from_dict`."""
         return asdict(self)

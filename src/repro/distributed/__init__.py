@@ -39,6 +39,7 @@ from .coordinator import (
     wait_for_report,
 )
 from .filebroker import FileBroker
+from .tcpbroker import BrokerServer, TcpBroker, connect_broker
 from .worker import WorkerReport, default_worker_id, run_worker
 
 __all__ = [
@@ -46,6 +47,9 @@ __all__ = [
     "BrokerProgress",
     "InMemoryBroker",
     "FileBroker",
+    "TcpBroker",
+    "BrokerServer",
+    "connect_broker",
     "JobSpec",
     "Lease",
     "FakeClock",

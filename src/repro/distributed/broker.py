@@ -103,6 +103,28 @@ class Lease:
     def chunk_index(self) -> int:
         return self.task.index
 
+    def to_dict(self) -> dict:
+        """JSON wire form (TCP line protocol); inverse of :meth:`from_dict`."""
+        return {
+            "job_id": self.job_id,
+            "task": self.task.to_dict(),
+            "lease_id": self.lease_id,
+            "worker_id": self.worker_id,
+            "deadline": self.deadline,
+            "delivery": self.delivery,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Lease":
+        return cls(
+            job_id=data["job_id"],
+            task=ChunkTask.from_dict(data["task"]),
+            lease_id=data["lease_id"],
+            worker_id=data["worker_id"],
+            deadline=float(data["deadline"]),
+            delivery=int(data["delivery"]),
+        )
+
 
 @dataclass
 class BrokerProgress:
@@ -122,6 +144,30 @@ class BrokerProgress:
             f"({self.pending} pending, {self.leased} leased, "
             f"{self.lost} lost, {self.requeues} requeued, "
             f"{len(self.workers)} workers)"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON wire form (TCP line protocol); inverse of :meth:`from_dict`."""
+        return {
+            "n_tasks": self.n_tasks,
+            "pending": self.pending,
+            "leased": self.leased,
+            "done": self.done,
+            "lost": self.lost,
+            "requeues": self.requeues,
+            "workers": sorted(self.workers),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BrokerProgress":
+        return cls(
+            n_tasks=int(data["n_tasks"]),
+            pending=int(data["pending"]),
+            leased=int(data["leased"]),
+            done=int(data["done"]),
+            lost=int(data["lost"]),
+            requeues=int(data["requeues"]),
+            workers=set(data["workers"]),
         )
 
 
@@ -187,7 +233,34 @@ class Broker(ABC):
 
     @abstractmethod
     def results(self) -> dict[int, dict]:
-        """Raw result dicts delivered so far, keyed by chunk index."""
+        """Raw result dicts delivered so far, keyed by chunk index.
+
+        The merge-at-end surface: O(delivered) memory.  Streaming
+        consumers use :meth:`result_indices` + :meth:`fetch_result` so
+        they never materialize the full set.
+        """
+
+    def result_indices(self) -> set[int]:
+        """Chunk indices with a delivered result (cheap census).
+
+        Default falls back on :meth:`results`; transports where that is
+        expensive (spool files, sockets) override with an index-only scan.
+        """
+        return set(self.results())
+
+    def fetch_result(self, index: int) -> dict | None:
+        """One chunk's raw result dict, or ``None`` if not delivered yet.
+
+        The streaming coordinator's fetch: one chunk crosses the
+        transport, never the whole result set.
+        """
+        return self.results().get(index)
+
+    def done_count(self) -> int:
+        """How many chunks have a delivered result — a constant-size
+        answer, so poll loops can skip the full :meth:`result_indices`
+        census on ticks where nothing new arrived."""
+        return len(self.result_indices())
 
     @abstractmethod
     def lost(self) -> dict[int, int]:
@@ -197,10 +270,27 @@ class Broker(ABC):
     def progress(self) -> BrokerProgress:
         """The queue census (pending/leased/done/lost/requeues/workers)."""
 
+    @abstractmethod
+    def purge(self) -> None:
+        """Discard the hosted job and every trace of its state.
+
+        Called by coordinators on clean job completion so transports with
+        durable state (spool directories, a brokerd's job table) do not
+        accumulate spent jobs.  After a purge, :meth:`job` returns
+        ``None`` and a new :meth:`submit` starts from scratch; any
+        straggler worker's lease operations fail with
+        :class:`~repro.errors.LeaseExpired`.
+        """
+
     def is_complete(self) -> bool:
-        """True when every chunk of the current job has a result."""
+        """True when every chunk of the current job has a result.
+
+        Uses the :meth:`result_indices` census, not :meth:`results` —
+        workers poll this every idle tick, and on remote transports the
+        full result set would otherwise cross the wire each time.
+        """
         spec = self.job()
-        return spec is not None and len(self.results()) == len(spec.tasks)
+        return spec is not None and len(self.result_indices()) == len(spec.tasks)
 
     def _check_submittable(self) -> None:
         spec = self.job()
@@ -346,9 +436,31 @@ class InMemoryBroker(Broker):
         with self._lock:
             return dict(self._results)
 
+    def result_indices(self) -> set[int]:
+        with self._lock:
+            return set(self._results)
+
+    def done_count(self) -> int:
+        with self._lock:
+            return len(self._results)
+
+    def fetch_result(self, index: int) -> dict | None:
+        with self._lock:
+            return self._results.get(index)
+
     def lost(self) -> dict[int, int]:
         with self._lock:
             return dict(self._lost)
+
+    def purge(self) -> None:
+        with self._lock:
+            self._spec = None
+            self._pending.clear()
+            self._leased.clear()
+            self._results.clear()
+            self._lost.clear()
+            self._requeues = 0
+            self._workers.clear()
 
     def progress(self) -> BrokerProgress:
         with self._lock:

@@ -7,16 +7,17 @@ different processes:
 * :func:`submit_job` — run (or adopt) the once-per-formula phase, build the
   chunk plan from the root seed, and enqueue it.  After this returns, the
   submitting process holds nothing the workers need.
-* :func:`wait_for_report` — poll the broker, re-issuing expired leases
-  (the coordinator is the failure detector; brokers run no timers), and
-  fold the collected raw results into the same ordered
+* :func:`wait_for_report` — stream the broker's chunk results in order
+  through the windowed :class:`~repro.execution.brokered.BrokerBackend`
+  (re-issuing expired leases as it polls — the coordinator is the failure
+  detector; brokers run no timers) and fold them into the same ordered
   :class:`~repro.parallel.engine.ParallelSampleReport` the pool returns.
 
 Because the plan, payload, and merge are the shared pure functions of
-:mod:`repro.parallel.plan`, a distributed run over any number of workers —
-including runs where workers were SIGKILLed mid-chunk and their leases
-retried — produces the byte-identical witness stream of a single-process
-run under the same root seed.
+:mod:`repro.execution.base` / :mod:`repro.parallel.plan`, a distributed
+run over any number of workers — including runs where workers were
+SIGKILLed mid-chunk and their leases retried — produces the byte-identical
+witness stream of a single-process run under the same root seed.
 """
 
 from __future__ import annotations
@@ -24,16 +25,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from ..errors import ChunkLost, DistributedError
-from ..parallel.config import ParallelSamplerConfig
 from ..parallel.engine import ParallelSampleReport
-from ..parallel.plan import (
-    build_payload,
-    chunk_plan,
-    merge_chunk_results,
-    raise_worker_failure,
-)
-from ..rng import fresh_root_seed
+from ..parallel.plan import ChunkFold
 from .broker import (
     DEFAULT_LEASE_TIMEOUT_S,
     DEFAULT_MAX_DELIVERIES,
@@ -69,44 +62,34 @@ def submit_job(
     """Prepare (if needed), plan, and enqueue a sampling job.
 
     The chunk plan is the identical pure function of
-    ``(n, chunk_size, root seed)`` the pool engine uses — the transport
-    changes, the stream cannot.
+    ``(n, chunk_size, root seed)`` the pool engine uses — the shared
+    :func:`~repro.execution.base.build_plan` builds it (pre-flight
+    included, so bad arguments fail here in the submitting process, not
+    inside every worker that pulls a chunk); the transport changes, the
+    stream cannot.
     """
-    from ..api.config import SamplerConfig
-    from ..api.prepared import PreparedFormula
-    from ..api.registry import get_entry, make_sampler
+    from ..execution.base import build_plan
 
-    if n < 0:
-        raise ValueError(f"n must be >= 0, got {n}")
-    config = config or SamplerConfig()
-    entry = get_entry(sampler)
-    # Same pre-flight as the pool engine: bad arguments fail here, in the
-    # submitting process, instead of inside every worker that pulls a chunk.
-    preflight_target = cnf_or_prepared
-    if not entry.supports_prepared and isinstance(
-        cnf_or_prepared, PreparedFormula
-    ):
-        preflight_target = cnf_or_prepared.cnf
-    make_sampler(entry.name, preflight_target, config)
-
-    root_seed = config.seed if config.seed is not None else fresh_root_seed()
-    resolved_chunk_size = ParallelSamplerConfig(
-        sampler=entry.name, chunk_size=chunk_size
-    ).resolve_chunk_size(n)
-    tasks = chunk_plan(n, resolved_chunk_size, root_seed, max_attempts_factor)
-    payload = build_payload(cnf_or_prepared, entry, config)
+    plan = build_plan(
+        cnf_or_prepared,
+        n,
+        config,
+        sampler=sampler,
+        chunk_size=chunk_size,
+        max_attempts_factor=max_attempts_factor,
+    )
     spec = broker.submit(
-        payload,
-        tasks,
+        plan.payload,
+        list(plan.tasks),
         lease_timeout_s=lease_timeout_s,
         max_deliveries=max_deliveries,
     )
     return SubmittedJob(
         spec=spec,
-        sampler=entry.name,
+        sampler=plan.sampler,
         n_requested=n,
-        chunk_size=resolved_chunk_size,
-        root_seed=root_seed,
+        chunk_size=plan.chunk_size,
+        root_seed=plan.root_seed,
     )
 
 
@@ -119,18 +102,24 @@ def wait_for_report(
     clock: Clock = wall_clock,
     sleep=time.sleep,
     on_progress=None,
+    window: int | None = None,
 ) -> ParallelSampleReport:
-    """Poll until every chunk is delivered, then merge the ordered stream.
+    """Stream every chunk in order off the broker, folded into one report.
 
-    The coordinator is the job's failure detector: each poll re-issues
-    expired leases (:meth:`~repro.distributed.broker.Broker.
-    requeue_expired`).  Raises
+    The collection loop is the windowed streaming
+    :class:`~repro.execution.brokered.BrokerBackend`: the coordinator is
+    still the job's failure detector (each poll re-issues expired leases
+    via :meth:`~repro.distributed.broker.Broker.requeue_expired`), but
+    chunks are consumed incrementally as they arrive instead of all at
+    once at the end — only this function's final report is O(n).  Raises
 
-    * :class:`~repro.errors.WorkerFailure` as soon as any delivered chunk
-      carries a worker-captured exception (workers only deliver
-      *deterministic* library errors — retrying a chunk that found the
-      formula UNSAT would find it UNSAT again; worker-local trouble like
-      MemoryError is nacked and retried instead of delivered);
+    * :class:`~repro.errors.WorkerFailure` when a delivered chunk carries
+      a worker-captured exception — at arrival for chunks near the
+      stream cursor, at consumption for ones delivered far ahead of it
+      (workers only deliver *deterministic* library errors — retrying a
+      chunk that found the formula UNSAT would find it UNSAT again;
+      worker-local trouble like MemoryError is nacked and retried
+      instead of delivered);
     * :class:`~repro.errors.ChunkLost` when a chunk burns its delivery
       budget without an ack;
     * :class:`~repro.errors.DistributedError` on overall timeout.
@@ -138,43 +127,27 @@ def wait_for_report(
     ``on_progress`` (optional) receives the
     :class:`~repro.distributed.broker.BrokerProgress` once per poll.
     """
-    spec = submitted.spec
-    start = clock()
-    while True:
-        broker.requeue_expired()
-        results = broker.results()
-        for raw in results.values():
-            if raw["error"] is not None:
-                raise_worker_failure(raw)
-        lost = broker.lost()
-        if lost:
-            index, deliveries = next(iter(sorted(lost.items())))
-            raise ChunkLost(
-                f"chunk {index} was issued {deliveries} times without an "
-                f"ack (max_deliveries={spec.max_deliveries}); no live "
-                "workers, or the chunk kills whoever runs it",
-                chunk_index=index,
-                deliveries=deliveries,
-            )
-        if on_progress is not None:
-            on_progress(broker.progress())
-        if len(results) == len(spec.tasks):
-            break
-        if timeout_s is not None and clock() - start > timeout_s:
-            raise DistributedError(
-                f"job {spec.job_id} incomplete after {timeout_s}s "
-                f"({broker.progress().describe()})"
-            )
-        sleep(poll_interval_s)
+    from ..execution.brokered import BrokerBackend
 
-    merged = merge_chunk_results(
-        [results[task.index] for task in spec.tasks]
+    spec = submitted.spec
+    backend = BrokerBackend(
+        broker,
+        window=window,
+        poll_interval_s=poll_interval_s,
+        timeout_s=timeout_s,
+        clock=clock,
+        sleep=sleep,
+        on_progress=on_progress,
     )
-    progress = broker.progress()
+    start = clock()
+    fold = ChunkFold()
+    for raw in backend.stream_spec(spec):
+        fold.add(raw)
+    progress = backend.final_progress
     return ParallelSampleReport(
-        witnesses=merged.witnesses,
-        results=merged.results,
-        stats=merged.stats,
+        witnesses=fold.witnesses,
+        results=fold.results,
+        stats=fold.stats,
         sampler=submitted.sampler,
         jobs=max(1, len(progress.workers)),
         n_requested=submitted.n_requested,
@@ -182,7 +155,7 @@ def wait_for_report(
         n_chunks=len(spec.tasks),
         root_seed=submitted.root_seed,
         wall_time_seconds=clock() - start,
-        chunk_times=merged.chunk_times,
+        chunk_times=fold.chunk_times,
         requeues=progress.requeues,
     )
 

@@ -133,6 +133,8 @@ class FileBroker(Broker):
         self._job_path.unlink(missing_ok=True)
         self._result_cache.clear()  # old job's filenames are reused
         for sub in ("pending", "leased", "results", "lost"):
+            # Recreate after a purge (which removes the emptied subdirs).
+            (self.spool / sub).mkdir(parents=True, exist_ok=True)
             for stale in (self.spool / sub).glob("*.json"):
                 stale.unlink(missing_ok=True)
         self._requeue_log.unlink(missing_ok=True)
@@ -358,6 +360,67 @@ class FileBroker(Broker):
             int(record["result"]["chunk"]): record["result"]
             for record in self._result_records()
         }
+
+    def result_indices(self) -> set[int]:
+        """Delivered chunk indices from the filenames alone — no parsing.
+
+        ``submit`` clears ``results/`` and acks are lease-fenced, so every
+        file present belongs to the current job; :meth:`fetch_result`
+        still verifies the job id when the content is actually read.
+        """
+        if self.job() is None:
+            return set()
+        out = set()
+        for path in (self.spool / "results").glob("*.json"):
+            try:
+                out.add(int(path.stem))
+            except ValueError:
+                continue
+        return out
+
+    def done_count(self) -> int:
+        """Filename count, one directory scan, no parsing — the poll
+        loop's cheap has-anything-arrived gate on this transport."""
+        if self.job() is None:
+            return 0
+        return sum(1 for _ in (self.spool / "results").glob("*.json"))
+
+    def fetch_result(self, index: int) -> dict | None:
+        """Parse exactly one result file (the streaming coordinator's
+        fetch); bypasses the instance result cache so a long stream never
+        accumulates O(n) parsed chunks."""
+        spec = self.job()
+        if spec is None:
+            return None
+        record = _read_json(self._chunk_path("results", index))
+        if record is None or record["job_id"] != spec.job_id:
+            return None
+        return record["result"]
+
+    def purge(self) -> None:
+        """Remove the spool's job state — and the directory itself when
+        that empties it (a foreign file in the spool is preserved, and
+        preserves the directory).
+
+        ``job.json`` goes first: from that instant no worker can lease,
+        so tearing down the chunk files cannot hand anything out.
+        """
+        self._job_path.unlink(missing_ok=True)
+        self._job_cache = None
+        self._result_cache.clear()
+        self._requeue_log.unlink(missing_ok=True)
+        for sub in ("pending", "leased", "results", "lost"):
+            directory = self.spool / sub
+            for stale in directory.glob("*.json"):
+                stale.unlink(missing_ok=True)
+            try:
+                directory.rmdir()
+            except OSError:  # non-JSON stranger in the directory
+                pass
+        try:
+            self.spool.rmdir()
+        except OSError:  # not empty (foreign files) — leave it
+            pass
 
     def lost(self) -> dict[int, int]:
         out = {}

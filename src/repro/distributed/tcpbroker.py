@@ -1,0 +1,713 @@
+"""The TCP transport: a line-protocol broker that crosses hosts.
+
+:class:`~repro.distributed.filebroker.FileBroker` needs a filesystem every
+participant can reach; this module needs a socket.  Two halves:
+
+* :class:`BrokerServer` — the ``repro brokerd`` daemon.  Long-lived, and
+  unlike the one-job-at-a-time spool it serves **many jobs concurrently**,
+  keyed by job id: each job is its own
+  :class:`~repro.distributed.broker.InMemoryBroker` (the reference
+  implementation of the queue semantics — leases, heartbeats, fencing,
+  and seed-preserving retry arrive here by construction, not by
+  reimplementation), and requests are routed to it by the ``job_id`` they
+  carry.
+* :class:`TcpBroker` — the client, a full
+  :class:`~repro.distributed.broker.Broker` implementation, so
+  coordinators, ``repro worker`` processes, and the streaming
+  :class:`~repro.execution.brokered.BrokerBackend` drive it exactly like
+  the other transports.
+
+Wire protocol — newline-delimited JSON, one request line, one response
+line, over a persistent connection::
+
+    → {"op": "lease", "worker_id": "host:123"}\n
+    ← {"ok": true, "value": {"job_id": …, "task": …, "lease_id": …}}\n
+    → {"op": "ack", "lease": {…}, "result": {…}}\n
+    ← {"ok": false, "error": {"type": "LeaseExpired", "message": …}}\n
+
+Every line is **length-checked** against :data:`MAX_LINE_BYTES` on both
+sides before parsing — a corrupt or hostile peer can cost one connection,
+never unbounded memory.  Failures come back as typed errors
+(``LeaseExpired`` re-raises as itself client-side, with its fencing
+fields; everything else as :class:`~repro.errors.DistributedError`), so
+lease-id fencing works across the socket exactly as it does in process.
+
+Job addressing: a client that ``submit``\\ s is *pinned* to the job it
+created — its ``job()``/``results()``/``progress()``/``purge()`` speak
+about that job only.  An unpinned client (a worker) asks the server for
+"the job that needs hands": the oldest incomplete job, or the newest
+complete one when all are drained (so ``--drain`` workers observe
+completion and exit).  Workers re-ask on every poll, which is how one
+worker fleet serves many coordinators' jobs back to back.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from pathlib import Path
+
+from ..errors import DistributedError, LeaseExpired
+from ..parallel.plan import ChunkTask
+from .broker import (
+    DEFAULT_LEASE_TIMEOUT_S,
+    DEFAULT_MAX_DELIVERIES,
+    Broker,
+    BrokerProgress,
+    InMemoryBroker,
+    JobSpec,
+    Lease,
+)
+from .clock import Clock, wall_clock
+
+#: Hard cap on one protocol line, both directions.  Generous for real
+#: payloads (a serialized PreparedFormula plus a chunk plan), but a bound:
+#: a peer cannot make either side buffer an unbounded line.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+#: Default ``repro brokerd`` port (unassigned range, no meaning beyond).
+DEFAULT_PORT = 7765
+
+#: Completed jobs the daemon keeps around (newest first) for late drain
+#: polls before lazily reaping them on the next submit.  Coordinators that
+#: own their workers purge explicitly; this cap is the backstop for
+#: ``--jobs 0`` runs whose coordinator never purges, so a long-lived
+#: brokerd's memory stays bounded by its in-flight work, not its history.
+COMPLETED_JOBS_KEPT = 4
+
+#: Seconds since a job's last pinned access before the reaper may take a
+#: *completed* job beyond the keep window.  A coordinator still streaming
+#: a finished job's results touches it every poll tick, so it can never
+#: be reaped out from under an attached consumer.
+COMPLETED_JOB_LINGER_S = 60.0
+
+#: Seconds without any *pinned* access before an **incomplete** job is
+#: declared abandoned and reaped.  An incomplete job only makes progress
+#: while its coordinator drives requeue_expired and collects results —
+#: all pinned operations — so a job whose coordinator has not spoken for
+#: this long (crashed, Ctrl-C'd) will never finish; without this, its
+#: payload would live in the daemon forever and `_current()`'s
+#: oldest-incomplete rule would keep steering idle workers at it.
+ABANDONED_JOB_TIMEOUT_S = 15 * 60.0
+
+
+def _dump_line(obj: dict) -> bytes:
+    line = json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+    if len(line) > MAX_LINE_BYTES:
+        raise DistributedError(
+            f"protocol line of {len(line)} bytes exceeds MAX_LINE_BYTES="
+            f"{MAX_LINE_BYTES}"
+        )
+    return line
+
+
+def _read_line(rfile) -> dict | None:
+    """One length-checked JSON line; ``None`` on a clean EOF."""
+    line = rfile.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise DistributedError(
+            f"peer sent a protocol line over MAX_LINE_BYTES={MAX_LINE_BYTES}"
+        )
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise DistributedError(f"bad protocol line: {exc}") from exc
+    if not isinstance(data, dict):
+        raise DistributedError(
+            f"bad protocol line: expected a JSON object, got {type(data).__name__}"
+        )
+    return data
+
+
+def parse_tcp_url(url: str) -> tuple[str, int]:
+    """``tcp://host:port`` → ``(host, port)``; raises on anything else."""
+    if not url.startswith("tcp://"):
+        raise ValueError(f"not a tcp:// URL: {url!r}")
+    hostport = url[len("tcp://") :]
+    host, sep, port = hostport.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"tcp URL needs host:port, got {url!r}")
+    return host, int(port)
+
+
+def connect_broker(target: str | Path, *, clock: Clock = wall_clock) -> Broker:
+    """One resolver for every CLI broker target.
+
+    ``tcp://host:port`` connects a :class:`TcpBroker`; anything else is a
+    spool directory for a :class:`~repro.distributed.filebroker.FileBroker`.
+    """
+    if isinstance(target, str) and target.startswith("tcp://"):
+        host, port = parse_tcp_url(target)
+        return TcpBroker(host, port)
+    from .filebroker import FileBroker
+
+    return FileBroker(target, clock=clock)
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+
+
+class TcpBroker(Broker):
+    """The client half: the :class:`Broker` protocol over one socket.
+
+    Thread-safe (one lock around each request/response round trip —
+    the worker's heartbeat thread shares the instance with the chunk
+    loop) and reconnecting: a dropped connection is retried once per
+    call before surfacing as :class:`~repro.errors.DistributedError`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        job_id: str | None = None,
+        connect_timeout_s: float = 10.0,
+        op_timeout_s: float = 60.0,
+    ):
+        self.host = host
+        self.port = port
+        #: The pinned job (set by ``submit``); ``None`` = worker mode.
+        self.job_id = job_id
+        self._connect_timeout_s = connect_timeout_s
+        #: Per-operation read deadline.  Every op is an in-memory lookup
+        #: server-side, so a response that takes this long means the
+        #: daemon is hung or the network is partitioned — without a
+        #: deadline a dead brokerd would block `_call` (and with it the
+        #: coordinator's whole poll loop, lock included) forever, and
+        #: `wait_for_report`'s own timeout could never fire.
+        self._op_timeout_s = op_timeout_s
+        self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        # The last JobSpec this client saw, revalidated by job id on each
+        # job() poll so the multi-MB payload crosses the wire once per
+        # job, not once per worker poll tick.
+        self._spec_cache: JobSpec | None = None
+
+    @classmethod
+    def from_url(cls, url: str, **kwargs) -> "TcpBroker":
+        host, port = parse_tcp_url(url)
+        return cls(host, port, **kwargs)
+
+    # -- transport ------------------------------------------------------
+    def _connect(self) -> None:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self._connect_timeout_s
+        )
+        # socket.timeout is an OSError: an overdue response flows through
+        # the same disconnect/retry/raise path as a dropped connection.
+        sock.settimeout(self._op_timeout_s)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+
+    def _disconnect(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        """Drop the connection (idempotent; calls reconnect lazily)."""
+        with self._lock:
+            self._disconnect()
+
+    def _call(self, op: str, **params):
+        request = {"op": op, **params}
+        # A lost connection is retried once — except for submit, the one
+        # op that *creates* server-side state: if its response was lost
+        # the job may already exist, and re-sending would enqueue a
+        # duplicate job that orphan workers then drain twice.  (The
+        # others are safe: reads are pure, lease at worst grants a lease
+        # that ages out, and ack/nack/heartbeat are lease-id fenced.)
+        retry_ok = op != "submit"
+        with self._lock:
+            response = None
+            for attempt in (1, 2):
+                try:
+                    if self._sock is None:
+                        self._connect()
+                    self._sock.sendall(_dump_line(request))
+                    response = _read_line(self._rfile)
+                    if response is None:  # server closed mid-call
+                        raise ConnectionError("brokerd closed the connection")
+                    break
+                except (OSError, ConnectionError) as exc:
+                    self._disconnect()
+                    if attempt == 2 or not retry_ok:
+                        raise DistributedError(
+                            f"brokerd at tcp://{self.host}:{self.port} "
+                            f"unreachable ({op}): {exc}"
+                        ) from exc
+                except DistributedError:
+                    # Framing trouble (oversized or non-JSON line): the
+                    # stream may be stuck mid-line, so any further read
+                    # would return fragments of the old response against
+                    # new requests.  Drop the connection before
+                    # surfacing — a later call reconnects cleanly.
+                    self._disconnect()
+                    raise
+        if not response.get("ok"):
+            raise _revive_error(response.get("error") or {})
+        return response.get("value")
+
+    # -- the Broker protocol --------------------------------------------
+    def submit(
+        self,
+        payload: dict,
+        tasks: list[ChunkTask],
+        *,
+        lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+        max_deliveries: int = DEFAULT_MAX_DELIVERIES,
+    ) -> JobSpec:
+        value = self._call(
+            "submit",
+            payload=payload,
+            tasks=[t.to_dict() for t in tasks],
+            lease_timeout_s=lease_timeout_s,
+            max_deliveries=max_deliveries,
+        )
+        spec = JobSpec.from_dict(value)
+        self.job_id = spec.job_id  # pin: this client now speaks for its job
+        self._spec_cache = spec
+        return spec
+
+    def job(self) -> JobSpec | None:
+        cached = self._spec_cache
+        value = self._call(
+            "job",
+            job_id=self.job_id,
+            if_job_id=cached.job_id if cached is not None else None,
+        )
+        if value is None:
+            self._spec_cache = None
+            return None
+        if (
+            cached is not None
+            and value.get("same") == cached.job_id
+            and "payload" not in value
+        ):
+            return cached  # revalidated: the server skipped the payload
+        spec = JobSpec.from_dict(value)
+        self._spec_cache = spec
+        return spec
+
+    def lease(self, worker_id: str) -> Lease | None:
+        value = self._call("lease", job_id=self.job_id, worker_id=worker_id)
+        return None if value is None else Lease.from_dict(value)
+
+    def heartbeat(self, lease: Lease) -> Lease:
+        value = self._call("heartbeat", lease=lease.to_dict())
+        return Lease.from_dict(value)
+
+    def ack(self, lease: Lease, result: dict) -> None:
+        self._call("ack", lease=lease.to_dict(), result=result)
+
+    def nack(self, lease: Lease, reason: str = "") -> None:
+        self._call("nack", lease=lease.to_dict(), reason=reason)
+
+    def requeue_expired(self) -> list[int]:
+        return list(self._call("requeue_expired", job_id=self.job_id))
+
+    def results(self) -> dict[int, dict]:
+        return {int(k): v for k, v in self._call("results", job_id=self.job_id).items()}
+
+    def result_indices(self) -> set[int]:
+        return set(self._call("result_indices", job_id=self.job_id))
+
+    def fetch_result(self, index: int) -> dict | None:
+        return self._call("fetch_result", job_id=self.job_id, index=index)
+
+    def done_count(self) -> int:
+        return int(self._call("done_count", job_id=self.job_id))
+
+    def lost(self) -> dict[int, int]:
+        return {int(k): int(v) for k, v in self._call("lost", job_id=self.job_id).items()}
+
+    def progress(self) -> BrokerProgress:
+        return BrokerProgress.from_dict(self._call("progress", job_id=self.job_id))
+
+    def is_complete(self) -> bool:
+        """Constant-size completion check via the progress census.
+
+        Every idle worker polls this; the inherited
+        ``result_indices()``-based default would ship an O(n_chunks) index
+        list over the socket per tick (the server's progress counters are
+        O(1) to produce — its jobs are in-memory brokers).
+        """
+        progress = self.progress()
+        if progress.n_tasks == 0:
+            # No tasks: either no job at all, or a zero-chunk job (n=0),
+            # which is trivially complete the moment it exists.
+            return self.job() is not None
+        return progress.done == progress.n_tasks
+
+    def purge(self) -> None:
+        self._call("purge", job_id=self.job_id)
+        self._spec_cache = None
+
+    def ping(self) -> dict:
+        """Server liveness + census (not part of the Broker protocol)."""
+        return self._call("ping")
+
+
+def _revive_error(error: dict) -> Exception:
+    """Server-side error dict → the matching client-side exception."""
+    message = error.get("message", "broker error")
+    if error.get("type") == "LeaseExpired":
+        return LeaseExpired(
+            message,
+            chunk_index=error.get("chunk_index"),
+            lease_id=error.get("lease_id"),
+        )
+    return DistributedError(message)
+
+
+# ----------------------------------------------------------------------
+# Server (the brokerd daemon)
+# ----------------------------------------------------------------------
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: loop request lines until EOF or a framing error."""
+
+    def handle(self) -> None:
+        while True:
+            try:
+                request = _read_line(self.rfile)
+            except DistributedError as exc:
+                # Framing/oversize trouble: answer once, drop the peer.
+                self._respond({"ok": False, "error": {
+                    "type": "DistributedError", "message": str(exc)}})
+                return
+            if request is None:
+                return
+            self._respond(self.server.broker_server._handle(request))
+
+    def _respond(self, response: dict) -> None:
+        try:
+            payload = _dump_line(response)
+        except DistributedError as exc:
+            # The response itself is over the line cap (a huge results()
+            # set).  Never go silent — the client is blocking on this
+            # line and would hang forever; send a small typed error it
+            # can raise instead.
+            payload = _dump_line({"ok": False, "error": {
+                "type": "DistributedError", "message": str(exc)}})
+        try:
+            self.wfile.write(payload)
+            self.wfile.flush()
+        except OSError:
+            pass  # peer gone; the next readline sees EOF and ends
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class BrokerServer:
+    """``repro brokerd``: many concurrent jobs, one InMemoryBroker each.
+
+    The job table is append-ordered; unpinned requests (workers) resolve
+    to the oldest incomplete job so a fleet drains jobs in submission
+    order.  ``purge`` drops a job from the table — its memory is the only
+    durable state, so a purged job is simply gone.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        clock: Clock = wall_clock,
+    ):
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._jobs: dict[str, InMemoryBroker] = {}
+        self._order: list[str] = []
+        #: job id → last pinned access (the reaper's liveness signal).
+        self._touched: dict[str, float] = {}
+        self._tcp = _TCPServer((host, port), _Handler)
+        self._tcp.broker_server = self
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — concrete even for ``port=0``."""
+        return self._tcp.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"tcp://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        self._tcp.serve_forever(poll_interval=0.2)
+
+    def start(self) -> "BrokerServer":
+        """Serve from a daemon thread (tests, examples); returns self."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "BrokerServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- job routing ----------------------------------------------------
+    def job_count(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def _pinned(self, job_id: str) -> InMemoryBroker | None:
+        with self._lock:
+            broker = self._jobs.get(job_id)
+            if broker is not None:
+                self._touched[job_id] = self._clock()
+            return broker
+
+    def _current(self) -> InMemoryBroker | None:
+        """The job an unpinned client means.
+
+        Resolution order: first job (submission order) with **pending**
+        work, else the oldest incomplete job, else the newest job of all
+        (so drain-mode workers see completion), else ``None``.
+
+        The pending-first rule is load-bearing: unpinned ``lease`` grants
+        from exactly this job, so ``job()`` and ``lease()`` always agree.
+        If they could disagree (e.g. ``job()`` naming an incomplete job
+        whose chunks are all leased out while ``lease()`` served another
+        job's chunk), a worker would nack the mismatched chunk, re-lease
+        it immediately, and burn its whole delivery budget in a tight
+        loop — marking healthy chunks lost.
+        """
+        with self._lock:
+            ordered = [
+                self._jobs[job_id]
+                for job_id in self._order
+                if job_id in self._jobs
+            ]
+        for broker in ordered:
+            if broker.progress().pending > 0:
+                return broker
+        for broker in ordered:
+            if not broker.is_complete():
+                return broker
+        return ordered[-1] if ordered else None
+
+    def _resolve(self, job_id: str | None) -> InMemoryBroker | None:
+        return self._current() if job_id is None else self._pinned(job_id)
+
+    def _reap_jobs(self) -> None:
+        """Retire spent and abandoned jobs; the daemon's memory bound.
+
+        Called lazily on submit — brokers run no timers — so jobs whose
+        coordinator never purged cannot grow the table unboundedly:
+
+        * **completed** jobs beyond the :data:`COMPLETED_JOBS_KEPT` keep
+          window go, unless pinned-accessed within
+          :data:`COMPLETED_JOB_LINGER_S` — a coordinator slowly streaming
+          a finished job's results touches it every poll, so the reaper
+          cannot pull the job out from under an attached consumer;
+        * **incomplete** jobs with no pinned access for
+          :data:`ABANDONED_JOB_TIMEOUT_S` go too — their coordinator is
+          gone and nothing can ever finish them (worker polls are
+          unpinned and deliberately do not count as liveness).
+        """
+        now = self._clock()
+        with self._lock:
+            completed = [
+                job_id
+                for job_id in self._order
+                if job_id in self._jobs and self._jobs[job_id].is_complete()
+            ]
+            doomed = [
+                job_id
+                for job_id in completed[:-COMPLETED_JOBS_KEPT]
+                if now - self._touched.get(job_id, 0.0)
+                >= COMPLETED_JOB_LINGER_S
+            ]
+            doomed += [
+                job_id
+                for job_id in self._order
+                if job_id in self._jobs
+                and job_id not in completed
+                and now - self._touched.get(job_id, 0.0)
+                >= ABANDONED_JOB_TIMEOUT_S
+            ]
+            for job_id in doomed:
+                self._jobs.pop(job_id).purge()
+                self._order.remove(job_id)
+                self._touched.pop(job_id, None)
+
+    def _broker_for_lease(self, lease_dict: dict) -> InMemoryBroker:
+        broker = self._pinned(lease_dict.get("job_id"))
+        if broker is None:
+            raise LeaseExpired(
+                f"job {lease_dict.get('job_id')} is gone (completed and "
+                "purged, or never submitted here)",
+                chunk_index=(lease_dict.get("task") or {}).get("index"),
+                lease_id=lease_dict.get("lease_id"),
+            )
+        return broker
+
+    # -- dispatch -------------------------------------------------------
+    def _handle(self, request: dict) -> dict:
+        try:
+            value = self._dispatch(request)
+            return {"ok": True, "value": value}
+        except LeaseExpired as exc:
+            return {"ok": False, "error": {
+                "type": "LeaseExpired",
+                "message": str(exc),
+                "chunk_index": exc.chunk_index,
+                "lease_id": exc.lease_id,
+            }}
+        except DistributedError as exc:
+            return {"ok": False, "error": {
+                "type": "DistributedError", "message": str(exc)}}
+        except Exception as exc:  # noqa: BLE001 — a bad request must not
+            # kill the daemon; it answers typed and keeps serving.
+            return {"ok": False, "error": {
+                "type": "DistributedError",
+                "message": f"{type(exc).__name__}: {exc}"}}
+
+    def _dispatch(self, request: dict):
+        op = request.get("op")
+        job_id = request.get("job_id")
+
+        if op == "ping":
+            return {"server": "repro-brokerd", "jobs": self.job_count()}
+
+        if op == "submit":
+            tasks = [ChunkTask.from_dict(t) for t in request["tasks"]]
+            broker = InMemoryBroker(clock=self._clock)
+            spec = broker.submit(
+                request["payload"],
+                tasks,
+                lease_timeout_s=float(
+                    request.get("lease_timeout_s", DEFAULT_LEASE_TIMEOUT_S)
+                ),
+                max_deliveries=int(
+                    request.get("max_deliveries", DEFAULT_MAX_DELIVERIES)
+                ),
+            )
+            with self._lock:
+                self._jobs[spec.job_id] = broker
+                self._order.append(spec.job_id)
+                self._touched[spec.job_id] = self._clock()
+            self._reap_jobs()
+            return spec.to_dict()
+
+        if op == "purge":
+            with self._lock:
+                broker = self._jobs.pop(job_id, None)
+                if job_id in self._order:
+                    self._order.remove(job_id)
+                self._touched.pop(job_id, None)
+            if broker is not None:
+                broker.purge()
+            return True
+
+        if op in ("heartbeat", "ack", "nack"):
+            lease_dict = request["lease"]
+            broker = self._broker_for_lease(lease_dict)
+            lease = Lease.from_dict(lease_dict)
+            if op == "heartbeat":
+                return broker.heartbeat(lease).to_dict()
+            if op == "ack":
+                broker.ack(lease, request["result"])
+                return True
+            broker.nack(lease, reason=request.get("reason", ""))
+            return True
+
+        if op == "lease":
+            worker_id = request.get("worker_id", "tcp-worker")
+            # Unpinned leases come from the same job job() resolves to —
+            # see _current() for why the two must agree.
+            broker = (
+                self._pinned(job_id) if job_id is not None
+                else self._current()
+            )
+            lease = broker.lease(worker_id) if broker else None
+            return None if lease is None else lease.to_dict()
+
+        # Read-side ops share job resolution: pinned when the client
+        # submitted, the fleet's current job otherwise.
+        broker = self._resolve(job_id)
+        if op == "job":
+            spec = broker.job() if broker else None
+            if spec is None:
+                return None
+            if request.get("if_job_id") == spec.job_id:
+                # Client already holds this spec — skip the payload.
+                return {"same": spec.job_id}
+            return spec.to_dict()
+        if op == "requeue_expired":
+            if broker is not None:
+                return broker.requeue_expired()
+            with self._lock:
+                brokers = [self._jobs[j] for j in self._order if j in self._jobs]
+            requeued: list[int] = []
+            for each in brokers:
+                requeued.extend(each.requeue_expired())
+            return requeued
+        if op == "results":
+            return (
+                {} if broker is None
+                else {str(k): v for k, v in broker.results().items()}
+            )
+        if op == "result_indices":
+            return [] if broker is None else sorted(broker.result_indices())
+        if op == "done_count":
+            return 0 if broker is None else broker.done_count()
+        if op == "fetch_result":
+            index = int(request["index"])
+            return None if broker is None else broker.fetch_result(index)
+        if op == "lost":
+            return (
+                {} if broker is None
+                else {str(k): v for k, v in broker.lost().items()}
+            )
+        if op == "progress":
+            progress = broker.progress() if broker else BrokerProgress()
+            return progress.to_dict()
+
+        raise DistributedError(f"unknown op {op!r}")
+
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "DEFAULT_PORT",
+    "TcpBroker",
+    "BrokerServer",
+    "connect_broker",
+    "parse_tcp_url",
+]

@@ -137,6 +137,12 @@ def run_worker(
             return report
         spec = broker.job()
         if spec is None or spec.job_id == stale_job:
+            if drain and spec is None and report.jobs_seen:
+                # The job we served has vanished — its coordinator
+                # collected and purged it.  That IS drain-complete; the
+                # alternative is polling an empty queue until an idle
+                # timeout that drain-mode callers usually don't set.
+                return report
             if _idle_expired(clock, idle_since, idle_timeout_s):
                 return report
             sleep(poll_interval_s)
@@ -179,6 +185,11 @@ def run_worker(
                     broker.nack(lease, reason="job changed under us")
                 except LeaseExpired:
                     pass
+                # Pace the retry: a broker whose job()/lease() views keep
+                # disagreeing must not let this loop re-lease and nack the
+                # same chunk flat-out — that burns the chunk's delivery
+                # budget in milliseconds and marks healthy work lost.
+                sleep(poll_interval_s)
                 continue
 
         leases_taken += 1

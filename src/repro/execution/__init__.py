@@ -1,0 +1,90 @@
+"""Streaming execution backends: one seam over serial, pool, and broker.
+
+The per-sample phase of Algorithm 1 runs behind a single
+:class:`SampleBackend` protocol.  Backends are picked by name (mirroring
+the sampler registry) and all execute the same deterministic
+:class:`ExecutionPlan`, so the witness stream is a pure function of the
+plan — never of the backend::
+
+    from repro.api import SamplerConfig
+    from repro.execution import build_plan, make_backend
+
+    plan = build_plan(prepared, 100_000, SamplerConfig(seed=42),
+                      sampler="unigen2")
+    backend = make_backend("pool", jobs=8, window=16)
+    for chunk_index, result in backend.iter_sample_stream(plan):
+        if result.ok:
+            consume(result.witness)     # O(window) chunks ever held
+
+:func:`sample_stream` wraps the two steps for the common case.  The
+``broker`` backend streams a distributed job (spool directory or TCP
+``repro brokerd``) the same way; ``backend.collect(plan)`` is the classic
+merge-at-end :class:`~repro.parallel.engine.ParallelSampleReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .base import (
+    DEFAULT_WINDOW,
+    ExecutionPlan,
+    SampleBackend,
+    StreamEvent,
+    build_plan,
+)
+from .brokered import BrokerBackend
+from .pool import PoolBackend
+from .registry import (
+    BackendEntry,
+    available_backends,
+    get_backend_entry,
+    make_backend,
+    register_backend,
+)
+from .serial import SerialBackend
+
+
+def sample_stream(
+    cnf_or_prepared,
+    n: int,
+    config=None,
+    *,
+    backend: str = "serial",
+    sampler: str = "unigen",
+    chunk_size: int | None = None,
+    max_attempts_factor: int = 10,
+    **backend_kwargs,
+) -> Iterator[StreamEvent]:
+    """Plan + stream in one call: the library-level streaming entry point.
+
+    Yields ``(chunk_index, SampleResult)`` events in deterministic order;
+    the stream is identical for every ``backend`` under one root seed.
+    """
+    plan = build_plan(
+        cnf_or_prepared,
+        n,
+        config,
+        sampler=sampler,
+        chunk_size=chunk_size,
+        max_attempts_factor=max_attempts_factor,
+    )
+    return make_backend(backend, **backend_kwargs).iter_sample_stream(plan)
+
+
+__all__ = [
+    "DEFAULT_WINDOW",
+    "ExecutionPlan",
+    "SampleBackend",
+    "StreamEvent",
+    "build_plan",
+    "sample_stream",
+    "SerialBackend",
+    "PoolBackend",
+    "BrokerBackend",
+    "BackendEntry",
+    "register_backend",
+    "available_backends",
+    "get_backend_entry",
+    "make_backend",
+]

@@ -1,0 +1,257 @@
+"""The execution seam: one plan, many backends, one incremental stream.
+
+Algorithm 1's per-sample phase is embarrassingly parallel, and PR 2/3 grew
+three execution paths for it — an inline serial loop, a process pool, and
+a broker-served worker fleet — that all buffered every witness and merged
+at the end.  This module folds them behind one abstraction:
+
+* :func:`build_plan` — the shared front half.  Pre-flight the sampler,
+  resolve the root seed, cut the deterministic chunk plan
+  (:func:`~repro.parallel.plan.chunk_plan`), and serialize the worker
+  payload.  A plan is a pure value: every backend executes the *same* plan
+  rows, which is why the drawn witness stream cannot depend on the
+  backend.
+* :class:`SampleBackend` — the protocol.  A backend's one obligation is
+  :meth:`~SampleBackend.run_plan`: yield raw chunk result dicts **in chunk
+  order**, holding at most ``window`` chunks in flight.  Everything else —
+  the per-draw event stream (:meth:`~SampleBackend.iter_sample_stream`),
+  error/timeout enforcement, streaming stats accumulation, and the
+  merge-at-end report (:meth:`~SampleBackend.collect`) — is shared code on
+  the base class, built on :class:`~repro.parallel.plan.ChunkFold`.
+
+The streaming contract: ``iter_sample_stream`` yields
+:class:`StreamEvent` ``(chunk_index, SampleResult)`` tuples in
+deterministic order — chunk 0's draws first, each chunk's draws in draw
+order — identical for every backend, window, and job count under one root
+seed.  The coordinator's live state is O(window) chunks; the classic
+O(n) witness list only materializes if the caller asks for
+:meth:`~SampleBackend.collect`.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator, NamedTuple
+
+from ..core.base import SampleResult, SamplerStats
+from ..parallel.plan import ChunkFold, ChunkTask, build_payload, chunk_plan
+from ..rng import fresh_root_seed
+
+#: Fallback in-flight window when a backend is not given one explicitly.
+DEFAULT_WINDOW = 4
+
+
+class StreamEvent(NamedTuple):
+    """One draw of the incremental stream: ``(chunk_index, SampleResult)``.
+
+    Events arrive in deterministic order — ascending ``chunk_index``, draws
+    within a chunk in draw order — so two backends' streams over the same
+    :class:`ExecutionPlan` are comparable element by element.
+    """
+
+    chunk_index: int
+    result: SampleResult
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Everything a backend needs to draw one run's witness stream.
+
+    A pure value (tasks carry *derived* seeds, the payload is plain dicts),
+    so the stream a plan produces is a function of the plan alone — never
+    of the backend, window, worker count, or scheduling that executes it.
+    """
+
+    sampler: str
+    n: int
+    chunk_size: int
+    root_seed: int
+    tasks: tuple[ChunkTask, ...]
+    payload: dict
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.tasks)
+
+
+def build_plan(
+    cnf_or_prepared,
+    n: int,
+    config=None,
+    *,
+    sampler: str = "unigen",
+    chunk_size: int | None = None,
+    max_attempts_factor: int = 10,
+) -> ExecutionPlan:
+    """The shared front half of every execution path.
+
+    Runs the same pre-flight the pool engine and the distributed
+    coordinator always ran: construct (and discard) one sampler in the
+    submitting process so bad arguments — an ε/sampling-set mismatch with
+    the artifact, a missing ``xor_count`` — fail here with a clean error
+    instead of inside every worker.  Samplers without a prepare phase
+    accept an artifact by adopting its embedded formula.
+    """
+    from ..api.config import SamplerConfig
+    from ..api.prepared import PreparedFormula
+    from ..api.registry import get_entry, make_sampler
+    from ..parallel.config import ParallelSamplerConfig
+
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    config = config or SamplerConfig()
+    entry = get_entry(sampler)
+    preflight_target = cnf_or_prepared
+    if not entry.supports_prepared and isinstance(
+        cnf_or_prepared, PreparedFormula
+    ):
+        preflight_target = cnf_or_prepared.cnf
+    make_sampler(entry.name, preflight_target, config)
+
+    root_seed = config.seed if config.seed is not None else fresh_root_seed()
+    resolved_chunk_size = ParallelSamplerConfig(
+        sampler=entry.name, chunk_size=chunk_size
+    ).resolve_chunk_size(n)
+    tasks = chunk_plan(n, resolved_chunk_size, root_seed, max_attempts_factor)
+    payload = build_payload(cnf_or_prepared, entry, config)
+    return ExecutionPlan(
+        sampler=entry.name,
+        n=n,
+        chunk_size=resolved_chunk_size,
+        root_seed=root_seed,
+        tasks=tuple(tasks),
+        payload=payload,
+    )
+
+
+class SampleBackend(ABC):
+    """One way of executing an :class:`ExecutionPlan`.
+
+    Subclasses implement :meth:`run_plan` — yield the plan's raw chunk
+    result dicts in ascending chunk order, holding at most ``window``
+    chunks alive at once (call :meth:`_track` with the current count; the
+    ``max_in_flight`` high-water mark is how tests assert the bound).  The
+    base class turns that ordered chunk stream into the per-draw event
+    stream and the classic merged report.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "backend"
+
+    #: Per-chunk wall-clock cap enforced by the fold (see
+    #: :class:`~repro.parallel.plan.ChunkFold`); backends that can also
+    #: interrupt a running chunk (the pool) additionally stop waiting.
+    chunk_timeout_s: float | None = None
+
+    def __init__(self, *, window: int | None = None):
+        if window is not None and window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        #: High-water mark of simultaneously held chunks (instrumentation).
+        self.max_in_flight = 0
+        self._in_flight = 0
+        #: The fold of the most recent stream, for post-stream stats.
+        self.fold: ChunkFold | None = None
+
+    # -- instrumentation ------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Chunks currently held by the backend (in-flight + staged)."""
+        return self._in_flight
+
+    def _track(self, count: int) -> None:
+        self._in_flight = count
+        if count > self.max_in_flight:
+            self.max_in_flight = count
+
+    def resolved_window(self) -> int:
+        """The concrete in-flight bound this backend runs under."""
+        return self.window if self.window is not None else DEFAULT_WINDOW
+
+    # -- the backend contract -------------------------------------------
+    @abstractmethod
+    def run_plan(self, plan: ExecutionPlan) -> Iterator[dict]:
+        """Yield the plan's raw chunk result dicts in chunk-index order."""
+
+    # -- shared surface -------------------------------------------------
+    def iter_sample_stream(self, plan: ExecutionPlan) -> Iterator[StreamEvent]:
+        """The unified entrypoint: incremental ``(chunk_index, result)``.
+
+        Validates every chunk as it arrives (worker errors raise
+        :class:`~repro.errors.WorkerFailure`, overruns raise
+        :class:`~repro.errors.BudgetExhausted`) and folds stats
+        incrementally — read :attr:`stream_stats` at any point, including
+        mid-stream.  Nothing per-witness is retained here: memory is the
+        backend's in-flight window, not O(n).
+        """
+        fold = ChunkFold(
+            chunk_timeout_s=self.chunk_timeout_s, keep_results=False
+        )
+        self.fold = fold
+        for raw in self.run_plan(plan):
+            for result in fold.add(raw):
+                yield StreamEvent(raw["chunk"], result)
+
+    @property
+    def stream_stats(self) -> SamplerStats:
+        """Stats folded so far by the most recent stream (streaming-safe)."""
+        return self.fold.stats if self.fold is not None else SamplerStats()
+
+    def collect(self, plan: ExecutionPlan):
+        """Run the plan to completion and return the classic merged report.
+
+        This is the merge-at-end surface (`ParallelSampleReport`): it holds
+        every witness, which is exactly what the streaming entrypoint
+        exists to avoid — use it when ``n`` is coordinator-memory sized.
+        """
+        fold = ChunkFold(
+            chunk_timeout_s=self.chunk_timeout_s, keep_results=True
+        )
+        self.fold = fold
+        start = time.monotonic()
+        for raw in self.run_plan(plan):
+            fold.add(raw)
+        return self.build_report(
+            plan, wall_time_seconds=time.monotonic() - start
+        )
+
+    def build_report(
+        self,
+        plan: ExecutionPlan,
+        *,
+        results: list[SampleResult] | None = None,
+        wall_time_seconds: float = 0.0,
+    ):
+        """The classic report, assembled from the most recent run's fold.
+
+        The one place the report schema is built: :meth:`collect` uses it
+        with the fold's own results, and streaming consumers that kept
+        their own :class:`~repro.core.base.SampleResult` list (the CLI's
+        ``--report-json``) pass it via ``results``.
+        """
+        from ..parallel.engine import ParallelSampleReport
+
+        fold = self.fold if self.fold is not None else ChunkFold()
+        if results is None:
+            results = fold.results
+        extras = self._report_extras()
+        return ParallelSampleReport(
+            witnesses=[r.witness for r in results if r.ok],
+            results=results,
+            stats=fold.stats,
+            sampler=plan.sampler,
+            jobs=extras.get("jobs", 1),
+            n_requested=plan.n,
+            chunk_size=plan.chunk_size,
+            n_chunks=plan.n_chunks,
+            root_seed=plan.root_seed,
+            wall_time_seconds=wall_time_seconds,
+            chunk_times=list(fold.chunk_times),
+            requeues=extras.get("requeues", 0),
+        )
+
+    def _report_extras(self) -> dict:
+        """Backend-specific report fields (worker count, requeues)."""
+        return {}

@@ -1,0 +1,47 @@
+"""The serial backend: the chunked pipeline, inline, one chunk at a time.
+
+Runs through **exactly** the worker code path the pool and broker use
+(:func:`~repro.parallel.worker.init_worker` +
+:func:`~repro.parallel.worker.run_chunk`), so it is both the reference
+stream every other backend must reproduce and the cheapest way to stream:
+one chunk of witnesses alive at any instant, no processes, no transport.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..parallel.worker import init_worker, run_chunk
+from .base import ExecutionPlan, SampleBackend
+from .registry import register_backend
+
+
+class SerialBackend(SampleBackend):
+    """Inline chunk loop; the in-flight window is inherently 1."""
+
+    name = "serial"
+
+    def resolved_window(self) -> int:
+        return 1
+
+    def run_plan(self, plan: ExecutionPlan) -> Iterator[dict]:
+        init_worker(plan.payload)
+        for task in plan.tasks:
+            self._track(1)
+            yield run_chunk(task)
+            self._track(0)
+
+
+@register_backend(
+    "serial",
+    summary="inline chunk loop in this process (window 1, the reference)",
+)
+def _make_serial(*, window: int | None = None) -> SerialBackend:
+    # Never silently drop a requested window (any other kwarg is a
+    # TypeError): serial streams one chunk at a time by construction.
+    if window is not None and window != 1:
+        raise ValueError(
+            f"backend 'serial' streams one chunk at a time; window="
+            f"{window} is not available (use the pool or broker backend)"
+        )
+    return SerialBackend()

@@ -21,10 +21,19 @@ the sampling lifecycle as a tool:
   it (``--workers N`` also spawns local ones); expired leases are retried
   with their original derived seeds, so the merged stream is identical to
   a single-process run;
-* ``repro worker SPOOL`` — pull and run chunks from a spool queue
-  (heartbeats its leases; ``--drain`` exits once the job completes);
-* ``repro sample --broker SPOOL`` — the one-command distributed path:
-  submit, spawn ``--jobs`` local workers, collect;
+* ``repro worker TARGET`` — pull and run chunks from a queue; ``TARGET``
+  is a spool directory or a ``tcp://host:port`` brokerd (heartbeats its
+  leases; ``--drain`` exits once the job completes);
+* ``repro brokerd`` — the long-lived TCP broker daemon: serves many jobs
+  concurrently over the newline-JSON line protocol, so workers on other
+  hosts join without a shared filesystem;
+* ``repro sample --broker TARGET`` — the one-command distributed path:
+  submit, spawn ``--jobs`` local workers, collect, purge the spent queue;
+* ``repro sample --backend {serial,pool,broker}`` — the streaming
+  execution layer: ``--stream`` emits each witness the moment its chunk
+  arrives (the coordinator holds O(``--window``) chunks instead of every
+  witness), ``--progress N`` logs witnesses/sec and chunks in flight to
+  stderr every N seconds;
 * ``repro count FILE.cnf`` — ApproxMC as a tool;
 * ``repro samplers`` — list the sampler registry;
 * ``repro benchmarks`` — list the benchmark registry.
@@ -33,6 +42,7 @@ the sampling lifecycle as a tool:
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from ..api import (
@@ -120,12 +130,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fast self-check of the whole lifecycle on a tiny"
                         " built-in formula (used by CI); with --jobs N also"
                         " exercises the parallel engine")
-    p.add_argument("--broker", metavar="SPOOL", default=None,
-                   help="sample through a spool-directory chunk queue:"
-                        " submits the job, spawns --jobs local `repro"
+    p.add_argument("--backend", choices=("serial", "pool", "broker"),
+                   default=None,
+                   help="execution backend of the streaming layer (default:"
+                        " picked from --jobs/--broker); all backends draw"
+                        " the byte-identical witness stream for one seed")
+    p.add_argument("--stream", action="store_true",
+                   help="emit each witness as soon as its chunk arrives"
+                        " instead of buffering the full run (the"
+                        " coordinator then holds at most --window chunks)")
+    p.add_argument("--window", type=int, default=None, metavar="N",
+                   help="in-flight chunk bound of the streaming layer"
+                        " (default: backend-chosen, 2x jobs on the pool)")
+    p.add_argument("--progress", type=float, nargs="?", const=5.0,
+                   default=None, metavar="SECS",
+                   help="log witnesses/sec and chunks in flight to stderr"
+                        " every SECS seconds (default 5)")
+    p.add_argument("--broker", metavar="TARGET", default=None,
+                   help="sample through a chunk queue: a spool directory"
+                        " or tcp://host:port of a `repro brokerd`."
+                        " Submits the job, spawns --jobs local `repro"
                         " worker` processes (default 2; 0 = rely on"
-                        " externally started workers), and merges their"
-                        " chunks")
+                        " externally started workers), merges their"
+                        " chunks, and purges the spent queue on clean"
+                        " completion")
     p.add_argument("--lease-timeout", type=float, default=30.0,
                    help="seconds a broker chunk lease lives without a"
                         " heartbeat before it is retried (--broker only)")
@@ -154,11 +182,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "broker",
-        help="submit a sampling job to a spool-directory chunk queue and "
-             "wait for workers to drain it",
+        help="submit a sampling job to a chunk queue (spool directory or "
+             "tcp:// brokerd) and wait for workers to drain it",
     )
-    p.add_argument("spool", help="spool directory (created if missing); "
-                                 "`repro worker` processes watch it")
+    p.add_argument("spool", help="queue target: a spool directory (created "
+                                 "if missing) or tcp://host:port of a "
+                                 "`repro brokerd`; `repro worker` "
+                                 "processes watch the same target")
     p.add_argument("cnf_file", nargs="?", default=None)
     p.add_argument("-n", "--num", type=int, default=1)
     p.add_argument("--sampler", default="unigen",
@@ -183,13 +213,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=0, metavar="N",
                    help="also spawn N local `repro worker` processes "
                         "(default 0: external workers drain the queue)")
+    p.add_argument("--purge", action="store_true",
+                   help="purge the queue's spent job state after clean "
+                        "completion (spool files / brokerd job entry)")
     p.add_argument("--report-json", metavar="PATH", default=None)
 
     p = sub.add_parser(
         "worker",
-        help="pull and run sampling chunks from a spool-directory queue",
+        help="pull and run sampling chunks from a queue (spool directory "
+             "or tcp:// brokerd)",
     )
-    p.add_argument("spool")
+    p.add_argument("spool", help="spool directory or tcp://host:port")
     p.add_argument("--worker-id", default=None,
                    help="identity recorded in leases (default: host:pid)")
     p.add_argument("--poll", type=float, default=0.2,
@@ -205,6 +239,17 @@ def build_parser() -> argparse.ArgumentParser:
     # right after leasing the Nth chunk (mid-chunk, nothing acked).
     p.add_argument("--chaos-kill-after", type=int, default=None,
                    help=argparse.SUPPRESS)
+
+    p = sub.add_parser(
+        "brokerd",
+        help="run the long-lived TCP broker daemon (newline-JSON line "
+             "protocol; serves many jobs concurrently, keyed by job id)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (0.0.0.0 to accept other hosts)")
+    p.add_argument("--port", type=int, default=None,
+                   help="TCP port (default 7765; 0 picks an ephemeral "
+                        "port, printed on startup)")
 
     p = sub.add_parser(
         "prepare",
@@ -304,6 +349,49 @@ def _spawn_local_workers(spool, count: int, poll: float):
     ]
 
 
+def _wait_local_workers(procs) -> None:
+    """Reap spawned worker subprocesses without wedging the coordinator."""
+    for proc in procs:
+        try:
+            proc.wait(timeout=10.0)
+        except Exception:  # noqa: BLE001 — a stuck worker must not
+            proc.kill()  # wedge the coordinator's exit path
+            proc.wait()
+
+
+@contextlib.contextmanager
+def _local_workers(spool, count: int, poll: float):
+    """Context manager: spawn drain-mode workers, always reap on exit.
+
+    The one worker-lifecycle implementation both broker CLI paths use —
+    the job must already be submitted when this is entered, so a
+    submit-time failure never leaves freshly spawned workers serving
+    whatever stale job sits in the queue.
+    """
+    procs = _spawn_local_workers(spool, count, poll)
+    try:
+        yield procs
+    finally:
+        _wait_local_workers(procs)
+
+
+def _jobs_or(args, default: int = 2) -> int:
+    """The one place --jobs defaults are resolved (broker worker count,
+    pool process count); 0 stays 0 — 'external workers' on the broker
+    path, rejected by the pool constructor."""
+    return default if args.jobs is None else args.jobs
+
+
+def _reraise_worker_failure(exc):
+    """Map a worker-side ``UnsatisfiableError`` back to the real thing so
+    every broker/pool path reports UNSAT exactly like the serial path."""
+    from ..errors import UnsatisfiableError
+
+    if exc.remote_type == "UnsatisfiableError":
+        raise UnsatisfiableError(str(exc)) from exc
+    raise exc
+
+
 def _sample_via_broker(
     spool,
     target,
@@ -317,18 +405,22 @@ def _sample_via_broker(
     poll: float = 0.2,
     timeout: float | None = None,
     workers: int = 0,
+    purge_spent: bool = False,
 ):
-    """Submit to a :class:`FileBroker` spool, optionally spawn local
-    workers, and collect the merged report.
+    """Submit to a chunk queue (spool directory or tcp:// brokerd),
+    optionally spawn local workers, and collect the merged report.
 
     A worker-side ``UnsatisfiableError`` (sample-only samplers discover
     UNSAT inside a chunk) is re-raised as the real thing so callers report
-    it exactly like the serial path.
+    it exactly like the serial path.  With ``purge_spent`` the queue's
+    job state is discarded after clean completion — once any spawned
+    workers have drained and exited, so they still observe the finished
+    job.
     """
-    from ..distributed import FileBroker, submit_job, wait_for_report
-    from ..errors import UnsatisfiableError, WorkerFailure
+    from ..distributed import connect_broker, submit_job, wait_for_report
+    from ..errors import WorkerFailure
 
-    broker = FileBroker(spool)
+    broker = connect_broker(spool)
     submitted = submit_job(
         broker,
         target,
@@ -345,22 +437,142 @@ def _sample_via_broker(
         f"seed={submitted.root_seed}, lease={lease_timeout_s:g}s)",
         file=sys.stderr,
     )
-    procs = _spawn_local_workers(spool, workers, poll)
-    try:
-        return wait_for_report(
-            broker, submitted, poll_interval_s=poll, timeout_s=timeout
+    with _local_workers(spool, workers, poll):
+        try:
+            report = wait_for_report(
+                broker, submitted, poll_interval_s=poll, timeout_s=timeout
+            )
+        except WorkerFailure as exc:
+            _reraise_worker_failure(exc)
+    if purge_spent:
+        broker.purge()
+        print(f"c broker: purged spent job state at {spool}", file=sys.stderr)
+    return report
+
+
+def _run_backend_sample(args, target, config) -> int:
+    """``repro sample --backend …``: the streaming execution-layer path.
+
+    One plan, any backend; with ``--stream`` each witness prints the
+    moment its chunk arrives and the process holds O(``--window``) chunks
+    (unless ``--report-json`` asks for the full per-draw record).  Without
+    ``--stream`` the output is byte-identical anyway — the stream is
+    buffered and printed at the end, like the classic paths.
+    """
+    import time as _time
+
+    from ..execution import build_plan, make_backend
+    from ..stats import ProgressMeter
+
+    plan = build_plan(
+        target,
+        args.num,
+        config,
+        sampler=args.sampler,
+        chunk_size=args.chunk_size,
+    )
+    broker = None
+    workers = 0
+    # Filled in below once the meter exists; the broker backend calls it
+    # every poll, so --progress keeps logging through a stalled stream
+    # (no workers, one slow chunk) when no events arrive to pump it.
+    meter_box: list = []
+    if args.backend == "broker":
+        from ..distributed import connect_broker
+
+        broker = connect_broker(args.broker)
+        backend = make_backend(
+            "broker",
+            broker=broker,
+            window=args.window,
+            lease_timeout_s=args.lease_timeout,
+            poll_interval_s=0.1,
+            on_progress=lambda _census: (
+                meter_box[0].tick() if meter_box else None
+            ),
         )
-    except WorkerFailure as exc:
-        if exc.remote_type == "UnsatisfiableError":
-            raise UnsatisfiableError(str(exc)) from exc
-        raise
-    finally:
-        for proc in procs:
-            try:
-                proc.wait(timeout=10.0)
-            except Exception:  # noqa: BLE001 — a stuck worker must not
-                proc.kill()  # wedge the coordinator's exit path
-                proc.wait()
+        # --jobs doubles as the local worker count here; 0 means
+        # externally started `repro worker`s drain the queue.
+        workers = _jobs_or(args)
+    elif args.backend == "pool":
+        # --jobs 0 means "external workers" only on the broker path; the
+        # pool constructor rejects it (ValueError → exit 2) rather than
+        # silently forking processes the user asked not to spawn.
+        backend = make_backend(
+            "pool", jobs=_jobs_or(args), window=args.window
+        )
+    else:
+        backend = make_backend("serial", window=args.window)
+
+    meter = None
+    if args.progress is not None:
+        meter = ProgressMeter(
+            total=args.num,
+            interval_s=args.progress,
+            in_flight=lambda: backend.in_flight,
+        )
+        meter_box.append(meter)
+    buffered = []  # witnesses, only when not streaming
+    results = [] if args.report_json else None
+    delivered = 0
+    start = _time.monotonic()
+    if broker is not None:
+        # Submit before any worker exists: a submit-time failure (stale
+        # job still in flight on the spool) must exit cleanly, not leave
+        # fresh workers serving a foreign job.
+        spec = backend.submit_plan(plan)
+        print(
+            f"c broker: job {spec.job_id[:8]} submitted to {args.broker} "
+            f"({plan.n_chunks} chunks × {plan.chunk_size}, "
+            f"seed={plan.root_seed}, lease={args.lease_timeout:g}s)",
+            file=sys.stderr,
+        )
+        workers_ctx = _local_workers(args.broker, workers, 0.1)
+    else:
+        workers_ctx = contextlib.nullcontext()
+    with workers_ctx:
+        for _, result in backend.iter_sample_stream(plan):
+            if result.ok:
+                delivered += 1
+                if args.stream:
+                    _print_witness(result.witness, flush=True)
+                else:
+                    buffered.append(result.witness)
+            if results is not None:
+                results.append(result)
+            if meter is not None:
+                meter.update(delivered)
+    wall = _time.monotonic() - start
+    if meter is not None:
+        meter.finish()
+    if args.stream:
+        _print_witnesses([], args.num - delivered)  # BOT shortfall only
+    else:
+        _print_witnesses(buffered, args.num - delivered)
+    stats = backend.stream_stats
+    print(
+        f"c {delivered}/{args.num} witnesses via {plan.sampler} "
+        f"[backend={args.backend}, window={backend.resolved_window()}, "
+        f"{plan.n_chunks} chunks × {plan.chunk_size}, "
+        f"seed={plan.root_seed}] in {wall:.2f}s "
+        f"({delivered / wall if wall > 0 else 0.0:.1f} witnesses/s, "
+        f"success={stats.success_probability:.3f}, "
+        f"max_in_flight={backend.max_in_flight})",
+        file=sys.stderr,
+    )
+    if broker is not None and workers > 0:
+        # We owned the whole job lifecycle (spawned the workers, saw them
+        # exit) — reclaim the spent spool/brokerd state.  With --jobs 0
+        # the queue belongs to external workers; leave it to them.
+        broker.purge()
+        print(f"c broker: purged spent job state at {args.broker}",
+              file=sys.stderr)
+    if args.report_json:
+        report = backend.build_report(
+            plan, results=results, wall_time_seconds=wall
+        )
+        _maybe_report_json(args.report_json, report.to_dict())
+    return 0
 
 
 def _maybe_report_json(path, data: dict) -> None:
@@ -402,13 +614,19 @@ def _serial_report_dict(sampler_name, sampler, results, witnesses, n,
     }
 
 
-def _print_witnesses(witnesses, shortfall: int) -> None:
-    """DIMACS-style output: one ``v`` line per witness, ``BOT`` per
-    requested-but-undelivered one (serial and parallel paths share this)."""
+def _print_witness(witness, flush: bool = False) -> None:
+    """One DIMACS-style ``v`` line (every output path shares this)."""
     from ..core.base import witness_to_lits
 
+    lits = " ".join(str(l) for l in witness_to_lits(witness))
+    print(f"v {lits} 0", flush=flush)
+
+
+def _print_witnesses(witnesses, shortfall: int) -> None:
+    """DIMACS-style output: one ``v`` line per witness, ``BOT`` per
+    requested-but-undelivered one (all sampling paths share this)."""
     for witness in witnesses:
-        print("v " + " ".join(str(l) for l in witness_to_lits(witness)) + " 0")
+        _print_witness(witness)
     for _ in range(max(0, shortfall)):
         print("BOT")
 
@@ -536,6 +754,40 @@ def main(argv: list[str] | None = None) -> int:
             print("c error: need a CNF file, --prepared, or --smoke",
                   file=sys.stderr)
             return 2
+        # --broker and the streaming flags route through the execution
+        # layer; pick the backend they imply when --backend itself was
+        # not spelled out.  (--broker unconditionally: the backend path
+        # IS the broker lifecycle — submit, spawn --jobs local workers,
+        # stream, purge — there is no second implementation to drift.)
+        if args.backend is None and args.broker is not None:
+            args.backend = "broker"
+        if args.backend is None and (
+            args.stream or args.window is not None or args.progress is not None
+        ):
+            # Any explicit multi/zero --jobs routes to the pool, whose
+            # constructor rejects 0 (exit 2) exactly like the classic
+            # --jobs path — never silently fall back to inline sampling.
+            args.backend = (
+                "serial" if args.jobs is None or args.jobs == 1 else "pool"
+            )
+        if args.backend == "broker" and args.broker is None:
+            print("c error: --backend broker needs --broker TARGET "
+                  "(a spool directory or tcp://host:port)", file=sys.stderr)
+            return 2
+        if args.backend not in (None, "broker") and args.broker is not None:
+            print(f"c error: --broker conflicts with --backend "
+                  f"{args.backend}", file=sys.stderr)
+            return 2
+        if (
+            args.backend == "serial"
+            and args.jobs is not None
+            and args.jobs != 1
+        ):
+            # Never silently drop requested parallelism (or a requested
+            # --jobs 0): serial is inline and single-process by definition.
+            print(f"c error: --jobs {args.jobs} conflicts with --backend "
+                  "serial (inline, one process)", file=sys.stderr)
+            return 2
         try:
             target, epsilon = _resolve_sample_target(
                 args.cnf_file, args.prepared, args.epsilon
@@ -547,24 +799,13 @@ def main(argv: list[str] | None = None) -> int:
                 approxmc_search="galloping",
                 xor_count=args.xor_count,
             )
-            if args.broker is not None:
-                report = _sample_via_broker(
-                    args.broker,
-                    target,
-                    args.num,
-                    config,
-                    sampler=args.sampler,
-                    chunk_size=args.chunk_size,
-                    lease_timeout_s=args.lease_timeout,
-                    poll=0.1,
-                    # --jobs doubles as the local worker count here; 0 means
-                    # externally started `repro worker`s drain the queue.
-                    workers=2 if args.jobs is None else args.jobs,
-                )
-                _print_witnesses(report.witnesses, report.shortfall)
-                print(f"c {report.describe()}", file=sys.stderr)
-                _maybe_report_json(args.report_json, report.to_dict())
-                return 0
+            if args.backend is not None:
+                from ..errors import WorkerFailure
+
+                try:
+                    return _run_backend_sample(args, target, config)
+                except WorkerFailure as exc:
+                    _reraise_worker_failure(exc)
             if args.jobs is not None:
                 from ..errors import WorkerFailure
                 from ..parallel import ParallelSamplerConfig, sample_parallel
@@ -583,9 +824,7 @@ def main(argv: list[str] | None = None) -> int:
                 except WorkerFailure as exc:
                     # Sample-only samplers discover UNSAT inside a worker;
                     # report it the way the serial path does.
-                    if exc.remote_type == "UnsatisfiableError":
-                        raise UnsatisfiableError(str(exc)) from exc
-                    raise
+                    _reraise_worker_failure(exc)
                 _print_witnesses(report.witnesses, report.shortfall)
                 print(f"c {report.describe()}", file=sys.stderr)
                 _maybe_report_json(args.report_json, report.to_dict())
@@ -658,6 +897,7 @@ def main(argv: list[str] | None = None) -> int:
                 poll=args.poll,
                 timeout=args.timeout,
                 workers=args.workers,
+                purge_spent=args.purge,
             )
         except UnsatisfiableError:
             print("s UNSATISFIABLE")
@@ -670,12 +910,32 @@ def main(argv: list[str] | None = None) -> int:
         _maybe_report_json(args.report_json, report.to_dict())
         return 0
 
+    if args.command == "brokerd":
+        from ..distributed.tcpbroker import DEFAULT_PORT, BrokerServer
+
+        port = DEFAULT_PORT if args.port is None else args.port
+        try:
+            server = BrokerServer(args.host, port)
+        except OSError as exc:
+            print(f"c error: cannot bind {args.host}:{port}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"c brokerd listening on {server.url}", file=sys.stderr,
+              flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("c brokerd interrupted", file=sys.stderr)
+        finally:
+            server.close()
+        return 0
+
     if args.command == "worker":
-        from ..distributed import FileBroker, run_worker
+        from ..distributed import connect_broker, run_worker
         from ..errors import ReproError
 
         try:
-            broker = FileBroker(args.spool)
+            broker = connect_broker(args.spool)
             report = run_worker(
                 broker,
                 worker_id=args.worker_id,
@@ -688,7 +948,9 @@ def main(argv: list[str] | None = None) -> int:
         except KeyboardInterrupt:  # clean shutdown: lease already nacked
             print("c worker interrupted", file=sys.stderr)
             return 130
-        except (ReproError, OSError) as exc:
+        except (ReproError, ValueError, OSError) as exc:
+            # ValueError: a malformed tcp:// target from connect_broker —
+            # same `c error:` + exit 2 the sibling subcommands give it.
             print(f"c error: {exc}", file=sys.stderr)
             return 2
         print(f"c {report.describe()}", file=sys.stderr)

@@ -22,6 +22,7 @@ See :mod:`repro.parallel.engine` for the design notes and guarantees.
 from .config import ParallelSamplerConfig, default_chunk_size
 from .engine import ParallelSampleReport, sample_parallel
 from .plan import (
+    ChunkFold,
     ChunkTask,
     MergedChunks,
     build_payload,
@@ -34,6 +35,7 @@ __all__ = [
     "ParallelSampleReport",
     "sample_parallel",
     "default_chunk_size",
+    "ChunkFold",
     "ChunkTask",
     "MergedChunks",
     "build_payload",

@@ -18,6 +18,17 @@ import multiprocessing
 from dataclasses import asdict, dataclass, fields
 
 
+def resolve_start_method(explicit: str | None) -> str:
+    """The one start-method policy: honor an explicit choice, else
+    ``fork`` where the platform offers it (cheap on Linux), else
+    ``spawn``.  Shared by :class:`ParallelSamplerConfig` and the pool
+    backend so the two can never silently diverge."""
+    if explicit is not None:
+        return explicit
+    available = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in available else "spawn"
+
+
 def default_chunk_size(n: int) -> int:
     """The chunking policy: a pure function of ``n`` alone.
 
@@ -47,6 +58,11 @@ class ParallelSamplerConfig:
         Witnesses per unit of work; ``None`` applies
         :func:`default_chunk_size`.  Part of the determinism key — two runs
         agree only if their chunking agrees.
+    ``window``
+        In-flight chunk bound of the streaming execution layer (chunks the
+        coordinator may hold at once); ``None`` lets the backend pick
+        (``2 × jobs`` on the pool).  Like ``jobs``, pure backpressure —
+        it cannot influence which witnesses are drawn or their order.
     ``max_attempts_factor``
         Per chunk, allow ``chunk_size × factor`` batch attempts before
         returning short (⊥-heavy samplers must terminate, Theorem 1 only
@@ -72,6 +88,7 @@ class ParallelSamplerConfig:
     jobs: int = 1
     sampler: str = "unigen"
     chunk_size: int | None = None
+    window: int | None = None
     max_attempts_factor: int = 10
     start_method: str | None = None
     chunk_timeout_s: float | None = None
@@ -81,15 +98,14 @@ class ParallelSamplerConfig:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.window is not None and self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
         if self.max_attempts_factor < 1:
             raise ValueError("max_attempts_factor must be >= 1")
 
     def resolved_start_method(self) -> str:
         """The concrete start method to hand to ``multiprocessing``."""
-        if self.start_method is not None:
-            return self.start_method
-        available = multiprocessing.get_all_start_methods()
-        return "fork" if "fork" in available else "spawn"
+        return resolve_start_method(self.start_method)
 
     def resolve_chunk_size(self, n: int) -> int:
         """The chunk size actually used for a run of ``n`` witnesses."""

@@ -21,20 +21,22 @@ lines 12–22 is independent — embarrassingly parallel.  The engine:
 Worker exceptions surface as :class:`~repro.errors.WorkerFailure` with the
 remote traceback attached; a chunk overrunning ``chunk_timeout_s``
 terminates the pool and raises :class:`~repro.errors.BudgetExhausted`.
+
+As of the execution-layer refactor this module is a thin façade: the plan
+is built by :func:`repro.execution.build_plan`, execution goes through a
+:class:`repro.execution.SampleBackend` (``serial`` for ``jobs=1``,
+``pool`` otherwise — selected exactly as before), and the merge is the
+shared streaming fold.  ``sample_parallel`` keeps its signature and its
+merge-at-end report; callers who want incremental results use
+:func:`repro.execution.sample_stream` instead.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import time
 from dataclasses import dataclass, field
 
 from ..core.base import SampleResult, SamplerStats, Witness, witness_to_lits
-from ..errors import BudgetExhausted
-from ..rng import fresh_root_seed
 from .config import ParallelSamplerConfig
-from .plan import build_payload, chunk_plan, merge_chunk_results
-from .worker import init_worker, run_chunk
 
 
 @dataclass
@@ -134,78 +136,34 @@ def sample_parallel(
 
     Guarantee: with a fixed root seed the returned witness sequence is a
     pure function of ``(formula, sampler, config, n, chunk_size)`` — the
-    job count, pool scheduling, and start method cannot change it.
+    job count, pool scheduling, window, and start method cannot change it.
     """
-    from ..api.config import SamplerConfig
-    from ..api.prepared import PreparedFormula
-    from ..api.registry import get_entry, make_sampler
+    # Imported here (not at module level): repro.execution pulls in the
+    # broker backend, whose coordinator half imports this module.
+    from ..execution import PoolBackend, SerialBackend, build_plan
 
-    if n < 0:
-        raise ValueError(f"n must be >= 0, got {n}")
     parallel = parallel or ParallelSamplerConfig()
-    config = config or SamplerConfig()
-    entry = get_entry(parallel.sampler)
-    # Pre-flight: construct (and discard) one sampler in the parent so bad
-    # arguments — an ε/sampling-set mismatch with the artifact, a missing
-    # xor_count — fail here with a clean error instead of in every worker.
-    # Unlike make_sampler, the engine does accept an artifact for samplers
-    # without a prepare phase: they simply get its embedded formula.
-    preflight_target = cnf_or_prepared
-    if not entry.supports_prepared and isinstance(
-        cnf_or_prepared, PreparedFormula
-    ):
-        preflight_target = cnf_or_prepared.cnf
-    make_sampler(entry.name, preflight_target, config)
-
-    root_seed = config.seed if config.seed is not None else fresh_root_seed()
-    chunk_size = parallel.resolve_chunk_size(n)
-    tasks = chunk_plan(n, chunk_size, root_seed, parallel.max_attempts_factor)
-
-    start = time.monotonic()
-    payload = build_payload(cnf_or_prepared, entry, config)
+    plan = build_plan(
+        cnf_or_prepared,
+        n,
+        config,
+        sampler=parallel.sampler,
+        chunk_size=parallel.chunk_size,
+        max_attempts_factor=parallel.max_attempts_factor,
+    )
     if parallel.jobs == 1 and parallel.chunk_timeout_s is None:
         # Same payload, same worker code path, no pool: byte-identical
         # results to any multi-job run of the same root seed.  A chunk
-        # timeout forces the pool route below even at jobs=1 — inline
-        # execution cannot interrupt a hung BSAT call.
-        init_worker(payload)
-        raw_results = [run_chunk(task) for task in tasks]
+        # timeout forces the pool route even at jobs=1 — inline execution
+        # cannot interrupt a hung BSAT call.
+        backend = SerialBackend()
     else:
-        ctx = multiprocessing.get_context(parallel.resolved_start_method())
-        with ctx.Pool(
-            processes=parallel.jobs,
-            initializer=init_worker,
-            initargs=(payload,),
-        ) as pool:
-            handles = [pool.apply_async(run_chunk, (task,)) for task in tasks]
-            raw_results = []
-            for task, handle in zip(tasks, handles):
-                try:
-                    raw_results.append(handle.get(parallel.chunk_timeout_s))
-                except multiprocessing.TimeoutError:
-                    pool.terminate()
-                    raise BudgetExhausted(
-                        f"parallel chunk {task[0]} exceeded chunk_timeout_s="
-                        f"{parallel.chunk_timeout_s}"
-                    ) from None
-
-    # The get()-side guard above only bounds waiting; merge_chunk_results
-    # re-checks every chunk's self-measured time against the cap, so an
-    # overrun masked by waiting on an earlier chunk is still reported.
-    merged = merge_chunk_results(
-        raw_results, chunk_timeout_s=parallel.chunk_timeout_s
-    )
-
-    return ParallelSampleReport(
-        witnesses=merged.witnesses,
-        results=merged.results,
-        stats=merged.stats,
-        sampler=entry.name,
-        jobs=parallel.jobs,
-        n_requested=n,
-        chunk_size=chunk_size,
-        n_chunks=len(tasks),
-        root_seed=root_seed,
-        wall_time_seconds=time.monotonic() - start,
-        chunk_times=merged.chunk_times,
-    )
+        backend = PoolBackend(
+            jobs=parallel.jobs,
+            window=parallel.window,
+            start_method=parallel.start_method,
+            chunk_timeout_s=parallel.chunk_timeout_s,
+        )
+    report = backend.collect(plan)
+    report.jobs = parallel.jobs
+    return report

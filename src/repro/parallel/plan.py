@@ -137,38 +137,86 @@ class MergedChunks:
     chunk_times: list[float] = field(default_factory=list)
 
 
+class ChunkFold:
+    """The streaming fold over ordered raw chunk results.
+
+    One chunk at a time: :meth:`add` validates the chunk (worker errors
+    re-raise as :class:`~repro.errors.WorkerFailure`, self-measured time is
+    checked against ``chunk_timeout_s``), folds its stats into a running
+    :class:`~repro.core.base.SamplerStats`, and returns the chunk's decoded
+    :class:`~repro.core.base.SampleResult` list for the caller to forward.
+
+    With ``keep_results=False`` nothing per-witness is retained — the fold
+    holds O(1) state plus one float per chunk, which is what lets the
+    streaming backends bound coordinator memory by their in-flight window.
+    :func:`merge_chunk_results` is this fold run to completion with
+    ``keep_results=True``.
+    """
+
+    def __init__(
+        self,
+        *,
+        chunk_timeout_s: float | None = None,
+        keep_results: bool = True,
+    ):
+        self.chunk_timeout_s = chunk_timeout_s
+        self.keep_results = keep_results
+        self.witnesses: list[Witness] = []
+        self.results: list[SampleResult] = []
+        self.stats = SamplerStats()
+        self.chunk_times: list[float] = []
+        self.delivered = 0
+        self.n_chunks = 0
+
+    def add(self, raw: dict) -> list[SampleResult]:
+        """Fold one raw chunk dict; returns its decoded per-draw results."""
+        if raw["error"] is not None:
+            raise_worker_failure(raw)
+        if (
+            self.chunk_timeout_s is not None
+            and raw["time_seconds"] > self.chunk_timeout_s
+        ):
+            raise BudgetExhausted(
+                f"parallel chunk {raw['chunk']} ran "
+                f"{raw['time_seconds']:.3f}s, exceeding chunk_timeout_s="
+                f"{self.chunk_timeout_s}"
+            )
+        chunk_results = [SampleResult.from_dict(r) for r in raw["results"]]
+        if self.keep_results:
+            self.results.extend(chunk_results)
+            # Witnesses are carried inside the results (serialized once);
+            # the flat list shares those dict objects rather than copying.
+            self.witnesses.extend(r.witness for r in chunk_results if r.ok)
+        self.delivered += sum(1 for r in chunk_results if r.ok)
+        self.stats.merge_raw(raw["stats"])
+        self.chunk_times.append(raw["time_seconds"])
+        self.n_chunks += 1
+        return chunk_results
+
+    def merged(self) -> MergedChunks:
+        """The accumulated state in the classic merge-at-end shape."""
+        return MergedChunks(
+            witnesses=self.witnesses,
+            results=self.results,
+            stats=self.stats,
+            chunk_times=self.chunk_times,
+        )
+
+
 def merge_chunk_results(
     raw_results: list[dict], *, chunk_timeout_s: float | None = None
 ) -> MergedChunks:
     """Merge per-chunk raw dicts (in chunk order) into one ordered stream.
 
-    Raises :class:`~repro.errors.WorkerFailure` for any chunk whose worker
+    A thin run-to-completion of :class:`ChunkFold`: raises
+    :class:`~repro.errors.WorkerFailure` for any chunk whose worker
     captured an exception, and :class:`~repro.errors.BudgetExhausted` for
     any chunk whose *self-measured* time exceeds ``chunk_timeout_s`` — the
     worker's own clock, so the cap holds for every chunk regardless of how
     the waiting overlapped (or, on the broker path, of how late a result
     file arrived).
     """
-    merged = MergedChunks()
-    stats_parts: list[SamplerStats] = []
+    fold = ChunkFold(chunk_timeout_s=chunk_timeout_s)
     for raw in raw_results:
-        if raw["error"] is not None:
-            raise_worker_failure(raw)
-        if (
-            chunk_timeout_s is not None
-            and raw["time_seconds"] > chunk_timeout_s
-        ):
-            raise BudgetExhausted(
-                f"parallel chunk {raw['chunk']} ran "
-                f"{raw['time_seconds']:.3f}s, exceeding chunk_timeout_s="
-                f"{chunk_timeout_s}"
-            )
-        chunk_results = [SampleResult.from_dict(r) for r in raw["results"]]
-        merged.results.extend(chunk_results)
-        # Witnesses are carried inside the results (serialized once); the
-        # flat list shares those dict objects rather than copying them.
-        merged.witnesses.extend(r.witness for r in chunk_results if r.ok)
-        stats_parts.append(SamplerStats.from_dict(raw["stats"]))
-        merged.chunk_times.append(raw["time_seconds"])
-    merged.stats = SamplerStats.merged(stats_parts)
-    return merged
+        fold.add(raw)
+    return fold.merged()

@@ -1,5 +1,6 @@
-"""Uniformity statistics for sampler evaluation."""
+"""Uniformity statistics for sampler evaluation, plus stream telemetry."""
 
+from .progress import ProgressMeter
 from .uniformity import (
     ChiSquareResult,
     EnvelopeCheck,
@@ -17,6 +18,7 @@ from .uniformity import (
 )
 
 __all__ = [
+    "ProgressMeter",
     "occurrence_histogram",
     "chi_square_uniform",
     "ChiSquareResult",

@@ -1,0 +1,107 @@
+"""Throughput reporting for long-running sample streams.
+
+Streaming made runs open-ended — ``repro sample --backend broker -n
+10_000_000 --stream`` can grind for hours — so the CLI's ``--progress``
+flag wants a cheap, clock-injectable meter: witnesses/sec (cumulative and
+over the last interval) plus the backend's chunks-in-flight census, logged
+to stderr every N seconds.  Pure bookkeeping, no threads: the consumer
+calls :meth:`ProgressMeter.update` once per event and the meter decides
+when a line is due.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable
+
+
+class ProgressMeter:
+    """Rate/backlog logger driven by the stream consumer's own loop.
+
+    ``total``
+        Requested witness count (``None`` for open-ended streams; shown
+        as a bare count then).
+    ``interval_s``
+        Seconds between emitted lines.
+    ``in_flight``
+        Optional zero-arg callable reporting chunks currently held (wired
+        to :attr:`repro.execution.SampleBackend.in_flight`).
+    ``emit`` / ``clock``
+        Injectable output and time sources (tests use fakes; the CLI
+        defaults write ``c progress: …`` lines to stderr).
+    """
+
+    def __init__(
+        self,
+        total: int | None = None,
+        *,
+        interval_s: float = 5.0,
+        in_flight: Callable[[], int] | None = None,
+        emit: Callable[[str], None] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self.total = total
+        self.interval_s = interval_s
+        self._in_flight = in_flight
+        self._emit = emit if emit is not None else self._emit_stderr
+        self._clock = clock
+        self._start = clock()
+        self._last_emit = self._start
+        self._last_delivered = 0
+        self.delivered = 0
+        self.lines_emitted = 0
+
+    @staticmethod
+    def _emit_stderr(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    def update(self, delivered: int) -> None:
+        """Record the cumulative delivered count; log if a line is due."""
+        self.delivered = delivered
+        now = self._clock()
+        if now - self._last_emit >= self.interval_s:
+            self._emit(self._format(now))
+            self._last_emit = now
+            self._last_delivered = delivered
+            self.lines_emitted += 1
+
+    def tick(self) -> None:
+        """Interval check without new deliveries.
+
+        Wire this to any periodic hook (e.g. the broker backend's
+        per-poll ``on_progress``) so a *stalled* stream still logs —
+        exactly when the operator most wants to see 0/s and the backlog.
+        """
+        self.update(self.delivered)
+
+    def finish(self) -> None:
+        """One final line summarizing the whole stream."""
+        self._emit(self._format(self._clock(), final=True))
+        self.lines_emitted += 1
+
+    def _format(self, now: float, final: bool = False) -> str:
+        elapsed = max(now - self._start, 1e-9)
+        overall = self.delivered / elapsed
+        window = max(now - self._last_emit, 1e-9)
+        interval_rate = (self.delivered - self._last_delivered) / window
+        count = (
+            f"{self.delivered}/{self.total}"
+            if self.total is not None
+            else f"{self.delivered}"
+        )
+        parts = [
+            f"c progress: {count} witnesses",
+            f"{overall:.1f}/s overall",
+        ]
+        if not final:
+            parts.append(f"{interval_rate:.1f}/s last interval")
+        if self._in_flight is not None:
+            parts.append(f"{self._in_flight()} chunks in flight")
+        parts.append(f"{elapsed:.1f}s elapsed")
+        return ", ".join(parts)
+
+
+__all__ = ["ProgressMeter"]

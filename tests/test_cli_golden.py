@@ -121,6 +121,80 @@ class TestPrepareSampleLifecycle:
         assert v_lines(proc.stdout) == v_lines(reference.stdout)
 
 
+class TestStreamingBackends:
+    """The ISSUE's cross-backend golden: `--backend {serial,pool,broker}
+    --stream` must produce the byte-identical witness stream."""
+
+    def test_stream_is_byte_identical_across_backends(self, workdir):
+        outputs = {}
+        for name, extra in (
+            ("serial", []),
+            ("pool", ["--jobs", "2"]),
+            ("broker", ["--broker", "spool-stream"]),
+        ):
+            proc = repro("sample", "tiny.cnf", "-n", 8, "--seed", 7,
+                         "--sampler", "unigen2", "--backend", name,
+                         "--stream", *extra, cwd=workdir)
+            assert proc.returncode == 0, proc.stderr
+            outputs[name] = proc.stdout
+            assert f"backend={name}" in proc.stderr
+        assert outputs["serial"] == outputs["pool"] == outputs["broker"]
+        assert len(v_lines(outputs["serial"])) == 8
+        # …and identical to the buffered (non --stream) backend output.
+        buffered = repro("sample", "tiny.cnf", "-n", 8, "--seed", 7,
+                         "--sampler", "unigen2", "--backend", "serial",
+                         cwd=workdir)
+        assert buffered.stdout == outputs["serial"]
+
+    def test_stream_purges_its_spent_spool(self, workdir):
+        proc = repro("sample", "tiny.cnf", "-n", 4, "--seed", 3,
+                     "--sampler", "unigen2", "--backend", "broker",
+                     "--broker", "spool-purged", "--stream", cwd=workdir)
+        assert proc.returncode == 0, proc.stderr
+        assert "purged spent job state" in proc.stderr
+        assert not (workdir / "spool-purged").exists()
+
+    def test_progress_flag_logs_rates_to_stderr(self, workdir):
+        proc = repro("sample", "tiny.cnf", "-n", 6, "--seed", 7,
+                     "--sampler", "unigen2", "--backend", "serial",
+                     "--progress", 0.0001, cwd=workdir)
+        assert proc.returncode == 0, proc.stderr
+        assert "c progress:" in proc.stderr
+        assert "witnesses" in proc.stderr
+
+    def test_window_flag_reaches_the_backend(self, workdir):
+        proc = repro("sample", "tiny.cnf", "-n", 8, "--seed", 7,
+                     "--sampler", "unigen2", "--backend", "pool",
+                     "--jobs", 2, "--window", 3, cwd=workdir)
+        assert proc.returncode == 0, proc.stderr
+        assert "window=3" in proc.stderr
+
+    def test_backend_broker_without_target_exits_2(self, workdir):
+        proc = repro("sample", "tiny.cnf", "-n", 2, "--backend", "broker",
+                     cwd=workdir)
+        assert proc.returncode == 2
+        assert "--broker" in proc.stderr
+
+    def test_backend_report_json_shares_the_schema(self, workdir):
+        proc = repro("sample", "tiny.cnf", "-n", 6, "--seed", 9,
+                     "--sampler", "unigen2", "--backend", "pool",
+                     "--jobs", 2, "--stream",
+                     "--report-json", "report-backend.json", cwd=workdir)
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads((workdir / "report-backend.json").read_text())
+        assert set(report) == REPORT_KEYS
+        assert report["n_delivered"] == 6
+        # Same stream as the classic pool path's report.
+        classic = repro("sample", "tiny.cnf", "-n", 6, "--seed", 9,
+                        "--sampler", "unigen2", "--jobs", 2,
+                        "--report-json", "report-classic.json", cwd=workdir)
+        assert classic.returncode == 0, classic.stderr
+        classic_report = json.loads(
+            (workdir / "report-classic.json").read_text()
+        )
+        assert report["witnesses"] == classic_report["witnesses"]
+
+
 class TestReportJsonSchema:
     @pytest.mark.parametrize(
         "extra",

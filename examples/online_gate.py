@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Online uniformity gating + composable stream sinks.
+
+The scripted version of the CLI's
+
+    repro sample F.cnf -n 100000 --backend pool --jobs 4 \\
+        --gate-online --gate-every 256 --out witnesses.jsonl
+
+workflow: drive one deterministic plan through any backend and *consume*
+the stream through composable sinks —
+
+* :class:`~repro.sinks.OnlineUniformityGate`: incremental per-witness
+  counts plus a sequential χ²/min-max-ratio check.  Its verdict over the
+  final counts is byte-identical to the offline
+  :func:`repro.stats.uniformity.uniformity_gate` over the materialized
+  witness list, and a *failing* run trips mid-stream: the run is
+  cancelled (pool chunks terminated, broker job purged) after O(cadence)
+  wasted draws instead of completing.
+* :class:`~repro.sinks.JsonlWitnessWriter`: witnesses to disk, one
+  flushed line each — the full list never exists in memory.
+* :class:`~repro.sinks.StatsFold`: the classic merged
+  :class:`~repro.core.base.SamplerStats`, folded chunk by chunk.
+
+Run:  python examples/online_gate.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.api import SamplerConfig, prepare
+from repro.cnf import exactly_k_solutions_formula
+from repro.core.base import SampleResult, WitnessSampler
+from repro.errors import GateTripped
+from repro.execution import SerialBackend, build_plan, make_backend
+from repro.sinks import (
+    JsonlWitnessWriter,
+    OnlineUniformityGate,
+    StatsFold,
+    run_stream,
+)
+from repro.stats import uniformity_gate, witness_key
+
+# --- 1. A healthy run: gate + writer + stats in one streaming pass ---------
+K = 20
+cnf = exactly_k_solutions_formula(6, K)
+cnf.sampling_set = range(1, 7)
+config = SamplerConfig(epsilon=6.0, seed=42)
+artifact = prepare(cnf, config)
+svars = artifact.sampling_set
+
+N = 1600
+plan = build_plan(artifact, N, config, sampler="unigen2", chunk_size=100)
+out_path = Path(tempfile.mkstemp(suffix=".jsonl")[1])
+
+gate = OnlineUniformityGate(
+    K, key=lambda w: witness_key(w, svars), check_every=400
+)
+verdict, stats, manifest = run_stream(
+    make_backend("pool", jobs=2, window=4),
+    plan,
+    gate,
+    StatsFold(),
+    JsonlWitnessWriter(out_path),
+)
+print(f"gate   : {verdict.describe()}")
+print(f"stats  : {stats.attempts} attempts, "
+      f"success={stats.success_probability:.3f}")
+print(f"writer : {manifest['written']} witnesses -> {manifest['path']}")
+
+# --- 2. Online == offline, byte for byte -----------------------------------
+reference = make_backend("serial").collect(plan)
+offline = uniformity_gate([witness_key(w, svars) for w in reference.witnesses], K)
+assert verdict == offline
+print("equiv  : online verdict == offline uniformity_gate, exactly")
+
+# --- 3. A drifting run trips the gate mid-stream ---------------------------
+# A maximally biased "sampler" stands in for drift: every draw is the same
+# witness.  The gate trips right after its warm-up and run_stream cancels
+# the backend — the serial loop here simply stops; a pool would terminate
+# its workers and a broker would purge its job the same way.
+
+
+class Biased(WitnessSampler):
+    name = "biased-demo"
+
+    def _sample_once(self):
+        return {v: True for v in range(1, 7)}
+
+
+class BiasedBackend(SerialBackend):
+    """Serve the plan's chunks from the biased sampler, bypassing init."""
+
+    def run_plan(self, plan):
+        for task in plan.tasks:
+            sampler = Biased()
+            results = sampler.sample_until_results(task.count)
+            yield {
+                "chunk": task.index,
+                "results": [r.to_dict() for r in results],
+                "stats": sampler.stats.to_dict(),
+                "time_seconds": 0.0,
+                "error": None,
+            }
+
+
+backend = BiasedBackend()
+trip_gate = OnlineUniformityGate(K, check_every=50, min_expected=5.0)
+try:
+    run_stream(backend, plan, trip_gate)
+    raise AssertionError("the biased stream should have tripped the gate")
+except GateTripped as trip:
+    print(f"abort  : tripped after {trip.n_draws}/{N} draws "
+          f"(chunk {trip.chunk_index}); backend.cancelled="
+          f"{backend.cancelled}")
+    print(f"         {trip.report.describe()}")
+
+out_path.unlink()

@@ -72,6 +72,20 @@ def __getattr__(name):  # pragma: no cover - thin lazy-import shim
         "Budget": "repro.sat",
         "HxorFamily": "repro.hashing",
         "find_independent_support": "repro.support",
+        "build_plan": "repro.execution",
+        "make_backend": "repro.execution",
+        "sample_stream": "repro.execution",
+        "StreamSink": "repro.sinks",
+        "compose": "repro.sinks",
+        "run_stream": "repro.sinks",
+        "OnlineUniformityGate": "repro.sinks",
+        "StatsFold": "repro.sinks",
+        "JsonlWitnessWriter": "repro.sinks",
+        "DimacsWitnessWriter": "repro.sinks",
+        "uniformity_gate": "repro.stats",
+        "uniformity_gate_from_counts": "repro.stats",
+        "witness_key": "repro.stats",
+        "GateTripped": "repro.errors",
     }
     if name in lazy:
         module = import_module(lazy[name])

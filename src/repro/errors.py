@@ -101,6 +101,36 @@ class ChunkLost(DistributedError):
         super().__init__(message)
 
 
+class GateTripped(SamplingError):
+    """Raised by an online uniformity gate that rejected the stream mid-run.
+
+    The streaming seam's early-abort signal: an
+    :class:`~repro.sinks.OnlineUniformityGate` raises this from inside the
+    sink pipeline the moment its sequential χ²/min-max-ratio check turns
+    decisive, and the sink driver cancels the backend's in-flight chunks
+    (pool: terminate; broker: purge, fencing out straggler acks) instead of
+    finishing a run that would only fail the offline gate later.
+
+    ``report`` carries the failing
+    :class:`~repro.stats.uniformity.UniformityGateReport`, ``n_draws`` how
+    many successful draws had been counted when the gate tripped, and
+    ``chunk_index`` the chunk whose draw pushed it over.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        report=None,
+        n_draws: int | None = None,
+        chunk_index: int | None = None,
+    ):
+        self.report = report
+        self.n_draws = n_draws
+        self.chunk_index = chunk_index
+        super().__init__(message)
+
+
 class WorkerFailure(SamplingError):
     """Raised by the parallel engine when a worker process fails.
 

@@ -154,6 +154,9 @@ class SampleBackend(ABC):
         self._in_flight = 0
         #: The fold of the most recent stream, for post-stream stats.
         self.fold: ChunkFold | None = None
+        #: True once :meth:`cancel_in_flight` ran or a stream was abandoned
+        #: mid-run (the consumer closed it before exhaustion).
+        self.cancelled = False
 
     # -- instrumentation ------------------------------------------------
     @property
@@ -175,8 +178,24 @@ class SampleBackend(ABC):
     def run_plan(self, plan: ExecutionPlan) -> Iterator[dict]:
         """Yield the plan's raw chunk result dicts in chunk-index order."""
 
+    def cancel_in_flight(self) -> None:
+        """Stop feeding the current plan: drop work not yet consumed.
+
+        The early-abort half of the sink seam
+        (:func:`repro.sinks.run_stream`): called after the consumer closes
+        the stream mid-run (a tripped gate), it discards whatever the
+        backend still holds *outside* the generator frame — the pool's
+        in-flight chunks die with the generator's ``with Pool`` block on
+        close, so the base implementation only records the cancellation;
+        the broker backend overrides to purge the queued job, which nacks
+        pending chunks back and fences out straggler worker acks.
+        """
+        self.cancelled = True
+
     # -- shared surface -------------------------------------------------
-    def iter_sample_stream(self, plan: ExecutionPlan) -> Iterator[StreamEvent]:
+    def iter_sample_stream(
+        self, plan: ExecutionPlan, *, on_chunk=None
+    ) -> Iterator[StreamEvent]:
         """The unified entrypoint: incremental ``(chunk_index, result)``.
 
         Validates every chunk as it arrives (worker errors raise
@@ -185,14 +204,38 @@ class SampleBackend(ABC):
         incrementally — read :attr:`stream_stats` at any point, including
         mid-stream.  Nothing per-witness is retained here: memory is the
         backend's in-flight window, not O(n).
+
+        ``on_chunk``
+            Optional ``(chunk_index, raw_dict) -> None`` callback fired
+            once per *validated* chunk, before its per-draw events are
+            yielded — the hook chunk-granular sinks
+            (:class:`repro.sinks.StatsFold`) fold raw chunk stats through
+            without the per-draw events having to carry them.
+
+        Closing the returned generator mid-stream (or any error escaping
+        it) deterministically closes :meth:`run_plan` too, so backend
+        resources wound into the generator frame — the pool's worker
+        processes above all — are torn down at abandonment, not at GC.
         """
         fold = ChunkFold(
             chunk_timeout_s=self.chunk_timeout_s, keep_results=False
         )
         self.fold = fold
-        for raw in self.run_plan(plan):
-            for result in fold.add(raw):
-                yield StreamEvent(raw["chunk"], result)
+        self.cancelled = False
+        chunks = self.run_plan(plan)
+        exhausted = False
+        try:
+            for raw in chunks:
+                results = fold.add(raw)
+                if on_chunk is not None:
+                    on_chunk(raw["chunk"], raw)
+                for result in results:
+                    yield StreamEvent(raw["chunk"], result)
+            exhausted = True
+        finally:
+            if not exhausted:
+                self.cancelled = True
+            chunks.close()
 
     @property
     def stream_stats(self) -> SamplerStats:

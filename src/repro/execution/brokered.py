@@ -95,6 +95,20 @@ class BrokerBackend(SampleBackend):
             spec, self._submitted = self.submit_plan(plan), None
         yield from self.stream_spec(spec)
 
+    def cancel_in_flight(self) -> None:
+        """Abort the brokered job: purge it so nothing else runs.
+
+        Purging is the broker path's cancellation primitive — pending
+        chunks are discarded (never leased again), chunks a worker is
+        still computing are nacked back into the void (the job is gone, so
+        their acks fail the :class:`~repro.errors.LeaseExpired` fence and
+        workers drop the results), and drain-mode workers observe the
+        vanished job and exit.  Safe on a job that already completed or
+        was never submitted.
+        """
+        super().cancel_in_flight()
+        self.broker.purge()
+
     def stream_spec(self, spec: JobSpec) -> Iterator[dict]:
         """Stream an already-submitted job's raw chunk results in order.
 

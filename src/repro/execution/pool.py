@@ -57,6 +57,10 @@ class PoolBackend(SampleBackend):
         return max(2, 2 * self.jobs)
 
     def run_plan(self, plan: ExecutionPlan) -> Iterator[dict]:
+        if not plan.tasks:
+            # A zero-chunk plan (n=0) completes without forking a single
+            # process; the empty fold downstream merges to empty stats.
+            return
         window = self.resolved_window()
         ctx = multiprocessing.get_context(
             resolve_start_method(self.start_method)

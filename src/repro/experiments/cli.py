@@ -34,6 +34,11 @@ the sampling lifecycle as a tool:
   arrives (the coordinator holds O(``--window``) chunks instead of every
   witness), ``--progress N`` logs witnesses/sec and chunks in flight to
   stderr every N seconds;
+* ``repro sample --gate-online`` — check uniformity *while* streaming
+  (incremental counts, a sequential χ²/ratio check every ``--gate-every``
+  draws); a drifting run aborts early with exit code 3, cancelling
+  in-flight chunks on every backend.  ``--out witnesses.jsonl`` streams
+  witnesses to disk without ever holding the full list;
 * ``repro count FILE.cnf`` — ApproxMC as a tool;
 * ``repro samplers`` — list the sampler registry;
 * ``repro benchmarks`` — list the benchmark registry.
@@ -146,6 +151,30 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None, metavar="SECS",
                    help="log witnesses/sec and chunks in flight to stderr"
                         " every SECS seconds (default 5)")
+    p.add_argument("--gate-online", action="store_true",
+                   help="run the uniformity gate online over the stream:"
+                        " incremental per-witness counts, a sequential"
+                        " chi^2 + min/max-ratio check every --gate-every"
+                        " draws; a failing run aborts early (exit code 3)"
+                        " and cancels in-flight chunks on every backend")
+    p.add_argument("--gate-every", type=int, default=64, metavar="N",
+                   help="successful draws between online gate checks"
+                        " (default 64; larger = fewer sequential looks)")
+    p.add_argument("--gate-universe", type=int, default=None, metavar="M",
+                   help="exact |R_F| projected onto the sampling set, the"
+                        " gate's cell count (default: taken from an"
+                        " easy-case --prepared artifact's witness list;"
+                        " hashed artifacts need it spelled out)")
+    p.add_argument("--gate-alpha", type=float, default=0.01,
+                   help="chi^2 significance of the gate (default 0.01)")
+    p.add_argument("--gate-bound", type=float, default=2.0,
+                   help="allowed multiplicative deviation of per-witness"
+                        " counts from uniform (default 2.0)")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="stream witnesses to PATH instead of stdout, one"
+                        " per line as it arrives (.jsonl -> JSON records,"
+                        " anything else -> DIMACS v lines); the file never"
+                        " holds more than the draws completed so far")
     p.add_argument("--broker", metavar="TARGET", default=None,
                    help="sample through a chunk queue: a spool directory"
                         " or tcp://host:port of a `repro brokerd`."
@@ -450,6 +479,73 @@ def _sample_via_broker(
     return report
 
 
+def _gate_universe(args, target) -> int:
+    """Resolve the online gate's cell count ``|R_F|``.
+
+    An explicit ``--gate-universe`` wins; an easy-case prepared artifact
+    supplies it implicitly (its witness list is the exact universe).  A
+    *hashed* artifact's ApproxMC estimate is deliberately NOT used: it is
+    only (1±ε)-accurate, and an undercount makes the gate reject the run
+    with "universe smaller than observed support" once more distinct
+    witnesses than the estimate show up — a configuration failure, not a
+    uniformity verdict.
+    """
+    if args.gate_universe is not None:
+        return args.gate_universe
+    if isinstance(target, PreparedFormula) and target.is_easy:
+        return len(target.easy_witnesses)
+    hint = ""
+    if isinstance(target, PreparedFormula) and target.approx_count_value:
+        hint = (
+            f" (the artifact's ApproxMC estimate is "
+            f"~{target.approx_count_value}, accurate only to its (1±ε) "
+            "tolerance — pass the exact count)"
+        )
+    raise ValueError(
+        "--gate-online needs --gate-universe M (the exact witness count "
+        "over the sampling set); only an easy-case --prepared artifact "
+        f"can supply it implicitly{hint}"
+    )
+
+
+def _build_sinks(args, target):
+    """The ``--gate-online`` / ``--out`` sink pipeline (or ``(None, …)``)."""
+    from ..sinks import (
+        DimacsWitnessWriter,
+        JsonlWitnessWriter,
+        OnlineUniformityGate,
+        compose,
+    )
+    from ..stats import witness_key
+
+    gate = None
+    sinks = []
+    if args.out is not None:
+        # The writer sits ahead of the gate on purpose: sinks see each
+        # event in composition order, so the file records the very draw a
+        # trip is decided on — the partial --out of an aborted run
+        # reproduces the tripped verdict exactly.
+        writer_cls = (
+            JsonlWitnessWriter
+            if args.out.endswith(".jsonl")
+            else DimacsWitnessWriter
+        )
+        sinks.append(writer_cls(args.out))
+    if args.gate_online:
+        # Both a CNF and a PreparedFormula expose the sampling set; empty
+        # means "no c-ind projection" and the gate keys on full witnesses.
+        svars = list(target.sampling_set or ())
+        gate = OnlineUniformityGate(
+            _gate_universe(args, target),
+            key=(lambda w: witness_key(w, svars)) if svars else None,
+            alpha=args.gate_alpha,
+            ratio_bound=args.gate_bound,
+            check_every=args.gate_every,
+        )
+        sinks.append(gate)
+    return (compose(*sinks) if sinks else None), gate
+
+
 def _run_backend_sample(args, target, config) -> int:
     """``repro sample --backend …``: the streaming execution-layer path.
 
@@ -457,10 +553,14 @@ def _run_backend_sample(args, target, config) -> int:
     moment its chunk arrives and the process holds O(``--window``) chunks
     (unless ``--report-json`` asks for the full per-draw record).  Without
     ``--stream`` the output is byte-identical anyway — the stream is
-    buffered and printed at the end, like the classic paths.
+    buffered and printed at the end, like the classic paths.  With
+    ``--gate-online`` the uniformity gate rides the stream; a trip
+    cancels the run (pool chunks terminated, broker job purged) and exits
+    with code 3 — the partial ``--out`` file stays well-formed.
     """
     import time as _time
 
+    from ..errors import GateTripped
     from ..execution import build_plan, make_backend
     from ..stats import ProgressMeter
 
@@ -512,9 +612,11 @@ def _run_backend_sample(args, target, config) -> int:
             in_flight=lambda: backend.in_flight,
         )
         meter_box.append(meter)
-    buffered = []  # witnesses, only when not streaming
+    sink, gate = _build_sinks(args, target)
+    buffered = []  # witnesses, only when not streaming and not --out
     results = [] if args.report_json else None
     delivered = 0
+    tripped: GateTripped | None = None
     start = _time.monotonic()
     if broker is not None:
         # Submit before any worker exists: a submit-time failure (stale
@@ -531,22 +633,57 @@ def _run_backend_sample(args, target, config) -> int:
     else:
         workers_ctx = contextlib.nullcontext()
     with workers_ctx:
-        for _, result in backend.iter_sample_stream(plan):
-            if result.ok:
-                delivered += 1
-                if args.stream:
-                    _print_witness(result.witness, flush=True)
-                else:
-                    buffered.append(result.witness)
-            if results is not None:
-                results.append(result)
-            if meter is not None:
-                meter.update(delivered)
+        stream = backend.iter_sample_stream(
+            plan, on_chunk=sink.on_chunk if sink is not None else None
+        )
+        completed = False
+        try:
+            for chunk_index, result in stream:
+                if sink is not None:
+                    sink.accept(chunk_index, result)
+                if result.ok:
+                    delivered += 1
+                    if args.stream and args.out is None:
+                        _print_witness(result.witness, flush=True)
+                    elif args.out is None:
+                        buffered.append(result.witness)
+                if results is not None:
+                    results.append(result)
+                if meter is not None:
+                    meter.update(delivered)
+            completed = True
+        except GateTripped as trip:
+            tripped = trip
+        finally:
+            if not completed:
+                # Cancel, don't finish — on a tripped gate and on any
+                # other mid-stream failure (a misconfigured gate universe,
+                # a full disk under --out) alike: close the stream
+                # (tearing down the pool's in-flight chunks) and drop the
+                # backend's remaining work (the broker purges its job, so
+                # a dead run never wedges its spool against the next
+                # submit).  Workers reaped by the surrounding context
+                # observe the vanished job and drain out.
+                stream.close()
+                backend.cancel_in_flight()
+            if sink is not None:
+                sink.close()
     wall = _time.monotonic() - start
     if meter is not None:
         meter.finish()
-    if args.stream:
-        _print_witnesses([], args.num - delivered)  # BOT shortfall only
+    if tripped is not None:
+        print(f"c gate: TRIPPED — {tripped}", file=sys.stderr)
+        print(
+            f"c aborted early: {delivered} draws consumed, in-flight "
+            f"chunks cancelled [backend={args.backend}]",
+            file=sys.stderr,
+        )
+        return 3
+    if args.stream or args.out is not None:
+        # Witnesses already went to stdout (streamed) or to --out; the -n
+        # contract still marks every undelivered draw with a BOT line on
+        # stdout, so a shortfall is machine-visible either way.
+        _print_witnesses([], args.num - delivered)
     else:
         _print_witnesses(buffered, args.num - delivered)
     stats = backend.stream_stats
@@ -560,6 +697,15 @@ def _run_backend_sample(args, target, config) -> int:
         f"max_in_flight={backend.max_in_flight})",
         file=sys.stderr,
     )
+    if args.out is not None:
+        print(f"c wrote {delivered} witnesses to {args.out}",
+              file=sys.stderr)
+    verdict = None
+    if gate is not None:
+        # The completed-run verdict: byte-identical to the offline
+        # uniformity_gate over the same witnesses (same counts core).
+        verdict = gate.verdict()
+        print(f"c gate: {verdict.describe()}", file=sys.stderr)
     if broker is not None and workers > 0:
         # We owned the whole job lifecycle (spawned the workers, saw them
         # exit) — reclaim the spent spool/brokerd state.  With --jobs 0
@@ -572,7 +718,7 @@ def _run_backend_sample(args, target, config) -> int:
             plan, results=results, wall_time_seconds=wall
         )
         _maybe_report_json(args.report_json, report.to_dict())
-    return 0
+    return 0 if verdict is None or verdict.passed else 3
 
 
 def _maybe_report_json(path, data: dict) -> None:
@@ -762,7 +908,11 @@ def main(argv: list[str] | None = None) -> int:
         if args.backend is None and args.broker is not None:
             args.backend = "broker"
         if args.backend is None and (
-            args.stream or args.window is not None or args.progress is not None
+            args.stream
+            or args.window is not None
+            or args.progress is not None
+            or args.gate_online
+            or args.out is not None
         ):
             # Any explicit multi/zero --jobs routes to the pool, whose
             # constructor rejects 0 (exit 2) exactly like the classic

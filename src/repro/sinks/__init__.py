@@ -1,0 +1,52 @@
+"""Composable stream sinks over the execution layer's witness stream.
+
+The consumer side of the streaming seam: where :mod:`repro.execution`
+bounds how the stream is *produced* (O(window) chunks in flight, any
+backend), this package structures how it is *consumed* — uniformity
+gating, persistence, and stats accumulation as small composable sinks
+driven by one loop::
+
+    from repro.execution import build_plan, make_backend
+    from repro.sinks import (
+        JsonlWitnessWriter, OnlineUniformityGate, StatsFold, run_stream,
+    )
+    from repro.stats import witness_key
+
+    plan = build_plan(prepared, 100_000, config, sampler="unigen2")
+    gate = OnlineUniformityGate(
+        universe_size, key=lambda w: witness_key(w, svars), check_every=256,
+    )
+    try:
+        gate_report, stats, manifest = run_stream(
+            make_backend("pool", jobs=8),
+            plan,
+            gate,
+            StatsFold(),
+            JsonlWitnessWriter("witnesses.jsonl"),
+        )
+    except GateTripped as trip:
+        ...  # run cancelled early; trip.report has the failing verdict
+
+The load-bearing invariant, pinned by ``tests/test_sinks.py``: the online
+gate's verdict over any completed run is **byte-identical** to the offline
+:func:`repro.stats.uniformity.uniformity_gate` over the materialized
+witness list, and :class:`StatsFold` finalizes to exactly the stats the
+merge-at-end path reports — online vs offline changes when you learn the
+answer and how much memory it costs, never the answer.
+"""
+
+from .base import CompositeSink, StreamSink, compose, run_stream
+from .fold import StatsFold
+from .gate import OnlineUniformityGate
+from .writers import DimacsWitnessWriter, JsonlWitnessWriter
+
+__all__ = [
+    "StreamSink",
+    "CompositeSink",
+    "compose",
+    "run_stream",
+    "OnlineUniformityGate",
+    "StatsFold",
+    "JsonlWitnessWriter",
+    "DimacsWitnessWriter",
+]

@@ -1,0 +1,157 @@
+"""The sink protocol and the driver that pumps a backend stream into it.
+
+PR 4's streaming seam bounded coordinator *memory* but left consumption ad
+hoc: every caller of ``iter_sample_stream()`` hand-rolled its own loop, and
+anything stateful — uniformity checking, witness persistence, stats — still
+happened offline on a materialized list.  This module is the composition
+layer on the consumer side of that seam:
+
+* :class:`StreamSink` — the protocol.  A sink sees the stream twice, at two
+  granularities: :meth:`~StreamSink.on_chunk` once per validated raw chunk
+  dict (for chunk-granular state like :class:`~repro.sinks.StatsFold`) and
+  :meth:`~StreamSink.accept` once per ``(chunk_index, SampleResult)`` draw.
+  :meth:`~StreamSink.finalize` returns the sink's verdict;
+  :meth:`~StreamSink.close` always runs — success, trip, or error — so
+  file-backed sinks never leak a handle or a truncated record.
+* :func:`compose` — fan one stream into many sinks, events delivered to
+  every sink in composition order.
+* :func:`run_stream` — the one loop.  Pumps a backend's stream through a
+  sink, and when a sink raises :class:`~repro.errors.GateTripped` it
+  *cancels* the run: the stream generator is closed (tearing down the
+  pool's in-flight chunks with it), the backend's
+  :meth:`~repro.execution.SampleBackend.cancel_in_flight` drops whatever
+  lives outside the generator frame (the broker purges its job), sinks are
+  closed, and the trip re-raises.  A drifting run therefore dies in
+  O(window) memory after O(gate cadence) wasted draws, instead of
+  completing and failing the offline gate.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..core.base import SampleResult
+from ..errors import GateTripped
+from ..execution.base import ExecutionPlan, SampleBackend
+
+
+class StreamSink(ABC):
+    """One consumer of the deterministic sample stream.
+
+    Subclasses implement :meth:`accept`; the other hooks default to
+    no-ops.  Sinks must tolerate :meth:`close` being called more than once
+    and before :meth:`finalize`.
+    """
+
+    #: Human-readable sink name, used in composite verdicts and logs.
+    name: str = "sink"
+
+    def on_chunk(self, chunk_index: int, raw: dict) -> None:
+        """One validated raw chunk dict, before its draws are delivered."""
+
+    @abstractmethod
+    def accept(self, chunk_index: int, result: SampleResult) -> None:
+        """One draw of the stream (failed draws included — check
+        ``result.ok``).  Raising :class:`~repro.errors.GateTripped` here
+        aborts the whole run through :func:`run_stream`."""
+
+    def finalize(self):
+        """The sink's verdict once the stream completed; ``None`` if the
+        sink is side-effect-only."""
+        return None
+
+    def close(self) -> None:
+        """Release resources.  Always called — completion, trip, or error —
+        and must be idempotent."""
+
+
+class CompositeSink(StreamSink):
+    """Fan every event out to ``sinks`` in order; the :func:`compose` result.
+
+    ``finalize`` returns the member verdicts as a list in composition
+    order; ``close`` closes every member even when an earlier close
+    raises.
+    """
+
+    name = "composite"
+
+    def __init__(self, *sinks: StreamSink):
+        self.sinks = tuple(sinks)
+
+    def on_chunk(self, chunk_index: int, raw: dict) -> None:
+        for sink in self.sinks:
+            sink.on_chunk(chunk_index, raw)
+
+    def accept(self, chunk_index: int, result: SampleResult) -> None:
+        for sink in self.sinks:
+            sink.accept(chunk_index, result)
+
+    def finalize(self) -> list:
+        return [sink.finalize() for sink in self.sinks]
+
+    def close(self) -> None:
+        first_error: BaseException | None = None
+        for sink in self.sinks:
+            try:
+                sink.close()
+            except BaseException as exc:  # noqa: BLE001 — close them all
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+
+
+def compose(*sinks: StreamSink) -> StreamSink:
+    """One sink fanning the stream out to all of ``sinks`` in order.
+
+    A single sink composes to itself (its ``finalize`` shape is
+    preserved); zero sinks compose to an empty :class:`CompositeSink`
+    whose verdict is ``[]``.
+    """
+    if len(sinks) == 1:
+        return sinks[0]
+    return CompositeSink(*sinks)
+
+
+def run_stream(
+    backend: SampleBackend, plan: ExecutionPlan, *sinks: StreamSink
+):
+    """Pump ``plan``'s stream through ``sinks``; the sink-side entry point.
+
+    Returns the composed :meth:`StreamSink.finalize` verdict (a list in
+    sink order when several sinks were given, the sink's own verdict when
+    one was).  *Any* error that stops the stream short — a
+    :class:`~repro.errors.GateTripped` from a gate, a worker failure from
+    the backend, an I/O error from a writer — cancels the run (stream
+    closed, backend's in-flight work dropped via
+    :meth:`~repro.execution.SampleBackend.cancel_in_flight`, sinks
+    closed) and then propagates unchanged.
+
+    Memory stays O(window) chunks end to end: the backend never buffers
+    past its window and no sink in :mod:`repro.sinks` retains per-witness
+    state beyond its own purpose (counts for the gate, a file handle for
+    the writers, O(1) counters for the fold).
+
+    Sinks see each event in composition order, so order them by who must
+    not miss the *last* event: a writer listed before a gate records the
+    very draw the gate trips on (the partial file then reproduces the
+    tripped verdict exactly); listed after, it misses it.
+    """
+    sink = compose(*sinks)
+    stream = backend.iter_sample_stream(plan, on_chunk=sink.on_chunk)
+    completed = False
+    try:
+        for chunk_index, result in stream:
+            sink.accept(chunk_index, result)
+        completed = True
+        return sink.finalize()
+    finally:
+        if not completed:
+            # Any abort — a tripped gate, a worker failure, a full disk in
+            # a writer — cancels the run: close the stream (tearing down
+            # run_plan, which terminates the pool's in-flight chunks) and
+            # drop what lives outside the generator frame (the broker
+            # purges its job, so a dead run never wedges its spool).
+            stream.close()
+            backend.cancel_in_flight()
+        sink.close()

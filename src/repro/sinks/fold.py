@@ -1,0 +1,60 @@
+"""The stats sink: the classic merge, riding the chunk hook.
+
+:class:`~repro.parallel.plan.ChunkFold` is the one implementation of
+"fold ordered raw chunk results into one :class:`SamplerStats`"; this sink
+adapts it to the :class:`~repro.sinks.StreamSink` protocol so stats
+accumulation composes with gating and persistence in a single pass.  It
+listens on the chunk-granular hook (per-draw events don't carry the
+chunk's sampler counters — ``bsat_calls``, XOR bookkeeping — only the raw
+chunk dict does) and keeps ``keep_results=False``, so its state is O(1)
+plus one float per chunk no matter how large the run.
+"""
+
+from __future__ import annotations
+
+from ..core.base import SampleResult, SamplerStats
+from ..parallel.plan import ChunkFold
+from .base import StreamSink
+
+
+class StatsFold(StreamSink):
+    """Fold every chunk's stats into one :class:`SamplerStats` verdict.
+
+    Wraps a fresh :class:`~repro.parallel.plan.ChunkFold`; an empty stream
+    (zero-chunk plan) finalizes to the empty stats without raising, and a
+    stream of ``k`` chunks finalizes to exactly what
+    ``SamplerStats.merged`` over those chunks' stats produces — the
+    equivalence the sink property tests pin.
+
+    A backend-driven pipeline technically counts twice — the backend's own
+    fold (``backend.stream_stats``) sees the same raw dicts — but this
+    sink deliberately carries no backend reference: it folds streams fed
+    from *anywhere* (tests, replayed chunk logs, a future network tap),
+    and the duplicate per-chunk merge is O(1) bookkeeping.
+    """
+
+    name = "stats"
+
+    def __init__(self, *, chunk_timeout_s: float | None = None):
+        self.fold = ChunkFold(
+            chunk_timeout_s=chunk_timeout_s, keep_results=False
+        )
+
+    @property
+    def stats(self) -> SamplerStats:
+        """Stats folded so far (readable mid-stream)."""
+        return self.fold.stats
+
+    @property
+    def delivered(self) -> int:
+        """Successful draws folded so far."""
+        return self.fold.delivered
+
+    def on_chunk(self, chunk_index: int, raw: dict) -> None:
+        self.fold.add(raw)
+
+    def accept(self, chunk_index: int, result: SampleResult) -> None:
+        """Per-draw events carry nothing the chunk hook didn't."""
+
+    def finalize(self) -> SamplerStats:
+        return self.fold.stats

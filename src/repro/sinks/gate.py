@@ -1,0 +1,156 @@
+"""The online uniformity gate: the offline verdict, one draw at a time.
+
+The offline gate (:func:`repro.stats.uniformity.uniformity_gate`)
+materializes every witness, counts, and checks — O(n) memory and a verdict
+only after the run completes.  This sink maintains the same per-witness
+counts incrementally (O(universe) memory, independent of ``n``) and applies
+the same χ² + min/max-ratio verdict *sequentially*, every ``check_every``
+successful draws.  Because both faces call the one counts core
+(:func:`repro.stats.uniformity.uniformity_gate_from_counts`), the gate's
+verdict over any set of counts is byte-identical to the offline verdict
+over the materialized draws — online vs offline changes *when* you learn
+the verdict, never what it is.
+
+Sequential testing caveat: early prefixes of a perfectly uniform stream
+fail χ² routinely (expected counts below ~5 make the statistic
+meaningless), so checks are suppressed until ``min_expected`` draws per
+witness have accumulated.  Repeated looks also inflate the false-alarm
+rate above the single-look ``alpha``; size ``check_every`` and ``alpha``
+accordingly (the default cadence of one check per 64 draws keeps the
+multiplier small for typical runs).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Hashable
+
+from ..core.base import SampleResult, Witness, witness_to_lits
+from ..errors import GateTripped
+from ..stats.uniformity import (
+    UniformityGateReport,
+    uniformity_gate_from_counts,
+)
+from .base import StreamSink
+
+
+def _default_key(witness: Witness) -> tuple[int, ...]:
+    """Canonical hashable form of a full witness (signed-literal tuple)."""
+    return tuple(witness_to_lits(witness))
+
+
+class OnlineUniformityGate(StreamSink):
+    """Incremental frequency counts + a sequential uniformity verdict.
+
+    ``universe_size``
+        ``|R_F|`` projected onto the sampling set — the χ² cell count.
+    ``key``
+        Witness → hashable projection; distinct witnesses must map to
+        distinct keys and the keys should be mutually sortable (int
+        tuples), which keeps the verdict independent of arrival order.
+        Default: the full signed-literal tuple.  Pass
+        ``lambda w: witness_key(w, svars)`` to project onto a sampling
+        set.
+    ``alpha`` / ``ratio_bound``
+        Thresholds of the two checks, exactly as in the offline gate.
+    ``check_every``
+        Successful draws between sequential checks; the run's early-abort
+        latency is at most this many draws past the decisive one.
+    ``min_expected``
+        Suppress checks until the uniform expectation per witness
+        (``n_draws / universe_size``) reaches this.  The default (30)
+        follows the sizing note on
+        :func:`~repro.stats.uniformity.frequency_ratio_check`: at
+        ``N/M = 30`` a healthy witness dips below the ratio bound's lower
+        tail with probability ≈ 1.3e-3 per look — checking much earlier
+        makes binomial noise, not bias, the thing that trips.  Every look
+        adds its own false-alarm mass on top of the single-look ``alpha``,
+        so for very long runs prefer a *large* ``check_every`` over a
+        small ``min_expected``.
+
+    A decisive check raises :class:`~repro.errors.GateTripped` out of
+    :meth:`accept`, which :func:`~repro.sinks.run_stream` turns into
+    backend cancellation.  :meth:`finalize` never raises *GateTripped* —
+    it returns the verdict over the final counts, byte-identical to
+    ``uniformity_gate(materialized_draws, …)``.  A ``universe_size``
+    smaller than the observed support is a configuration error, not a
+    verdict: both the checks and :meth:`finalize` surface it as the counts
+    core's ``ValueError`` (and :func:`~repro.sinks.run_stream` cancels the
+    run on it like on any other mid-stream failure).
+    """
+
+    name = "uniformity-gate"
+
+    def __init__(
+        self,
+        universe_size: int,
+        *,
+        key: Callable[[Witness], Hashable] | None = None,
+        alpha: float = 0.01,
+        ratio_bound: float = 2.0,
+        check_every: int = 64,
+        min_expected: float = 30.0,
+    ):
+        if universe_size <= 1:
+            raise ValueError("universe must contain at least 2 witnesses")
+        if check_every < 1:
+            raise ValueError(f"check_every must be >= 1, got {check_every}")
+        if min_expected < 0:
+            raise ValueError(f"min_expected must be >= 0, got {min_expected}")
+        self.universe_size = universe_size
+        self.key = key if key is not None else _default_key
+        self.alpha = alpha
+        self.ratio_bound = ratio_bound
+        self.check_every = check_every
+        self.min_expected = min_expected
+        #: Incremental per-witness frequency counts (the gate's only
+        #: stream-dependent state: O(universe), never O(n)).
+        self.counts: Counter = Counter()
+        #: Successful draws folded so far.
+        self.n_draws = 0
+        #: Sequential checks actually run (cadence hits past warm-up).
+        self.checks_run = 0
+        self._since_check = 0
+
+    # ------------------------------------------------------------------
+    def accept(self, chunk_index: int, result: SampleResult) -> None:
+        if not result.ok:
+            return  # ⊥ draws carry no witness; Theorem 1 prices them
+        self.counts[self.key(result.witness)] += 1
+        self.n_draws += 1
+        self._since_check += 1
+        if self._since_check >= self.check_every:
+            self._since_check = 0
+            self.check(chunk_index=chunk_index)
+
+    def verdict(self) -> UniformityGateReport:
+        """The gate verdict over the counts folded so far (never raises)."""
+        return uniformity_gate_from_counts(
+            self.counts,
+            self.universe_size,
+            alpha=self.alpha,
+            ratio_bound=self.ratio_bound,
+        )
+
+    def check(self, chunk_index: int | None = None) -> UniformityGateReport | None:
+        """One sequential look: verdict now, or ``None`` inside warm-up.
+
+        Raises :class:`~repro.errors.GateTripped` when the verdict fails —
+        the same verdict the offline gate would reach on these counts.
+        """
+        if self.n_draws < self.min_expected * self.universe_size:
+            return None
+        report = self.verdict()
+        self.checks_run += 1
+        if not report.passed:
+            raise GateTripped(
+                f"online uniformity gate tripped after {self.n_draws} "
+                f"draws ({report.describe()})",
+                report=report,
+                n_draws=self.n_draws,
+                chunk_index=chunk_index,
+            )
+        return report
+
+    def finalize(self) -> UniformityGateReport:
+        return self.verdict()

@@ -1,0 +1,86 @@
+"""File-backed witness sinks: stream to disk, never hold the list.
+
+Both writers append exactly one record per accepted draw, written as a
+single ``write()`` of a complete, newline-terminated line and flushed at a
+configurable cadence (default: every line).  That is the truncation-safety
+contract the chaos tests pin: whenever the run dies — a tripped gate, a
+worker failure, a killed coordinator between flushes — everything a reader
+finds in the file is a prefix of well-formed records, never half a JSON
+object spliced to the next.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.base import SampleResult, witness_to_lits
+from .base import StreamSink
+
+
+class _LineWriter(StreamSink):
+    """Shared open/format/flush/close plumbing of the two writers."""
+
+    #: Flush after every Nth written record (1 = every record).
+    def __init__(self, path, *, flush_every: int = 1):
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.path = Path(path)
+        self.flush_every = flush_every
+        #: Successful witnesses written so far.
+        self.written = 0
+        self._handle = open(self.path, "w", encoding="utf-8")
+
+    def _format(self, chunk_index: int, result: SampleResult) -> str:
+        raise NotImplementedError
+
+    def accept(self, chunk_index: int, result: SampleResult) -> None:
+        if not result.ok:
+            return
+        if self._handle is None:
+            raise ValueError(f"{self.name} sink for {self.path} is closed")
+        # One write per record, newline included: a crash can truncate the
+        # *last* line mid-write but can never interleave two records.
+        self._handle.write(self._format(chunk_index, result) + "\n")
+        self.written += 1
+        if self.written % self.flush_every == 0:
+            self._handle.flush()
+
+    def finalize(self) -> dict:
+        self.close()
+        return {"path": str(self.path), "written": self.written}
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class JsonlWitnessWriter(_LineWriter):
+    """One JSON object per witness: ``{"chunk": k, "witness": [lits…]}``.
+
+    The machine-readable stream form — each line round-trips through
+    :func:`~repro.core.base.lits_to_witness`, and the chunk index makes
+    any prefix attributable to its place in the deterministic stream.
+    """
+
+    name = "jsonl-writer"
+
+    def _format(self, chunk_index: int, result: SampleResult) -> str:
+        return json.dumps(
+            {
+                "chunk": chunk_index,
+                "witness": witness_to_lits(result.witness),
+            },
+            separators=(",", ":"),
+        )
+
+
+class DimacsWitnessWriter(_LineWriter):
+    """One DIMACS-style ``v`` line per witness, as the CLI prints them."""
+
+    name = "dimacs-writer"
+
+    def _format(self, chunk_index: int, result: SampleResult) -> str:
+        lits = " ".join(str(l) for l in witness_to_lits(result.witness))
+        return f"v {lits} 0"

@@ -6,14 +6,17 @@ from .uniformity import (
     EnvelopeCheck,
     FrequencyRatioCheck,
     UniformityGateReport,
+    chi_square_from_counts,
     chi_square_uniform,
     empirical_distribution,
     frequency_ratio_check,
+    frequency_ratio_from_counts,
     kl_from_uniform,
     occurrence_histogram,
     theorem1_envelope,
     total_variation_from_uniform,
     uniformity_gate,
+    uniformity_gate_from_counts,
     witness_key,
 )
 
@@ -21,6 +24,7 @@ __all__ = [
     "ProgressMeter",
     "occurrence_histogram",
     "chi_square_uniform",
+    "chi_square_from_counts",
     "ChiSquareResult",
     "empirical_distribution",
     "kl_from_uniform",
@@ -28,8 +32,10 @@ __all__ = [
     "theorem1_envelope",
     "EnvelopeCheck",
     "frequency_ratio_check",
+    "frequency_ratio_from_counts",
     "FrequencyRatioCheck",
     "uniformity_gate",
+    "uniformity_gate_from_counts",
     "UniformityGateReport",
     "witness_key",
 ]

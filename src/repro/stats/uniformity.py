@@ -10,6 +10,18 @@ histogram plus the standard distances used to quantify the comparison:
 * Pearson χ² against the uniform distribution (with p-value);
 * KL divergence and total-variation distance from uniform;
 * the Theorem 1 per-witness envelope check.
+
+Every distributional check has two faces sharing one core: a
+*sequence* face (``chi_square_uniform(draws, …)`` — materialize the draws,
+count, check) and a *counts* face (``chi_square_from_counts(counts, …)``)
+that works straight off an incrementally maintained ``{witness: count}``
+map.  The counts face is what the online gate
+(:class:`repro.sinks.OnlineUniformityGate`) calls mid-stream, and the
+sequence face is a thin ``Counter(draws)`` wrapper over it — so an online
+verdict over the final counts is **byte-identical** to the offline verdict
+over the materialized list.  The counts cores iterate witnesses in sorted
+key order, making every statistic independent of arrival order (a
+permuted chunk stream sums the same floats in the same order).
 """
 
 from __future__ import annotations
@@ -17,7 +29,7 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Sequence
+from typing import Hashable, Iterable, Mapping, Sequence
 
 
 def occurrence_histogram(
@@ -52,6 +64,53 @@ class ChiSquareResult:
         return self.p_value < alpha
 
 
+def _canonical_counts(
+    counts: Mapping[Hashable, int], universe_size: int
+) -> list[tuple[Hashable, int]]:
+    """Positive-count items in canonical (sorted-key) order.
+
+    Sorting fixes the floating-point summation order of every statistic to
+    a pure function of the *counts*, never of arrival order — the property
+    that makes the online gate's verdict byte-identical to the offline one
+    no matter how chunks were interleaved.  Zero (or negative) counts are
+    dropped: an unseen witness is represented by absence, exactly as in a
+    ``Counter`` over the draws.  Keys that cannot be mutually ordered fall
+    back to insertion order (then order-independence is the caller's
+    problem; witness keys — int tuples — always sort).
+    """
+    items = [(k, c) for k, c in counts.items() if c > 0]
+    if len(items) > universe_size:
+        raise ValueError("universe_size smaller than observed support")
+    try:
+        items.sort(key=lambda kv: kv[0])
+    except TypeError:
+        pass
+    return items
+
+
+def chi_square_from_counts(
+    counts: Mapping[Hashable, int], universe_size: int
+) -> ChiSquareResult:
+    """χ² against uniform, straight off a ``{witness: count}`` map.
+
+    The incremental-update core behind :func:`chi_square_uniform`: an
+    online consumer maintains the counts one draw at a time and calls this
+    at any cadence without materializing the draw sequence.
+    """
+    if universe_size <= 1:
+        raise ValueError("universe must contain at least 2 witnesses")
+    items = _canonical_counts(counts, universe_size)
+    n = sum(count for _, count in items)
+    expected = n / universe_size
+    stat = 0.0
+    if expected > 0:
+        for _, count in items:
+            stat += (count - expected) ** 2 / expected
+        stat += (universe_size - len(items)) * expected  # zero-count cells
+    dof = universe_size - 1
+    return ChiSquareResult(statistic=stat, dof=dof, p_value=_chi2_sf(stat, dof))
+
+
 def chi_square_uniform(
     draws: Sequence[Hashable], universe_size: int
 ) -> ChiSquareResult:
@@ -60,19 +119,7 @@ def chi_square_uniform(
     Every member of the universe (drawn or not) is a cell with expectation
     ``N / universe_size``.  Meaningful only when that expectation is ≥ ~5.
     """
-    if universe_size <= 1:
-        raise ValueError("universe must contain at least 2 witnesses")
-    n = len(draws)
-    expected = n / universe_size
-    per_item = Counter(draws)
-    if len(per_item) > universe_size:
-        raise ValueError("universe_size smaller than observed support")
-    stat = 0.0
-    for count in per_item.values():
-        stat += (count - expected) ** 2 / expected
-    stat += (universe_size - len(per_item)) * expected  # zero-count cells
-    dof = universe_size - 1
-    return ChiSquareResult(statistic=stat, dof=dof, p_value=_chi2_sf(stat, dof))
+    return chi_square_from_counts(Counter(draws), universe_size)
 
 
 def _chi2_sf(x: float, k: int) -> float:
@@ -211,6 +258,32 @@ class FrequencyRatioCheck:
         )
 
 
+def frequency_ratio_from_counts(
+    counts: Mapping[Hashable, int], universe_size: int, bound: float = 2.0
+) -> FrequencyRatioCheck:
+    """The min/max check straight off a ``{witness: count}`` map.
+
+    The incremental-update core behind :func:`frequency_ratio_check`,
+    shared by the online gate.
+    """
+    if universe_size <= 0:
+        raise ValueError("universe must be non-empty")
+    if bound <= 1.0:
+        raise ValueError("bound must be > 1")
+    items = _canonical_counts(counts, universe_size)
+    observed = [count for _, count in items]
+    max_count = max(observed, default=0)
+    min_count = min(observed) if len(items) == universe_size else 0
+    return FrequencyRatioCheck(
+        n_draws=sum(observed),
+        universe_size=universe_size,
+        bound=bound,
+        min_count=min_count,
+        max_count=max_count,
+        coverage=len(items) / universe_size,
+    )
+
+
 def frequency_ratio_check(
     draws: Sequence[Hashable], universe_size: int, bound: float = 2.0
 ) -> FrequencyRatioCheck:
@@ -224,25 +297,7 @@ def frequency_ratio_check(
     family-wise false-alarm rate and size ``N`` accordingly (the test
     suite uses ``N/M ≥ 60``).
     """
-    if universe_size <= 0:
-        raise ValueError("universe must be non-empty")
-    if bound <= 1.0:
-        raise ValueError("bound must be > 1")
-    per_item = Counter(draws)
-    if len(per_item) > universe_size:
-        raise ValueError("universe_size smaller than observed support")
-    max_count = max(per_item.values(), default=0)
-    min_count = (
-        min(per_item.values()) if len(per_item) == universe_size else 0
-    )
-    return FrequencyRatioCheck(
-        n_draws=len(draws),
-        universe_size=universe_size,
-        bound=bound,
-        min_count=min_count,
-        max_count=max_count,
-        coverage=len(per_item) / universe_size,
-    )
+    return frequency_ratio_from_counts(Counter(draws), universe_size, bound)
 
 
 @dataclass
@@ -276,6 +331,29 @@ class UniformityGateReport:
         )
 
 
+def uniformity_gate_from_counts(
+    counts: Mapping[Hashable, int],
+    universe_size: int,
+    alpha: float = 0.01,
+    ratio_bound: float = 2.0,
+) -> UniformityGateReport:
+    """The combined verdict straight off a ``{witness: count}`` map.
+
+    The shared core of both gate faces: the offline
+    :func:`uniformity_gate` counts its draws and calls this, and the
+    online gate calls it directly on its incrementally maintained counts —
+    same counts ⇒ same verdict, down to the last float, is the
+    online/offline equivalence invariant the sink tests pin.
+    """
+    return UniformityGateReport(
+        chi_square=chi_square_from_counts(counts, universe_size),
+        ratio=frequency_ratio_from_counts(
+            counts, universe_size, bound=ratio_bound
+        ),
+        alpha=alpha,
+    )
+
+
 def uniformity_gate(
     draws: Sequence[Hashable],
     universe_size: int,
@@ -289,10 +367,8 @@ def uniformity_gate(
     at ``ratio_bound``) and passes only when both do.  Meaningful when the
     expected count per witness ``len(draws)/universe_size`` is ≳ 5.
     """
-    return UniformityGateReport(
-        chi_square=chi_square_uniform(draws, universe_size),
-        ratio=frequency_ratio_check(draws, universe_size, bound=ratio_bound),
-        alpha=alpha,
+    return uniformity_gate_from_counts(
+        Counter(draws), universe_size, alpha=alpha, ratio_bound=ratio_bound
     )
 
 

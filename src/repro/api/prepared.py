@@ -90,6 +90,26 @@ class PreparedFormula:
     def approx_count_value(self) -> int | None:
         return self.approx_count.count if self.approx_count else None
 
+    @staticmethod
+    def key_for(cnf: CNF, epsilon: float) -> str:
+        """The cache key a ``prepare(cnf, epsilon)`` call *would* produce.
+
+        Exposed separately so the service tier can address its cache
+        before running the expensive phase (the single-flight lookup needs
+        the key first).
+        """
+        return f"{cnf.canonical_hash()}:eps={epsilon:g}"
+
+    def cache_key(self) -> str:
+        """The service tier's prepared-formula cache key.
+
+        Canonical CNF content (:meth:`~repro.cnf.formula.CNF.
+        canonical_hash`) plus the ε the artifact was built under — the two
+        inputs adoption is fenced on (``q`` and the hash family depend on
+        both), so two artifacts with the same key are interchangeable.
+        """
+        return self.key_for(self.cnf, self.epsilon)
+
     # ------------------------------------------------------------------
     @classmethod
     def from_sampler(cls, sampler) -> "PreparedFormula":

@@ -9,6 +9,7 @@ projection onto ``S``, which is exactly the property UniGen exploits.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from .literals import check_clause, max_var, var_of
@@ -169,6 +170,46 @@ class CNF:
         if variables is None:
             variables = self.sampling_set_or_support()
         return tuple(v if model[v] else -v for v in sorted(variables))
+
+    def canonical_hash(self) -> str:
+        """A sha256 hex digest identifying the formula up to presentation.
+
+        The cache key of the service tier (:mod:`repro.service`): two
+        DIMACS files that differ only in *presentation* — clause order,
+        literal order within a clause, repeated literals or clauses, the
+        order of ``c ind`` entries — hash identically, while anything that
+        can change sampling behaviour (a flipped literal, an added or
+        dropped clause or XOR, a different sampling set, extra free
+        variables) changes the digest.
+
+        Normal form: each clause is its sorted duplicate-free literal
+        tuple (sorted by ``(|lit|, lit)``), the clause *set* is sorted;
+        XOR clauses are already canonical (:class:`~repro.cnf.xor.
+        XorClause` keeps sorted duplicate-free variables with the parity
+        folded into ``rhs``) and the XOR set is sorted likewise.  The
+        digest is **sampling-set-aware**: a declared set hashes
+        differently from no declaration at all (an undeclared set falls
+        back to the full support, which samples differently), and
+        ``num_vars`` is included because free variables outside every
+        clause still widen the witness space when no sampling set
+        projects them away.
+        """
+        clauses = sorted(
+            {tuple(sorted(set(c), key=lambda l: (abs(l), l)))
+             for c in self.clauses}
+        )
+        xors = sorted({(x.vars, x.rhs) for x in self.xor_clauses})
+        sampling = (
+            "-" if self._sampling_set is None
+            else ",".join(str(v) for v in self._sampling_set)
+        )
+        parts = [f"v{self.num_vars}", f"s{sampling}"]
+        parts.extend("c" + ",".join(str(l) for l in c) for c in clauses)
+        parts.extend(
+            "x" + ",".join(str(v) for v in vars_) + f"={int(rhs)}"
+            for vars_, rhs in xors
+        )
+        return hashlib.sha256("\n".join(parts).encode("ascii")).hexdigest()
 
     # ------------------------------------------------------------------
     # Transformations

@@ -47,6 +47,7 @@ import json
 import socket
 import socketserver
 import threading
+import time
 from pathlib import Path
 
 from ..errors import DistributedError, LeaseExpired
@@ -134,15 +135,26 @@ def parse_tcp_url(url: str) -> tuple[str, int]:
     return host, int(port)
 
 
-def connect_broker(target: str | Path, *, clock: Clock = wall_clock) -> Broker:
+def connect_broker(
+    target: str | Path, *, token: str | None = None,
+    clock: Clock = wall_clock,
+) -> Broker:
     """One resolver for every CLI broker target.
 
     ``tcp://host:port`` connects a :class:`TcpBroker`; anything else is a
     spool directory for a :class:`~repro.distributed.filebroker.FileBroker`.
+    ``token`` is the brokerd shared secret (TCP only — a spool directory
+    has no authentication seam, so passing a token for one is an error,
+    not a silent no-op).
     """
     if isinstance(target, str) and target.startswith("tcp://"):
         host, port = parse_tcp_url(target)
-        return TcpBroker(host, port)
+        return TcpBroker(host, port, token=token)
+    if token is not None:
+        raise ValueError(
+            f"--auth-token only applies to tcp:// brokers, not the spool "
+            f"directory {target!r}"
+        )
     from .filebroker import FileBroker
 
     return FileBroker(target, clock=clock)
@@ -168,6 +180,7 @@ class TcpBroker(Broker):
         port: int,
         *,
         job_id: str | None = None,
+        token: str | None = None,
         connect_timeout_s: float = 10.0,
         op_timeout_s: float = 60.0,
     ):
@@ -175,6 +188,11 @@ class TcpBroker(Broker):
         self.port = port
         #: The pinned job (set by ``submit``); ``None`` = worker mode.
         self.job_id = job_id
+        #: Shared secret sent as a ``hello`` on every (re)connect.  An
+        #: authenticated brokerd drops the connection on any other op
+        #: first, so a tokenless client against an authenticated daemon
+        #: fails its first call instead of hanging.
+        self.token = token
         self._connect_timeout_s = connect_timeout_s
         #: Per-operation read deadline.  Every op is an in-memory lookup
         #: server-side, so a response that takes this long means the
@@ -206,6 +224,21 @@ class TcpBroker(Broker):
         sock.settimeout(self._op_timeout_s)
         self._sock = sock
         self._rfile = sock.makefile("rb")
+        if self.token is not None:
+            # Authenticate inline, inside the same (re)connect that every
+            # _call retry path goes through, so a reconnection mid-run
+            # re-authenticates transparently.
+            self._sock.sendall(
+                _dump_line({"op": "hello", "token": self.token})
+            )
+            response = _read_line(self._rfile)
+            if response is None:
+                raise ConnectionError(
+                    "brokerd closed the connection during hello"
+                )
+            if not response.get("ok"):
+                self._disconnect()
+                raise _revive_error(response.get("error") or {})
 
     def _disconnect(self) -> None:
         if self._rfile is not None:
@@ -383,9 +416,26 @@ def _revive_error(error: dict) -> Exception:
 
 
 class _Handler(socketserver.StreamRequestHandler):
-    """One connection: loop request lines until EOF or a framing error."""
+    """One connection: loop request lines until EOF or a framing error.
+
+    Authentication is per-connection state, held here: when the server
+    carries an ``auth_token``, a connection must open with a matching
+    ``hello`` before any other op.  A wrong or missing token gets one
+    typed error line and a disconnect — never a hung peer, never partial
+    service.
+    """
+
+    def setup(self) -> None:
+        super().setup()
+        self.server.broker_server._track_connection(self.connection, True)
+
+    def finish(self) -> None:
+        self.server.broker_server._track_connection(self.connection, False)
+        super().finish()
 
     def handle(self) -> None:
+        broker_server = self.server.broker_server
+        authed = broker_server.auth_token is None
         while True:
             try:
                 request = _read_line(self.rfile)
@@ -396,7 +446,28 @@ class _Handler(socketserver.StreamRequestHandler):
                 return
             if request is None:
                 return
-            self._respond(self.server.broker_server._handle(request))
+            if request.get("op") == "hello":
+                # Always answered, even by an open daemon, so clients can
+                # send their token unconditionally.
+                if (
+                    broker_server.auth_token is not None
+                    and request.get("token") != broker_server.auth_token
+                ):
+                    self._respond({"ok": False, "error": {
+                        "type": "DistributedError",
+                        "message": "brokerd rejected the auth token"}})
+                    return
+                authed = True
+                self._respond({"ok": True, "value": {
+                    "server": "repro-brokerd", "authenticated": True}})
+                continue
+            if not authed:
+                self._respond({"ok": False, "error": {
+                    "type": "DistributedError",
+                    "message": "brokerd requires authentication "
+                               "(send a hello with the auth token)"}})
+                return
+            self._respond(broker_server._handle(request))
 
     def _respond(self, response: dict) -> None:
         try:
@@ -434,6 +505,7 @@ class BrokerServer:
         host: str = "127.0.0.1",
         port: int = 0,
         *,
+        auth_token: str | None = None,
         clock: Clock = wall_clock,
     ):
         self._clock = clock
@@ -442,6 +514,10 @@ class BrokerServer:
         self._order: list[str] = []
         #: job id → last pinned access (the reaper's liveness signal).
         self._touched: dict[str, float] = {}
+        #: Shared secret; ``None`` = open daemon (the historical default).
+        self.auth_token = auth_token
+        self._conn_lock = threading.Lock()
+        self._connections: set[socket.socket] = set()
         self._tcp = _TCPServer((host, port), _Handler)
         self._tcp.broker_server = self
         self._thread: threading.Thread | None = None
@@ -473,6 +549,64 @@ class BrokerServer:
         self._tcp.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # -- connection census (graceful shutdown) --------------------------
+    def _track_connection(self, conn: socket.socket, alive: bool) -> None:
+        with self._conn_lock:
+            if alive:
+                self._connections.add(conn)
+            else:
+                self._connections.discard(conn)
+
+    def connection_count(self) -> int:
+        with self._conn_lock:
+            return len(self._connections)
+
+    def close_gracefully(self, timeout_s: float = 5.0) -> None:
+        """Drain, then close: the SIGTERM path of ``repro brokerd``.
+
+        Ordered so no client is left mid-response and no socket is left
+        orphaned:
+
+        1. stop the accept loop (new connections are refused);
+        2. half-close every live connection for reading — each handler
+           finishes (and fully writes) the request it is on, then its
+           next readline sees EOF and the handler exits cleanly;
+        3. wait up to ``timeout_s`` for the handler census to drain, then
+           force-close stragglers;
+        4. release the listener socket.
+
+        Must be called from a thread other than the one inside
+        :meth:`serve_forever` (``shutdown`` blocks on that loop exiting)
+        — the CLI serves from a background thread for exactly this
+        reason.
+        """
+        self._tcp.shutdown()
+        with self._conn_lock:
+            draining = list(self._connections)
+        for conn in draining:
+            try:
+                conn.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass  # already closing on its own
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._conn_lock:
+                if not self._connections:
+                    break
+            time.sleep(0.02)
+        with self._conn_lock:
+            stragglers = list(self._connections)
+            self._connections.clear()
+        for conn in stragglers:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
             self._thread = None
 
     def __enter__(self) -> "BrokerServer":

@@ -39,6 +39,12 @@ the sampling lifecycle as a tool:
   draws); a drifting run aborts early with exit code 3, cancelling
   in-flight chunks on every backend.  ``--out witnesses.jsonl`` streams
   witnesses to disk without ever holding the full list;
+* ``repro serve`` — the sampling-as-a-service HTTP gateway: prepared-
+  formula cache (single-flight, canonical-hash keyed), request
+  coalescing onto shared chunk plans, per-tenant token-bucket quotas
+  with weighted round-robin dispatch, witnesses streamed back as JSONL;
+* ``repro submit FILE.cnf`` / ``repro status [JOB]`` — the gateway
+  client verbs (submit-and-stream, job/gateway introspection);
 * ``repro count FILE.cnf`` — ApproxMC as a tool;
 * ``repro samplers`` — list the sampler registry;
 * ``repro benchmarks`` — list the benchmark registry.
@@ -186,6 +192,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lease-timeout", type=float, default=30.0,
                    help="seconds a broker chunk lease lives without a"
                         " heartbeat before it is retried (--broker only)")
+    p.add_argument("--auth-token", default=None, metavar="SECRET",
+                   help="shared secret of an authenticated tcp:// brokerd"
+                        " (--broker only; forwarded to spawned workers)")
     p.add_argument("--report-json", metavar="PATH", default=None,
                    help="also write the full sampling report (witnesses,"
                         " per-draw results, merged stats) as JSON")
@@ -242,6 +251,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=0, metavar="N",
                    help="also spawn N local `repro worker` processes "
                         "(default 0: external workers drain the queue)")
+    p.add_argument("--auth-token", default=None, metavar="SECRET",
+                   help="shared secret of an authenticated tcp:// brokerd "
+                        "(forwarded to spawned local workers)")
     p.add_argument("--purge", action="store_true",
                    help="purge the queue's spent job state after clean "
                         "completion (spool files / brokerd job entry)")
@@ -264,6 +276,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit after completing this many chunks")
     p.add_argument("--drain", action="store_true",
                    help="exit once the current job is complete")
+    p.add_argument("--auth-token", default=None, metavar="SECRET",
+                   help="shared secret of an authenticated tcp:// brokerd")
     # Fault-injection hook for the chaos tests: SIGKILL our own process
     # right after leasing the Nth chunk (mid-chunk, nothing acked).
     p.add_argument("--chaos-kill-after", type=int, default=None,
@@ -279,6 +293,98 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=None,
                    help="TCP port (default 7765; 0 picks an ephemeral "
                         "port, printed on startup)")
+    p.add_argument("--auth-token", default=None, metavar="SECRET",
+                   help="require this shared secret from every connection "
+                        "(clients open with a hello op; wrong or missing "
+                        "token disconnects)")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the sampling-as-a-service HTTP gateway (prepared-"
+             "formula cache, request coalescing, tenant quotas)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (0.0.0.0 to accept other hosts)")
+    p.add_argument("--port", type=int, default=8765,
+                   help="HTTP port (0 picks an ephemeral port, printed "
+                        "on startup)")
+    p.add_argument("--backend", choices=("serial", "pool", "broker"),
+                   default="serial",
+                   help="how coalesced groups execute (default: serial)")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="pool worker processes (--backend pool)")
+    p.add_argument("--broker", metavar="TARGET", default=None,
+                   help="tcp://host:port brokerd (--backend broker)")
+    p.add_argument("--auth-token", default=None, metavar="SECRET",
+                   help="shared secret of the brokerd fleet")
+    p.add_argument("--sampler", default="unigen2",
+                   help="default sampler for requests that name none")
+    p.add_argument("--epsilon", type=float, default=6.0,
+                   help="default ε for requests that name none")
+    p.add_argument("--chunk-size", type=int, default=8,
+                   help="the one chunk grid every request shares (fixed "
+                        "so coalesced slices stay byte-deterministic)")
+    p.add_argument("--coalesce-window", type=float, default=0.05,
+                   metavar="S", help="seconds a fresh group stays open "
+                                     "to joining requests")
+    p.add_argument("--max-group", type=int, default=32,
+                   help="requests per coalesce group before it seals")
+    p.add_argument("--max-concurrent-groups", type=int, default=2,
+                   help="group runs in flight at once")
+    p.add_argument("--cache-size", type=int, default=64,
+                   help="prepared-formula cache entries (LRU beyond)")
+    p.add_argument("--cache-ttl", type=float, default=None, metavar="S",
+                   help="prepared-formula expiry (default: never)")
+    p.add_argument("--prepare-seed", type=int, default=0,
+                   help="seed for the prepare phase, so cached artifacts "
+                        "are reproducible (matches `repro prepare "
+                        "--seed`)")
+    p.add_argument("--max-n", type=int, default=100_000,
+                   help="largest single sample request")
+    p.add_argument("--tenant", action="append", default=[],
+                   metavar="NAME:KEY[:burst[:rate[:weight]]]",
+                   help="register a tenant: API key KEY admits NAME at "
+                        "`rate` req/s (burst `burst`) with dispatch "
+                        "weight `weight`; repeatable")
+    p.add_argument("--require-key", action="store_true",
+                   help="reject requests without a registered API key "
+                        "(default: unknown keys share the anonymous "
+                        "tenant)")
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a DIMACS file to a gateway and stream the witnesses",
+    )
+    p.add_argument("cnf_file")
+    p.add_argument("-n", "--num", type=int, default=1,
+                   help="number of witnesses to request")
+    p.add_argument("--url", default="http://127.0.0.1:8765",
+                   help="gateway base URL")
+    p.add_argument("--api-key", default=None,
+                   help="tenant API key (X-Api-Key header)")
+    p.add_argument("--epsilon", type=float, default=None)
+    p.add_argument("--seed", type=int, default=None,
+                   help="pin the root seed (only coalesces with requests "
+                        "pinning the same seed)")
+    p.add_argument("--sampler", default=None,
+                   help="sampler name (default: the gateway's)")
+    p.add_argument("--no-wait", action="store_true",
+                   help="print the job ticket and exit without streaming")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write the witness JSONL here instead of stdout")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="seconds to wait for the job to finish")
+
+    p = sub.add_parser(
+        "status",
+        help="query a gateway job (or, with no job id, the gateway "
+             "itself)",
+    )
+    p.add_argument("job_id", nargs="?", default=None)
+    p.add_argument("--url", default="http://127.0.0.1:8765",
+                   help="gateway base URL")
+    p.add_argument("--api-key", default=None,
+                   help="tenant API key (X-Api-Key header)")
 
     p = sub.add_parser(
         "prepare",
@@ -350,12 +456,13 @@ def _resolve_sample_target(cnf_file, prepared_path, epsilon):
     return target, epsilon
 
 
-def _spawn_local_workers(spool, count: int, poll: float):
+def _spawn_local_workers(spool, count: int, poll: float,
+                         token: str | None = None):
     """Start ``count`` drain-mode ``repro worker`` subprocesses on ``spool``.
 
     The children inherit our environment plus this package's source root on
     ``PYTHONPATH``, so they resolve the same ``repro`` regardless of how
-    the parent was launched.
+    the parent was launched.  ``token`` forwards the brokerd shared secret.
     """
     import os
     import subprocess
@@ -368,14 +475,11 @@ def _spawn_local_workers(spool, count: int, poll: float):
         if env.get("PYTHONPATH")
         else src_root
     )
-    return [
-        subprocess.Popen(
-            [sys.executable, "-m", "repro", "worker", str(spool),
-             "--drain", "--poll", str(poll)],
-            env=env,
-        )
-        for _ in range(count)
-    ]
+    argv = [sys.executable, "-m", "repro", "worker", str(spool),
+            "--drain", "--poll", str(poll)]
+    if token is not None:
+        argv += ["--auth-token", token]
+    return [subprocess.Popen(argv, env=env) for _ in range(count)]
 
 
 def _wait_local_workers(procs) -> None:
@@ -389,7 +493,8 @@ def _wait_local_workers(procs) -> None:
 
 
 @contextlib.contextmanager
-def _local_workers(spool, count: int, poll: float):
+def _local_workers(spool, count: int, poll: float,
+                   token: str | None = None):
     """Context manager: spawn drain-mode workers, always reap on exit.
 
     The one worker-lifecycle implementation both broker CLI paths use —
@@ -397,7 +502,7 @@ def _local_workers(spool, count: int, poll: float):
     submit-time failure never leaves freshly spawned workers serving
     whatever stale job sits in the queue.
     """
-    procs = _spawn_local_workers(spool, count, poll)
+    procs = _spawn_local_workers(spool, count, poll, token)
     try:
         yield procs
     finally:
@@ -409,6 +514,28 @@ def _jobs_or(args, default: int = 2) -> int:
     pool process count); 0 stays 0 — 'external workers' on the broker
     path, rejected by the pool constructor."""
     return default if args.jobs is None else args.jobs
+
+
+def _parse_tenant(spec: str):
+    """``NAME:KEY[:burst[:rate[:weight]]]`` → ``(api_key, TenantPolicy)``."""
+    from ..service.quota import TenantPolicy
+
+    parts = spec.split(":")
+    if len(parts) < 2 or not parts[0] or not parts[1]:
+        raise ValueError(
+            f"--tenant needs NAME:KEY[:burst[:rate[:weight]]], got {spec!r}"
+        )
+    name, key = parts[0], parts[1]
+    try:
+        burst = int(parts[2]) if len(parts) > 2 and parts[2] else 8
+        rate = float(parts[3]) if len(parts) > 3 and parts[3] else 4.0
+        weight = int(parts[4]) if len(parts) > 4 and parts[4] else 1
+    except ValueError:
+        raise ValueError(f"--tenant {spec!r}: burst/rate/weight must be "
+                         "numeric") from None
+    return key, TenantPolicy(
+        name, burst=burst, refill_per_s=rate, weight=weight
+    )
 
 
 def _reraise_worker_failure(exc):
@@ -435,6 +562,7 @@ def _sample_via_broker(
     timeout: float | None = None,
     workers: int = 0,
     purge_spent: bool = False,
+    token: str | None = None,
 ):
     """Submit to a chunk queue (spool directory or tcp:// brokerd),
     optionally spawn local workers, and collect the merged report.
@@ -449,7 +577,7 @@ def _sample_via_broker(
     from ..distributed import connect_broker, submit_job, wait_for_report
     from ..errors import WorkerFailure
 
-    broker = connect_broker(spool)
+    broker = connect_broker(spool, token=token)
     submitted = submit_job(
         broker,
         target,
@@ -466,7 +594,7 @@ def _sample_via_broker(
         f"seed={submitted.root_seed}, lease={lease_timeout_s:g}s)",
         file=sys.stderr,
     )
-    with _local_workers(spool, workers, poll):
+    with _local_workers(spool, workers, poll, token):
         try:
             report = wait_for_report(
                 broker, submitted, poll_interval_s=poll, timeout_s=timeout
@@ -580,7 +708,7 @@ def _run_backend_sample(args, target, config) -> int:
     if args.backend == "broker":
         from ..distributed import connect_broker
 
-        broker = connect_broker(args.broker)
+        broker = connect_broker(args.broker, token=args.auth_token)
         backend = make_backend(
             "broker",
             broker=broker,
@@ -629,7 +757,9 @@ def _run_backend_sample(args, target, config) -> int:
             f"seed={plan.root_seed}, lease={args.lease_timeout:g}s)",
             file=sys.stderr,
         )
-        workers_ctx = _local_workers(args.broker, workers, 0.1)
+        workers_ctx = _local_workers(
+            args.broker, workers, 0.1, args.auth_token
+        )
     else:
         workers_ctx = contextlib.nullcontext()
     with workers_ctx:
@@ -1048,6 +1178,7 @@ def main(argv: list[str] | None = None) -> int:
                 timeout=args.timeout,
                 workers=args.workers,
                 purge_spent=args.purge,
+                token=args.auth_token,
             )
         except UnsatisfiableError:
             print("s UNSATISFIABLE")
@@ -1061,23 +1192,179 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "brokerd":
+        import signal
+        import threading
+
         from ..distributed.tcpbroker import DEFAULT_PORT, BrokerServer
 
         port = DEFAULT_PORT if args.port is None else args.port
         try:
-            server = BrokerServer(args.host, port)
+            server = BrokerServer(
+                args.host, port, auth_token=args.auth_token
+            )
         except OSError as exc:
             print(f"c error: cannot bind {args.host}:{port}: {exc}",
                   file=sys.stderr)
             return 2
-        print(f"c brokerd listening on {server.url}", file=sys.stderr,
-              flush=True)
+        print(f"c brokerd listening on {server.url}"
+              + (" (authenticated)" if args.auth_token else ""),
+              file=sys.stderr, flush=True)
+
+        # Serve from a background thread and park the main thread on an
+        # event: `shutdown()` (inside close_gracefully) must run on a
+        # different thread than `serve_forever`, and a signal handler runs
+        # on the main thread — calling it from the handler while the main
+        # thread sat inside serve_forever would deadlock.
+        stop = threading.Event()
+
+        def _request_stop(signum, _frame):
+            print(f"c brokerd caught {signal.Signals(signum).name}; "
+                  "draining connections", file=sys.stderr, flush=True)
+            stop.set()
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(sig, _request_stop)
+        server.start()
+        while not stop.wait(0.2):
+            pass
+        server.close_gracefully()
+        print("c brokerd drained and closed", file=sys.stderr, flush=True)
+        return 0
+
+    if args.command == "serve":
+        import signal
+        import threading
+
+        from ..service.gateway import GatewayConfig, GatewayThread
+
+        tenants = {}
         try:
-            server.serve_forever()
-        except KeyboardInterrupt:
-            print("c brokerd interrupted", file=sys.stderr)
-        finally:
-            server.close()
+            for spec in args.tenant:
+                key, policy = _parse_tenant(spec)
+                tenants[key] = policy
+        except ValueError as exc:
+            print(f"c error: {exc}", file=sys.stderr)
+            return 2
+        if args.backend == "broker" and args.broker is None:
+            print("c error: --backend broker needs --broker "
+                  "tcp://host:port", file=sys.stderr)
+            return 2
+        config = GatewayConfig(
+            host=args.host,
+            port=args.port,
+            backend=args.backend,
+            jobs=args.jobs,
+            broker=args.broker,
+            broker_token=args.auth_token,
+            sampler=args.sampler,
+            epsilon=args.epsilon,
+            chunk_size=args.chunk_size,
+            coalesce_window_s=args.coalesce_window,
+            max_group_members=args.max_group,
+            max_concurrent_groups=args.max_concurrent_groups,
+            cache_capacity=args.cache_size,
+            cache_ttl_s=args.cache_ttl,
+            prepare_seed=args.prepare_seed,
+            max_n=args.max_n,
+            tenants=tenants,
+            allow_anonymous=not args.require_key,
+        )
+        runner = GatewayThread(config)
+        try:
+            runner.start()
+        except OSError as exc:
+            print(f"c error: cannot bind {args.host}:{args.port}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"c gateway listening on {runner.url} "
+              f"[backend={args.backend}, chunk-size={args.chunk_size}, "
+              f"tenants={len(tenants) or 'open'}]",
+              file=sys.stderr, flush=True)
+
+        stop = threading.Event()
+
+        def _request_stop(signum, _frame):
+            print(f"c gateway caught {signal.Signals(signum).name}; "
+                  "draining", file=sys.stderr, flush=True)
+            stop.set()
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(sig, _request_stop)
+        while not stop.wait(0.2):
+            pass
+        runner.stop()
+        print("c gateway drained and closed", file=sys.stderr, flush=True)
+        return 0
+
+    if args.command == "submit":
+        import json as _json
+
+        from ..service.client import ServiceClient, ServiceError
+
+        try:
+            dimacs = open(args.cnf_file, encoding="utf-8").read()
+        except OSError as exc:
+            print(f"c error: {exc}", file=sys.stderr)
+            return 2
+        client = ServiceClient(args.url, api_key=args.api_key)
+        try:
+            ticket = client.sample(
+                dimacs,
+                args.num,
+                epsilon=args.epsilon,
+                seed=args.seed,
+                sampler=args.sampler,
+                name=args.cnf_file,
+            )
+        except (ServiceError, OSError) as exc:
+            print(f"c error: {exc}", file=sys.stderr)
+            return 2
+        print(f"c submitted {ticket['job_id']} "
+              f"(n={args.num}, seed={ticket['root_seed']}, "
+              f"chunk-size={ticket['chunk_size']}, "
+              f"coalesced={ticket['coalesced']})", file=sys.stderr)
+        if args.no_wait:
+            print(_json.dumps(ticket))
+            return 0
+        try:
+            out = (open(args.out, "w", encoding="utf-8")
+                   if args.out else sys.stdout)
+            try:
+                delivered = 0
+                for record in client.witnesses(ticket["job_id"]):
+                    # Re-dumped with the writer's separators, these lines
+                    # are byte-identical to the gateway's stream (and to
+                    # a JsonlWitnessWriter file).
+                    out.write(_json.dumps(
+                        record, separators=(",", ":")) + "\n")
+                    delivered += 1
+                status = client.wait(
+                    ticket["job_id"], timeout_s=args.timeout
+                )
+            finally:
+                if args.out:
+                    out.close()
+        except (ServiceError, TimeoutError, OSError) as exc:
+            print(f"c error: {exc}", file=sys.stderr)
+            return 1 if isinstance(exc, ServiceError) else 2
+        print(f"c job {ticket['job_id']}: {status['state']}, "
+              f"{delivered}/{args.num} witnesses"
+              + (f" -> {args.out}" if args.out else ""), file=sys.stderr)
+        return 0
+
+    if args.command == "status":
+        import json as _json
+
+        from ..service.client import ServiceClient, ServiceError
+
+        client = ServiceClient(args.url, api_key=args.api_key)
+        try:
+            payload = (client.job(args.job_id) if args.job_id
+                       else client.stats())
+        except (ServiceError, OSError) as exc:
+            print(f"c error: {exc}", file=sys.stderr)
+            return 2
+        print(_json.dumps(payload, indent=2, sort_keys=True))
         return 0
 
     if args.command == "worker":
@@ -1085,7 +1372,7 @@ def main(argv: list[str] | None = None) -> int:
         from ..errors import ReproError
 
         try:
-            broker = connect_broker(args.spool)
+            broker = connect_broker(args.spool, token=args.auth_token)
             report = run_worker(
                 broker,
                 worker_id=args.worker_id,

@@ -1,0 +1,60 @@
+"""Sampling as a service: the HTTP front door over the execution seam.
+
+Where :mod:`repro.distributed` scales one run across a worker fleet, this
+package scales *many tenants* across runs.  A single asyncio gateway
+(``repro serve``) fronts whichever execution backend is configured —
+inline, process pool, or a brokered fleet — and adds the three things a
+shared front door needs:
+
+* a **prepared-formula cache** (:mod:`~repro.service.cache`): Algorithm
+  1's expensive lines 1–11 run once per canonically-hashed formula, with
+  single-flight locking so a thundering herd of identical submissions
+  costs one ApproxMC call;
+* **request coalescing** (:mod:`~repro.service.coalesce`): small
+  overlapping requests share one deterministic chunk plan, each member
+  receiving a byte-identical slice of the stream it would have drawn
+  solo;
+* **tenant quotas and fair dispatch** (:mod:`~repro.service.quota`):
+  token-bucket admission per API key, smooth weighted round-robin across
+  tenants' queued groups.
+
+Clients speak a small JSON API (:mod:`~repro.service.client`,
+``repro submit`` / ``repro status``) and stream witnesses back as JSONL —
+the same lines :class:`repro.sinks.JsonlWitnessWriter` puts on disk.
+"""
+
+from .cache import CacheStats, SingleFlightCache
+from .client import ServiceClient, ServiceError
+from .coalesce import (
+    CoalesceGroup,
+    Coalescer,
+    GroupKey,
+    SliceRouter,
+    WitnessSlice,
+)
+from .gateway import Gateway, GatewayConfig, GatewayThread, serve
+from .http import HttpError, HttpRequest, HttpResponse, HttpServer
+from .quota import TenantPolicy, TokenBucket, WeightedRoundRobin
+
+__all__ = [
+    "CacheStats",
+    "SingleFlightCache",
+    "ServiceClient",
+    "ServiceError",
+    "CoalesceGroup",
+    "Coalescer",
+    "GroupKey",
+    "SliceRouter",
+    "WitnessSlice",
+    "Gateway",
+    "GatewayConfig",
+    "GatewayThread",
+    "serve",
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "TenantPolicy",
+    "TokenBucket",
+    "WeightedRoundRobin",
+]

@@ -1,0 +1,194 @@
+"""Prepared-formula cache: LRU + TTL + single-flight, keyed canonically.
+
+Algorithm 1's lines 1–11 (:func:`repro.api.prepare`) are the expensive
+phase — one ApproxMC invocation, dozens to hundreds of BSAT calls — and
+they are pure in ``(formula, ε, prepare seed)``.  The gateway therefore
+shares one artifact across every request for the same formula, with the
+three disciplines a shared cache needs:
+
+* **Canonical keys** — :meth:`repro.cnf.formula.CNF.canonical_hash`
+  collapses clause order, literal order, duplicates, and XOR surface
+  syntax, so two tenants submitting the "same" formula through different
+  serializers hit one entry.  ε rides in the key because the artifact's
+  ``q`` window depends on it (:meth:`PreparedFormula.cache_key`).
+* **Single flight** — N concurrent requests for an uncached key run
+  exactly one ``prepare()``; the other N−1 block on that flight and adopt
+  its artifact (or re-raise its error — a failed flight is not cached, so
+  the next request retries).
+* **Bounds** — LRU capacity plus a TTL, both enforced at lookup time with
+  an injectable clock so tests pin expiry without sleeping.
+
+The cache is thread-safe (the gateway runs prepares on a thread pool) and
+sized in entries, not bytes: artifacts are small (a DIMACS text plus a
+witness list or a window), and an entry cap is the predictable knob.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Counters the ``/v1/stats`` endpoint reports (monotone per process)."""
+
+    hits: int = 0
+    misses: int = 0
+    prepare_calls: int = 0
+    coalesced_waits: int = 0  #: requests that adopted another's flight
+    evictions: int = 0
+    expirations: int = 0
+    errors: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "prepare_calls": self.prepare_calls,
+            "coalesced_waits": self.coalesced_waits,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "errors": self.errors,
+        }
+
+
+@dataclass
+class _Entry:
+    value: object
+    stored_at: float
+
+
+@dataclass
+class _Flight:
+    """One in-progress ``prepare()`` other requests can latch onto."""
+
+    done: threading.Event = field(default_factory=threading.Event)
+    value: object = None
+    error: BaseException | None = None
+    waiters: int = 0
+
+
+class SingleFlightCache:
+    """A thread-safe LRU/TTL cache where concurrent misses share one build.
+
+    ``get_or_build(key, build)`` returns the cached value when fresh;
+    otherwise exactly one caller runs ``build()`` (outside the cache lock)
+    while every concurrent caller for the same key blocks on that flight
+    and receives the same object.  A build that raises propagates to all
+    waiters and caches nothing.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        ttl_s: float | None = None,
+        *,
+        clock=time.monotonic,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError(f"ttl_s must be positive, got {ttl_s}")
+        self.capacity = capacity
+        self.ttl_s = ttl_s
+        self.stats = CacheStats()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._flights: dict[str, _Flight] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return self.peek(key) is not None
+
+    def peek(self, key: str):
+        """The cached value if present and fresh; no stats, no flights."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            if self._expired(entry):
+                del self._entries[key]
+                self.stats.expirations += 1
+                return None
+            return entry.value
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry (in-progress flights are unaffected)."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def get_or_build(self, key: str, build):
+        """The single-flight lookup; ``build`` runs at most once per miss."""
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    if self._expired(entry):
+                        del self._entries[key]
+                        self.stats.expirations += 1
+                    else:
+                        self._entries.move_to_end(key)
+                        self.stats.hits += 1
+                        return entry.value
+                flight = self._flights.get(key)
+                if flight is None:
+                    flight = _Flight()
+                    self._flights[key] = flight
+                    self.stats.misses += 1
+                    self.stats.prepare_calls += 1
+                    leader = True
+                else:
+                    flight.waiters += 1
+                    self.stats.coalesced_waits += 1
+                    leader = False
+            if not leader:
+                flight.done.wait()
+                if flight.error is not None:
+                    raise flight.error
+                # The leader stored the value before signalling, but it may
+                # have been evicted since; return the flight's copy — it is
+                # the same object every waiter of this flight shares.
+                return flight.value
+            try:
+                value = build()
+            except BaseException as exc:
+                with self._lock:
+                    self._flights.pop(key, None)
+                    self.stats.errors += 1
+                flight.error = exc
+                flight.done.set()
+                raise
+            with self._lock:
+                self._flights.pop(key, None)
+                self._store(key, value)
+            flight.value = value
+            flight.done.set()
+            return value
+
+    # ------------------------------------------------------------------
+    def _expired(self, entry: _Entry) -> bool:
+        return (
+            self.ttl_s is not None
+            and self._clock() - entry.stored_at > self.ttl_s
+        )
+
+    def _store(self, key: str, value) -> None:
+        self._entries[key] = _Entry(value=value, stored_at=self._clock())
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+
+__all__ = ["CacheStats", "SingleFlightCache"]

@@ -1,0 +1,191 @@
+"""The Python/CLI client for the sampling gateway's JSON API.
+
+Stdlib ``http.client`` only, one connection per call (the gateway's
+responses are small except the witness stream, which must own its
+connection anyway).  Every non-2xx answer raises :class:`ServiceError`
+carrying the typed payload the gateway sent — status, error message, and
+the ``Retry-After`` hint on 429/503 — so callers script retry loops
+without parsing anything:
+
+    client = ServiceClient("http://127.0.0.1:8750", api_key="sekrit")
+    ticket = client.sample(dimacs_text, n=100)
+    job = client.wait(ticket["job_id"])
+    for record in client.witnesses(ticket["job_id"]):
+        print(record["witness"])
+
+``repro submit`` / ``repro status`` are thin wrappers over this class.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from urllib.parse import urlsplit
+
+from ..errors import ReproError
+
+DEFAULT_TIMEOUT_S = 60.0
+
+
+class ServiceError(ReproError):
+    """A non-2xx gateway answer, with its typed payload attached."""
+
+    def __init__(self, status: int, message: str, *,
+                 retry_after_s: float | None = None, payload=None):
+        super().__init__(f"gateway returned {status}: {message}")
+        self.status = status
+        self.retry_after_s = retry_after_s
+        self.payload = payload
+
+
+class ServiceClient:
+    """Synchronous client for one gateway base URL."""
+
+    def __init__(self, url: str, *, api_key: str | None = None,
+                 timeout_s: float = DEFAULT_TIMEOUT_S):
+        split = urlsplit(url if "//" in url else f"http://{url}")
+        if split.scheme not in ("", "http"):
+            raise ValueError(
+                f"gateway URL must be http://, got {url!r}"
+            )
+        if not split.hostname:
+            raise ValueError(f"gateway URL needs a host, got {url!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.api_key = api_key
+        self.timeout_s = timeout_s
+
+    # -- plumbing -------------------------------------------------------
+    def _headers(self) -> dict[str, str]:
+        headers = {"Accept": "application/json", "Connection": "close"}
+        if self.api_key is not None:
+            headers["X-Api-Key"] = self.api_key
+        return headers
+
+    def _open(self) -> HTTPConnection:
+        return HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+
+    def _request(self, method: str, path: str, payload=None) -> dict:
+        conn = self._open()
+        try:
+            body = None
+            headers = self._headers()
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            return self._decode(response, raw)
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _decode(response, raw: bytes) -> dict:
+        try:
+            payload = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            payload = {"error": {"message": raw.decode("utf-8", "replace")}}
+        if 200 <= response.status < 300:
+            return payload
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        retry_after = response.getheader("Retry-After")
+        raise ServiceError(
+            response.status,
+            error.get("message", "") or str(payload),
+            retry_after_s=float(retry_after) if retry_after else None,
+            payload=payload,
+        )
+
+    # -- the API --------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def prepare(self, dimacs: str, *, epsilon: float | None = None,
+                sampling_set=None, name: str = "") -> dict:
+        payload = {"dimacs": dimacs, "name": name}
+        if epsilon is not None:
+            payload["epsilon"] = epsilon
+        if sampling_set is not None:
+            payload["sampling_set"] = list(sampling_set)
+        return self._request("POST", "/v1/prepare", payload)
+
+    def sample(self, dimacs: str, n: int, *, epsilon: float | None = None,
+               seed: int | None = None, sampler: str | None = None,
+               sampling_set=None, name: str = "") -> dict:
+        payload = {"dimacs": dimacs, "n": n, "name": name}
+        if epsilon is not None:
+            payload["epsilon"] = epsilon
+        if seed is not None:
+            payload["seed"] = seed
+        if sampler is not None:
+            payload["sampler"] = sampler
+        if sampling_set is not None:
+            payload["sampling_set"] = list(sampling_set)
+        return self._request("POST", "/v1/sample", payload)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def wait(self, job_id: str, *, timeout_s: float = 300.0,
+             poll_s: float = 0.05) -> dict:
+        """Poll until the job resolves; returns its terminal status dict.
+
+        A failed job raises :class:`ServiceError` (status 0 — the HTTP
+        exchange succeeded; the *job* is what failed).
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.job(job_id)
+            if status.get("state") == "failed":
+                raise ServiceError(
+                    0, status.get("error", "job failed"), payload=status
+                )
+            if status.get("state") == "done":
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status.get('state')!r} after "
+                    f"{timeout_s:g}s"
+                )
+            time.sleep(poll_s)
+
+    def witnesses(self, job_id: str):
+        """Stream the job's slice as decoded JSONL records.
+
+        Follows the live stream: lines arrive as the group run delivers
+        them and the iterator ends when the job resolves.  ``http.client``
+        undoes the chunked transfer-encoding, so each ``readline`` is one
+        gateway line.
+        """
+        conn = self._open()
+        try:
+            conn.request(
+                "GET", f"/v1/jobs/{job_id}/witnesses",
+                headers=self._headers(),
+            )
+            response = conn.getresponse()
+            if response.status != 200:
+                self._decode(response, response.read())  # raises
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    def fetch_all(self, dimacs: str, n: int, **kwargs) -> list[dict]:
+        """Submit, wait, and return the full slice (small-``n`` helper)."""
+        ticket = self.sample(dimacs, n, **kwargs)
+        self.wait(ticket["job_id"])
+        return list(self.witnesses(ticket["job_id"]))
+
+
+__all__ = ["DEFAULT_TIMEOUT_S", "ServiceClient", "ServiceError"]

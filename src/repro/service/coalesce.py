@@ -1,0 +1,312 @@
+"""Request coalescing: many small sample requests, one chunk plan.
+
+The gateway's dominant workload is many tenants asking for modest witness
+counts from the *same* formula (the CEGIS / constrained-fuzzing loop of
+the paper's motivation).  Because the execution seam's chunk plan is a
+pure function of ``(n, chunk_size, root_seed)`` and chunk ``k`` always
+draws under ``derive_seed(root, k)``, a request for ``n=8`` is a strict
+prefix of a request for ``n=16`` under the same root seed and chunk size:
+the first two chunks of both plans are *identical task rows*.  Coalescing
+exploits exactly that:
+
+* Requests for the same prepared formula, sampler, and chunk size that
+  arrive within the gateway's coalesce window join one
+  :class:`CoalesceGroup`.
+* The group runs **one** plan sized to its largest member
+  (``n = max(n_i)``) on one backend stream.
+* A :class:`SliceRouter` fans the stream out: each delivered witness
+  occupies global slot ``chunk_index * chunk_size + ordinal-in-chunk``,
+  and a member with ``n_i`` receives precisely the slots below ``n_i``.
+
+The slice a member receives is byte-identical (same JSONL lines, same
+chunk indices) to what a solo run with its own ``n_i`` under the same
+root seed would have produced — exactly identical when ``n_i`` is a
+multiple of the chunk size (every shared task row matches), and identical
+up to per-chunk attempt budgets otherwise (a solo partial last chunk caps
+``max_attempts`` lower; the drawn witnesses still agree as a prefix
+whenever neither run exhausts a chunk budget, the overwhelmingly common
+case).  The service smoke test and ``tests/test_service.py`` pin the
+multiple-of-chunk-size identity bit for bit.
+
+Requests that pin an explicit root seed only coalesce with requests
+pinning the *same* seed; seedless requests adopt the seed of whatever
+open group they join, or a fresh OS-entropy seed when they open one.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import NamedTuple
+
+from ..core.base import SampleResult
+from ..execution.base import ExecutionPlan, build_plan
+from ..rng import fresh_root_seed
+from ..sinks.writers import jsonl_witness_line
+
+
+class WitnessSlice:
+    """One member's view of a group stream: its lines, its counters.
+
+    ``on_line`` (optional) fires once per delivered witness line — the
+    gateway uses it to wake streaming readers; tests read :attr:`lines`
+    directly.
+    """
+
+    def __init__(self, n: int, *, on_line=None):
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        self.n = n
+        #: Delivered witness lines, in stream order (JSONL, no newline).
+        self.lines: list[str] = []
+        self.delivered = 0
+        #: ⊥ attempts observed inside this member's slot range.
+        self.failed_attempts = 0
+        self._on_line = on_line
+
+    @property
+    def complete(self) -> bool:
+        return self.delivered >= self.n
+
+    def _deliver(self, chunk_index: int, result: SampleResult) -> None:
+        line = jsonl_witness_line(chunk_index, result)
+        self.lines.append(line)
+        self.delivered += 1
+        if self._on_line is not None:
+            self._on_line(line)
+
+
+class SliceRouter:
+    """Fan one group stream out to member slices by global witness slot.
+
+    The stream yields one event per *attempt* (⊥ included), in
+    deterministic order, so slots are assigned at delivered-witness
+    granularity: the ``d``-th delivered witness of chunk ``k`` occupies
+    slot ``k * chunk_size + d``.  A member with ``n_i`` owns slots
+    ``< n_i``; ⊥ events are attributed to every member whose slot range
+    intersects the chunk (they would have seen the same ⊥ solo).
+    """
+
+    def __init__(self, chunk_size: int, slices: list[WitnessSlice]):
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = chunk_size
+        self.slices = list(slices)
+        self._delivered_in: dict[int, int] = {}
+
+    def feed(self, chunk_index: int, result: SampleResult) -> None:
+        base = chunk_index * self.chunk_size
+        if result.ok:
+            ordinal = self._delivered_in.get(chunk_index, 0)
+            self._delivered_in[chunk_index] = ordinal + 1
+            slot = base + ordinal
+            for member in self.slices:
+                if slot < member.n:
+                    member._deliver(chunk_index, result)
+        else:
+            for member in self.slices:
+                if base < member.n:
+                    member.failed_attempts += 1
+
+
+class GroupKey(NamedTuple):
+    """What must match for two requests to share one plan."""
+
+    formula_key: str  #: ``PreparedFormula.cache_key()`` (CNF hash + ε)
+    sampler: str
+    chunk_size: int
+    root_seed: int
+
+
+@dataclass
+class GroupOutcome:
+    """How a group run ended, shared by every member."""
+
+    plan: ExecutionPlan | None = None
+    error: BaseException | None = None
+
+
+class CoalesceGroup:
+    """One shared plan-to-be: members join until sealed, then it runs once."""
+
+    def __init__(
+        self,
+        key: GroupKey,
+        prepared,
+        config,
+        *,
+        max_attempts_factor: int = 10,
+    ):
+        self.key = key
+        self.prepared = prepared
+        # The group's plan must derive chunk seeds from the group key's
+        # root, whatever seed the opening request's config carried.
+        self.config = replace(config, seed=key.root_seed)
+        self.max_attempts_factor = max_attempts_factor
+        self.members: list[WitnessSlice] = []
+        self.outcome = GroupOutcome()
+        self._sealed = False
+        self._lock = threading.Lock()
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    @property
+    def n(self) -> int:
+        """The one plan size that covers every member."""
+        return max((m.n for m in self.members), default=0)
+
+    def try_join(self, member: WitnessSlice) -> bool:
+        with self._lock:
+            if self._sealed:
+                return False
+            self.members.append(member)
+            return True
+
+    def seal(self) -> bool:
+        """Close the group to joins; True on the closing transition."""
+        with self._lock:
+            if self._sealed:
+                return False
+            self._sealed = True
+            return True
+
+    def build_group_plan(self) -> ExecutionPlan:
+        return build_plan(
+            self.prepared,
+            self.n,
+            self.config,
+            sampler=self.key.sampler,
+            chunk_size=self.key.chunk_size,
+            max_attempts_factor=self.max_attempts_factor,
+        )
+
+    def run(self, backend) -> ExecutionPlan:
+        """Execute the shared plan, routing every event to member slices.
+
+        Blocking — the gateway calls this on its worker pool.  Any
+        backend error is recorded in :attr:`outcome` and re-raised so the
+        caller can fail every member's job consistently.
+        """
+        if not self._sealed:
+            raise RuntimeError("coalesce group must be sealed before running")
+        plan = self.build_group_plan()
+        router = SliceRouter(self.key.chunk_size, self.members)
+        try:
+            for chunk_index, result in backend.iter_sample_stream(plan):
+                router.feed(chunk_index, result)
+        except BaseException as exc:
+            self.outcome = GroupOutcome(plan=plan, error=exc)
+            raise
+        self.outcome = GroupOutcome(plan=plan)
+        return plan
+
+
+class SubmitOutcome(NamedTuple):
+    group: CoalesceGroup
+    created: bool  #: this request opened the group
+    sealed: bool   #: this submit sealed it (group hit ``max_members``)
+
+
+class Coalescer:
+    """The open-group registry requests join through.
+
+    Thread-safe; the gateway submits from its event loop and seals either
+    from the coalesce-window timer or here, when a join fills the group
+    to ``max_members``.
+    """
+
+    def __init__(self, *, max_members: int = 32):
+        if max_members < 1:
+            raise ValueError(f"max_members must be >= 1, got {max_members}")
+        self.max_members = max_members
+        self._lock = threading.Lock()
+        self._open: dict[GroupKey, CoalesceGroup] = {}
+        #: Requests that joined an existing group instead of opening one.
+        self.joins = 0
+        self.groups_opened = 0
+
+    def open_groups(self) -> int:
+        with self._lock:
+            return len(self._open)
+
+    def submit(
+        self,
+        prepared,
+        config,
+        member: WitnessSlice,
+        *,
+        sampler: str,
+        chunk_size: int,
+        root_seed: int | None,
+    ) -> SubmitOutcome:
+        """Join an open matching group or open a new one.
+
+        ``root_seed=None`` (the common case) joins any open group over the
+        same ``(formula, sampler, chunk_size)`` shape; an explicit seed
+        only ever shares with requests pinning the same seed, so replayed
+        runs stay replayable.
+        """
+        formula_key = prepared.cache_key()
+        with self._lock:
+            group = self._find_locked(
+                formula_key, sampler, chunk_size, root_seed
+            )
+            if group is not None and group.try_join(member):
+                self.joins += 1
+                sealed = False
+                if len(group.members) >= self.max_members:
+                    sealed = self._seal_locked(group)
+                return SubmitOutcome(group, created=False, sealed=sealed)
+            key = GroupKey(
+                formula_key,
+                sampler,
+                chunk_size,
+                root_seed if root_seed is not None else fresh_root_seed(),
+            )
+            group = CoalesceGroup(key, prepared, config)
+            group.try_join(member)
+            self._open[key] = group
+            self.groups_opened += 1
+            sealed = False
+            if self.max_members == 1:
+                sealed = self._seal_locked(group)
+            return SubmitOutcome(group, created=True, sealed=sealed)
+
+    def seal(self, group: CoalesceGroup) -> bool:
+        """Seal (idempotent); True only on the transition that closed it."""
+        with self._lock:
+            return self._seal_locked(group)
+
+    # ------------------------------------------------------------------
+    def _find_locked(
+        self, formula_key, sampler, chunk_size, root_seed
+    ) -> CoalesceGroup | None:
+        if root_seed is not None:
+            return self._open.get(
+                GroupKey(formula_key, sampler, chunk_size, root_seed)
+            )
+        for key, group in self._open.items():
+            if (
+                key.formula_key == formula_key
+                and key.sampler == sampler
+                and key.chunk_size == chunk_size
+            ):
+                return group
+        return None
+
+    def _seal_locked(self, group: CoalesceGroup) -> bool:
+        self._open.pop(group.key, None)
+        return group.seal()
+
+
+__all__ = [
+    "CoalesceGroup",
+    "Coalescer",
+    "GroupKey",
+    "GroupOutcome",
+    "SliceRouter",
+    "SubmitOutcome",
+    "WitnessSlice",
+]

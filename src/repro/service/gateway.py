@@ -1,0 +1,669 @@
+"""The sampling-as-a-service gateway: HTTP front door over the backends.
+
+One asyncio process ties the service pieces together:
+
+* **admission** — per-API-key :class:`~repro.service.quota.TokenBucket`
+  (429 + ``Retry-After`` when a tenant outruns its rate);
+* **prepare** — the single-flight
+  :class:`~repro.service.cache.SingleFlightCache` of
+  :class:`~repro.api.prepared.PreparedFormula` artifacts, keyed by
+  canonical CNF hash + ε, built on a thread pool;
+* **coalesce** — sample requests join
+  :class:`~repro.service.coalesce.CoalesceGroup`\\ s for a short window,
+  then run as one chunk plan on the configured backend (serial, pool, or
+  a brokered worker fleet);
+* **dispatch** — sealed groups queue per tenant and are drained by
+  smooth weighted round-robin under a concurrency cap;
+* **stream** — witnesses flow back per job as JSONL over chunked
+  transfer-encoding, line-for-line identical to the CLI's
+  ``--out witnesses.jsonl`` (both format through
+  :func:`repro.sinks.jsonl_witness_line`).
+
+The JSON API (all under ``/v1``):
+
+====================  =====================================================
+``POST /prepare``     run/fetch lines 1–11 for a formula; returns the key
+``POST /sample``      submit a witness request; 202 + job id
+``GET /jobs/<id>``    job status (state, delivered, seed, chunk size)
+``GET /jobs/<id>/witnesses``  JSONL stream of the job's slice
+``GET /stats``        cache/coalescer/tenant/job counters
+``GET /healthz``      liveness probe
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import math
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..api.config import SamplerConfig
+from ..api.prepared import PreparedFormula, prepare
+from ..cnf.dimacs import parse_dimacs
+from ..errors import (
+    DimacsParseError,
+    DistributedError,
+    ReproError,
+    SamplingError,
+    ToleranceError,
+    UnsatisfiableError,
+)
+from ..execution.registry import make_backend
+from ..rng import fresh_root_seed
+from .cache import SingleFlightCache
+from .coalesce import CoalesceGroup, Coalescer, WitnessSlice
+from .http import HttpError, HttpRequest, HttpResponse, HttpServer
+from .quota import TenantPolicy, TokenBucket, WeightedRoundRobin
+
+#: Job states, in lifecycle order.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+
+@dataclass
+class GatewayConfig:
+    """Every knob of one gateway process (the ``repro serve`` flags)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Execution backend for group runs: ``serial`` | ``pool`` | ``broker``.
+    backend: str = "serial"
+    #: Pool worker processes (``backend="pool"`` only).
+    jobs: int = 2
+    #: Broker target (``tcp://host:port`` or spool dir) for ``broker``.
+    broker: str | None = None
+    #: Shared secret expected by an authenticated brokerd.
+    broker_token: str | None = None
+    sampler: str = "unigen2"
+    epsilon: float = 6.0
+    #: Chunk size every plan uses.  Fixed (not per-``n``) on purpose: the
+    #: coalescing identity "n=8 is a prefix of n=16" needs all requests
+    #: over one formula to agree on the chunk grid.
+    chunk_size: int = 8
+    #: How long a freshly opened group stays open to joiners.
+    coalesce_window_s: float = 0.05
+    max_group_members: int = 32
+    max_concurrent_groups: int = 2
+    cache_capacity: int = 64
+    cache_ttl_s: float | None = None
+    #: Seed for the prepare phase, so cached artifacts are reproducible
+    #: (and comparable with ``repro prepare --seed``).  ``None`` = entropy.
+    prepare_seed: int | None = 0
+    #: Largest single request; bigger submissions are rejected with 400.
+    max_n: int = 100_000
+    #: ``Retry-After`` hint when the broker fleet is unreachable.
+    retry_after_s: float = 2.0
+    #: API key → policy.  Empty + ``allow_anonymous`` = open gateway.
+    tenants: dict[str, TenantPolicy] = field(default_factory=dict)
+    default_policy: TenantPolicy = field(
+        default_factory=lambda: TenantPolicy("anonymous")
+    )
+    #: Reject requests without a configured API key when False.
+    allow_anonymous: bool = True
+    executor_threads: int = 4
+
+
+class Job:
+    """One tenant request's lifecycle, readable from the event loop."""
+
+    def __init__(self, job_id: str, tenant: str, n: int, loop):
+        self.id = job_id
+        self.tenant = tenant
+        self.n = n
+        self.state = QUEUED
+        self.error: str | None = None
+        self.created_at = time.time()
+        self.group: CoalesceGroup | None = None
+        self._loop = loop
+        #: Set whenever a line lands or the state goes terminal.
+        self.event = asyncio.Event()
+        self.slice = WitnessSlice(n, on_line=self._wake)
+
+    def _wake(self, _line=None) -> None:
+        # Called from executor threads; marshal onto the loop.
+        self._loop.call_soon_threadsafe(self.event.set)
+
+    def finish(self, state: str, error: str | None = None) -> None:
+        self.state = state
+        self.error = error
+        self._wake()
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (DONE, FAILED)
+
+    def to_dict(self) -> dict:
+        data = {
+            "id": self.id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "n": self.n,
+            "delivered": self.slice.delivered,
+            "failed_attempts": self.slice.failed_attempts,
+        }
+        if self.error is not None:
+            data["error"] = self.error
+        if self.group is not None:
+            data["root_seed"] = self.group.key.root_seed
+            data["chunk_size"] = self.group.key.chunk_size
+            data["sampler"] = self.group.key.sampler
+            data["coalesced_with"] = len(self.group.members) - 1
+        return data
+
+
+class Gateway:
+    """The service object: ``await start()``, handle requests, ``close()``."""
+
+    def __init__(self, config: GatewayConfig | None = None):
+        self.config = config or GatewayConfig()
+        self.cache = SingleFlightCache(
+            self.config.cache_capacity, self.config.cache_ttl_s
+        )
+        self.coalescer = Coalescer(max_members=self.config.max_group_members)
+        self.wrr = WeightedRoundRobin()
+        self.jobs: dict[str, Job] = {}
+        self.counters = {
+            "prepare_requests": 0,
+            "sample_requests": 0,
+            "quota_rejections": 0,
+            "broker_unavailable": 0,
+            "groups_dispatched": 0,
+        }
+        self._buckets: dict[str, TokenBucket] = {}
+        self._group_jobs: dict[int, list[Job]] = {}
+        self._job_ids = itertools.count(1)
+        self._job_tag = f"{fresh_root_seed() & 0xFFFFFF:06x}"
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_threads,
+            thread_name_prefix="gateway",
+        )
+        self._server = HttpServer(
+            self.handle, self.config.host, self.config.port
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._group_sem: asyncio.Semaphore | None = None
+        self._work: asyncio.Event | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._group_runs: set[asyncio.Task] = set()
+        for policy in self.config.tenants.values():
+            self.wrr.set_weight(policy.name, policy.weight)
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def url(self) -> str:
+        return self._server.url
+
+    async def start(self) -> "Gateway":
+        self._loop = asyncio.get_running_loop()
+        self._group_sem = asyncio.Semaphore(
+            self.config.max_concurrent_groups
+        )
+        self._work = asyncio.Event()
+        await self._server.start()
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        return self
+
+    async def close(self) -> None:
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        for task in list(self._group_runs):
+            # In-flight group runs drain (they hold real sampling work);
+            # the executor shutdown below waits for them.
+            try:
+                await task
+            except Exception:
+                pass
+        await self._server.close()
+        self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "Gateway":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- routing --------------------------------------------------------
+    async def handle(self, request: HttpRequest) -> HttpResponse:
+        segments = [s for s in request.path.split("/") if s]
+        if not segments or segments[0] != "v1":
+            raise HttpError(404, f"no such path: {request.path}")
+        route = segments[1:]
+        if route == ["healthz"] and request.method == "GET":
+            return HttpResponse.json({"ok": True})
+        if route == ["stats"] and request.method == "GET":
+            return HttpResponse.json(self._stats())
+        if route == ["prepare"] and request.method == "POST":
+            return await self._handle_prepare(request)
+        if route == ["sample"] and request.method == "POST":
+            return await self._handle_sample(request)
+        if len(route) == 2 and route[0] == "jobs" and request.method == "GET":
+            return self._handle_job_status(route[1])
+        if (
+            len(route) == 3
+            and route[0] == "jobs"
+            and route[2] == "witnesses"
+            and request.method == "GET"
+        ):
+            return self._handle_job_witnesses(route[1])
+        raise HttpError(404, f"no such endpoint: {request.method} "
+                             f"{request.path}")
+
+    # -- tenants --------------------------------------------------------
+    def _resolve_tenant(self, request: HttpRequest) -> TenantPolicy:
+        api_key = request.header("x-api-key")
+        if api_key is not None and api_key in self.config.tenants:
+            return self.config.tenants[api_key]
+        if self.config.tenants and not self.config.allow_anonymous:
+            raise HttpError(
+                401,
+                "unknown or missing API key (send X-Api-Key)",
+            )
+        return self.config.default_policy
+
+    def _admit(self, policy: TenantPolicy) -> None:
+        bucket = self._buckets.get(policy.name)
+        if bucket is None:
+            bucket = TokenBucket(policy.burst, policy.refill_per_s)
+            self._buckets[policy.name] = bucket
+        wait_s = bucket.try_acquire()
+        if wait_s > 0:
+            self.counters["quota_rejections"] += 1
+            raise HttpError(
+                429,
+                f"tenant {policy.name!r} is over its request rate; retry "
+                f"in {wait_s:.2f}s",
+                headers={"Retry-After": _retry_after(wait_s)},
+            )
+
+    # -- prepare --------------------------------------------------------
+    def _parse_formula(self, body: dict):
+        dimacs = body.get("dimacs")
+        if not isinstance(dimacs, str) or not dimacs.strip():
+            raise HttpError(400, "body must carry a non-empty 'dimacs' "
+                                 "string")
+        try:
+            cnf = parse_dimacs(dimacs, name=str(body.get("name", "")))
+        except DimacsParseError as exc:
+            raise HttpError(400, f"DIMACS parse error: {exc}")
+        sampling_set = body.get("sampling_set")
+        if sampling_set is not None:
+            try:
+                cnf.sampling_set = [int(v) for v in sampling_set]
+            except (TypeError, ValueError, ReproError) as exc:
+                raise HttpError(400, f"bad sampling_set: {exc}")
+        epsilon = body.get("epsilon", self.config.epsilon)
+        try:
+            epsilon = float(epsilon)
+        except (TypeError, ValueError):
+            raise HttpError(400, f"bad epsilon: {epsilon!r}")
+        return cnf, epsilon
+
+    async def _ensure_prepared(self, cnf, epsilon: float) -> tuple[
+        PreparedFormula, bool
+    ]:
+        """Cache-or-build on the worker pool; returns (artifact, was hit)."""
+        key = PreparedFormula.key_for(cnf, epsilon)
+        hit = self.cache.peek(key) is not None
+
+        def build() -> PreparedFormula:
+            return prepare(
+                cnf,
+                SamplerConfig(
+                    epsilon=epsilon, seed=self.config.prepare_seed
+                ),
+            )
+
+        try:
+            prepared = await asyncio.get_running_loop().run_in_executor(
+                self._executor,
+                lambda: self.cache.get_or_build(key, build),
+            )
+        except UnsatisfiableError as exc:
+            raise HttpError(422, f"formula is unsatisfiable: {exc}")
+        except (ToleranceError, ValueError) as exc:
+            raise HttpError(400, str(exc))
+        except SamplingError as exc:
+            raise HttpError(422, str(exc))
+        return prepared, hit
+
+    async def _handle_prepare(self, request: HttpRequest) -> HttpResponse:
+        self.counters["prepare_requests"] += 1
+        policy = self._resolve_tenant(request)
+        self._admit(policy)
+        cnf, epsilon = self._parse_formula(request.json())
+        prepared, hit = await self._ensure_prepared(cnf, epsilon)
+        return HttpResponse.json({
+            "key": prepared.cache_key(),
+            "cached": hit,
+            "easy": prepared.is_easy,
+            "q": prepared.q,
+            "approx_count": prepared.approx_count_value,
+            "epsilon": prepared.epsilon,
+            "sampling_set_size": len(prepared.sampling_set),
+            "prepare_bsat_calls": prepared.prepare_bsat_calls,
+        })
+
+    # -- sample ---------------------------------------------------------
+    async def _check_broker(self) -> None:
+        """Fail fast with a typed 503 when the worker fleet is gone."""
+        if self.config.backend != "broker":
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(self._executor, self._ping_broker)
+        except (DistributedError, ConnectionError, OSError) as exc:
+            self.counters["broker_unavailable"] += 1
+            raise HttpError(
+                503,
+                f"broker {self.config.broker!r} is unreachable: {exc}",
+                headers={
+                    "Retry-After": _retry_after(self.config.retry_after_s)
+                },
+            )
+
+    def _ping_broker(self) -> None:
+        broker = self._connect_broker()
+        try:
+            ping = getattr(broker, "ping", None)
+            if ping is not None:
+                ping()
+        finally:
+            close = getattr(broker, "close", None)
+            if close is not None:
+                close()
+
+    def _connect_broker(self):
+        from ..distributed import connect_broker
+
+        if not self.config.broker:
+            raise HttpError(500, "backend 'broker' needs a broker target")
+        return connect_broker(
+            self.config.broker, token=self.config.broker_token
+        )
+
+    async def _handle_sample(self, request: HttpRequest) -> HttpResponse:
+        self.counters["sample_requests"] += 1
+        policy = self._resolve_tenant(request)
+        self._admit(policy)
+        body = request.json()
+        n = body.get("n")
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise HttpError(400, f"'n' must be a positive integer, got "
+                                 f"{n!r}")
+        if n > self.config.max_n:
+            raise HttpError(400, f"'n' is capped at {self.config.max_n} "
+                                 f"per request, got {n}")
+        seed = body.get("seed")
+        if seed is not None and (not isinstance(seed, int)
+                                 or isinstance(seed, bool)):
+            raise HttpError(400, f"'seed' must be an integer, got {seed!r}")
+        sampler = str(body.get("sampler", self.config.sampler))
+        cnf, epsilon = self._parse_formula(body)
+        await self._check_broker()
+        prepared, _hit = await self._ensure_prepared(cnf, epsilon)
+
+        job = Job(
+            f"job-{self._job_tag}-{next(self._job_ids)}",
+            policy.name,
+            n,
+            asyncio.get_running_loop(),
+        )
+        self.jobs[job.id] = job
+        try:
+            outcome = self.coalescer.submit(
+                prepared,
+                SamplerConfig(epsilon=epsilon),
+                job.slice,
+                sampler=sampler,
+                chunk_size=self.config.chunk_size,
+                root_seed=seed,
+            )
+        except (ValueError, ReproError) as exc:
+            del self.jobs[job.id]
+            raise HttpError(400, str(exc))
+        job.group = outcome.group
+        self._group_jobs.setdefault(id(outcome.group), []).append(job)
+        if outcome.sealed:
+            self._queue_group(outcome.group)
+        elif outcome.created:
+            asyncio.get_running_loop().call_later(
+                self.config.coalesce_window_s,
+                self._seal_and_queue,
+                outcome.group,
+            )
+        return HttpResponse.json(
+            {
+                "job_id": job.id,
+                "state": job.state,
+                "coalesced": not outcome.created,
+                "root_seed": outcome.group.key.root_seed,
+                "chunk_size": outcome.group.key.chunk_size,
+                "sampler": sampler,
+            },
+            status=202,
+        )
+
+    # -- scheduling -----------------------------------------------------
+    def _seal_and_queue(self, group: CoalesceGroup) -> None:
+        if self.coalescer.seal(group):
+            self._queue_group(group)
+
+    def _queue_group(self, group: CoalesceGroup) -> None:
+        # The group queues under the tenant of its *first* member: the
+        # request that opened it pays for its slot in the rotation.
+        jobs = self._group_jobs.get(id(group), [])
+        tenant = jobs[0].tenant if jobs else "anonymous"
+        self.wrr.push(tenant, group)
+        if self._work is not None:
+            self._work.set()
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            await self._work.wait()
+            self._work.clear()
+            while True:
+                item = self.wrr.pop()
+                if item is None:
+                    break
+                _tenant, group = item
+                await self._group_sem.acquire()
+                self.counters["groups_dispatched"] += 1
+                task = asyncio.create_task(self._run_group(group))
+                self._group_runs.add(task)
+                task.add_done_callback(self._group_runs.discard)
+
+    async def _run_group(self, group: CoalesceGroup) -> None:
+        jobs = self._group_jobs.pop(id(group), [])
+        for job in jobs:
+            job.state = RUNNING
+            job.event.set()
+        try:
+            await asyncio.get_running_loop().run_in_executor(
+                self._executor, self._run_group_sync, group
+            )
+        except Exception as exc:  # noqa: BLE001 — every member job must
+            # resolve, whatever the backend threw.
+            message = f"{type(exc).__name__}: {exc}"
+            for job in jobs:
+                job.finish(FAILED, message)
+        else:
+            for job in jobs:
+                job.finish(DONE)
+        finally:
+            self._group_sem.release()
+            self._work.set()
+
+    def _run_group_sync(self, group: CoalesceGroup) -> None:
+        backend_name = self.config.backend
+        broker = None
+        if backend_name == "broker":
+            broker = self._connect_broker()
+            backend = make_backend(
+                "broker", broker=broker, poll_interval_s=0.1
+            )
+        elif backend_name == "pool":
+            backend = make_backend("pool", jobs=self.config.jobs)
+        else:
+            backend = make_backend(backend_name)
+        try:
+            group.run(backend)
+        finally:
+            if broker is not None:
+                broker.close()
+
+    # -- job introspection ----------------------------------------------
+    def _get_job(self, job_id: str) -> Job:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise HttpError(404, f"no such job: {job_id}")
+        return job
+
+    def _handle_job_status(self, job_id: str) -> HttpResponse:
+        return HttpResponse.json(self._get_job(job_id).to_dict())
+
+    def _handle_job_witnesses(self, job_id: str) -> HttpResponse:
+        job = self._get_job(job_id)
+        response = HttpResponse(
+            headers={"Content-Type": "application/x-ndjson"}
+        )
+        response.body_iter = self._witness_stream(job)
+        return response
+
+    async def _witness_stream(self, job: Job):
+        """Yield the job's slice as JSONL, live until the job resolves."""
+        sent = 0
+        while True:
+            lines = job.slice.lines
+            while sent < len(lines):
+                yield (lines[sent] + "\n").encode("utf-8")
+                sent += 1
+            if job.terminal and sent >= len(job.slice.lines):
+                return
+            job.event.clear()
+            # Re-check after the clear: a line landing between the len()
+            # read and the clear() must not strand the reader.
+            if sent < len(job.slice.lines) or job.terminal:
+                continue
+            await job.event.wait()
+
+    # -- stats ----------------------------------------------------------
+    def _stats(self) -> dict:
+        states: dict[str, int] = {}
+        for job in self.jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "cache": self.cache.stats.to_dict(),
+            "cache_entries": len(self.cache),
+            "coalescer": {
+                "groups_opened": self.coalescer.groups_opened,
+                "joins": self.coalescer.joins,
+                "open_groups": self.coalescer.open_groups(),
+            },
+            "jobs": states,
+            "counters": dict(self.counters),
+            "backend": self.config.backend,
+            "tenants": {
+                name: {"tokens": round(bucket.tokens, 3)}
+                for name, bucket in self._buckets.items()
+            },
+        }
+
+
+def _retry_after(wait_s: float) -> str:
+    return str(max(1, math.ceil(wait_s)))
+
+
+async def serve(config: GatewayConfig, *, ready=None, stop=None) -> None:
+    """Run a gateway until ``stop`` (an :class:`asyncio.Event`) is set.
+
+    ``ready`` (optional callable) fires with the bound URL once listening
+    — the CLI prints it, tests latch onto it.
+    """
+    stop = stop or asyncio.Event()
+    async with Gateway(config) as gateway:
+        if ready is not None:
+            ready(gateway.url)
+        await stop.wait()
+
+
+class GatewayThread:
+    """A gateway on a private event loop in a daemon thread.
+
+    The embedding surface: tests and ``examples/service_client.py`` run a
+    real HTTP gateway in-process and talk to it with the synchronous
+    :class:`~repro.service.client.ServiceClient`::
+
+        with GatewayThread(GatewayConfig()) as gw:
+            client = ServiceClient(gw.url)
+            ...
+    """
+
+    def __init__(self, config: GatewayConfig | None = None):
+        self.config = config or GatewayConfig()
+        self.url: str | None = None
+        self.gateway: Gateway | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "GatewayThread":
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="gateway-loop",
+            daemon=True,
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    async def _main(self) -> None:
+        try:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            async with Gateway(self.config) as gateway:
+                self.gateway = gateway
+                self.url = gateway.url
+                self._ready.set()
+                await self._stop.wait()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            raise
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def __enter__(self) -> "GatewayThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "Gateway",
+    "GatewayConfig",
+    "GatewayThread",
+    "Job",
+    "QUEUED",
+    "RUNNING",
+    "serve",
+]

@@ -1,0 +1,308 @@
+"""A small asyncio HTTP/1.1 framing layer for the sampling gateway.
+
+Stdlib only, mirroring :mod:`repro.distributed.tcpbroker`'s line-protocol
+style: every frame element is length-checked before it is buffered, so a
+corrupt or hostile peer can cost one connection, never unbounded memory.
+The surface is deliberately the minimum the gateway needs —
+
+* :class:`HttpRequest` — parsed method/path/query/headers plus a fully
+  buffered body (requests are JSON documents, bounded by
+  :data:`MAX_BODY_BYTES`);
+* :class:`HttpResponse` — a status, headers, and either a bytes body
+  (``Content-Length`` framing) or an async byte-chunk iterator
+  (``Transfer-Encoding: chunked`` — the witness-stream endpoint);
+* :class:`HttpServer` — ``asyncio.start_server`` wrapping one async
+  ``handler(request) -> response`` callable, persistent connections with
+  ``Connection: close`` honoured, malformed frames answered with a 400
+  and a disconnect.
+
+No TLS, no compression, HTTP/1.1 only: the gateway sits on a trusted
+segment in front of ``brokerd`` exactly like the broker transport does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+from ..errors import ReproError
+
+#: Hard cap on one request line or header line.
+MAX_LINE_BYTES = 16 * 1024
+
+#: Hard cap on the header block (all header lines together).
+MAX_HEADER_BYTES = 64 * 1024
+
+#: Hard cap on a request body.  Generous for real submissions (a DIMACS
+#: text of the largest suite benchmarks is well under 1 MB) but a bound.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(ReproError):
+    """A problem that maps to one typed response (status + headers)."""
+
+    def __init__(self, status: int, message: str,
+                 headers: dict[str, str] | None = None):
+        super().__init__(message)
+        self.status = status
+        self.headers = dict(headers or {})
+
+    def to_response(self) -> "HttpResponse":
+        return HttpResponse.error(
+            self.status, str(self), headers=self.headers
+        )
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: the handler's whole view of the client."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]  # keys lowercased
+    body: bytes
+
+    def json(self):
+        """The body as JSON; :class:`HttpError` 400 on anything else."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        return self.headers.get(name.lower(), default)
+
+
+@dataclass
+class HttpResponse:
+    """One response frame; ``body`` XOR ``body_iter`` (chunked) is set."""
+
+    status: int = 200
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    #: Async iterator of byte chunks → ``Transfer-Encoding: chunked``.
+    body_iter = None
+
+    @classmethod
+    def json(cls, payload, status: int = 200,
+             headers: dict[str, str] | None = None) -> "HttpResponse":
+        return cls(
+            status=status,
+            headers={"Content-Type": "application/json",
+                     **(headers or {})},
+            body=(json.dumps(payload, separators=(",", ":")) + "\n").encode(
+                "utf-8"
+            ),
+        )
+
+    @classmethod
+    def error(cls, status: int, message: str, *, error_type: str = "",
+              headers: dict[str, str] | None = None) -> "HttpResponse":
+        """The gateway-wide error schema (mirrors the broker wire form)."""
+        return cls.json(
+            {"error": {"type": error_type or _REASONS.get(status, "Error"),
+                       "message": message}},
+            status=status,
+            headers=headers,
+        )
+
+
+async def _read_capped_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return b""  # clean EOF between requests
+        raise HttpError(400, "truncated HTTP frame")
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, f"header line over {MAX_LINE_BYTES} bytes")
+    if len(line) > MAX_LINE_BYTES:
+        raise HttpError(400, f"header line over {MAX_LINE_BYTES} bytes")
+    return line
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one request; ``None`` on a clean EOF before a request line."""
+    request_line = await _read_capped_line(reader)
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {parts[:3]!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    headers: dict[str, str] = {}
+    total = 0
+    while True:
+        line = await _read_capped_line(reader)
+        if not line or line in (b"\r\n", b"\n"):
+            break
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise HttpError(400, f"header block over {MAX_HEADER_BYTES} bytes")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length")
+        if length < 0:
+            raise HttpError(400, "malformed Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"request body over {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length)
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+    return HttpRequest(
+        method=method.upper(),
+        path=split.path,
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, response: HttpResponse, *,
+    keep_alive: bool = True,
+) -> None:
+    reason = _REASONS.get(response.status, "Unknown")
+    headers = dict(response.headers)
+    headers.setdefault("Server", "repro-gateway")
+    if response.body_iter is not None:
+        headers["Transfer-Encoding"] = "chunked"
+    else:
+        headers["Content-Length"] = str(len(response.body))
+    headers["Connection"] = "keep-alive" if keep_alive else "close"
+    head = [f"HTTP/1.1 {response.status} {reason}"]
+    head.extend(f"{k}: {v}" for k, v in headers.items())
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    if response.body_iter is None:
+        writer.write(response.body)
+        await writer.drain()
+        return
+    async for chunk in response.body_iter:
+        if not chunk:
+            continue
+        writer.write(b"%x\r\n" % len(chunk) + chunk + b"\r\n")
+        await writer.drain()
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()
+
+
+class HttpServer:
+    """``asyncio.start_server`` around one async request handler.
+
+    The handler receives an :class:`HttpRequest` and returns an
+    :class:`HttpResponse`; exceptions it lets escape become a 500 so one
+    bad request never kills the daemon (the brokerd rule).  Connections
+    are persistent until the client closes, sends ``Connection: close``,
+    or commits a framing error.
+    """
+
+    def __init__(self, handler, host: str = "127.0.0.1", port: int = 0):
+        self._handler = handler
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    async def start(self) -> "HttpServer":
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._host, self._port,
+            limit=MAX_LINE_BYTES + 2,
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _serve_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    await write_response(
+                        writer, exc.to_response(), keep_alive=False
+                    )
+                    return
+                if request is None:
+                    return
+                try:
+                    response = await self._handler(request)
+                except HttpError as exc:
+                    response = exc.to_response()
+                except Exception as exc:  # noqa: BLE001 — a bad request
+                    # must not kill the daemon; answer typed, keep serving.
+                    response = HttpResponse.error(
+                        500, f"{type(exc).__name__}: {exc}"
+                    )
+                keep_alive = (
+                    request.header("connection", "keep-alive").lower()
+                    != "close"
+                    and response.status < 500
+                )
+                await write_response(writer, response,
+                                     keep_alive=keep_alive)
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass  # peer vanished mid-frame; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "MAX_HEADER_BYTES",
+    "MAX_BODY_BYTES",
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "read_request",
+    "write_response",
+]

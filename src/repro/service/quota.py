@@ -1,0 +1,163 @@
+"""Per-tenant admission control and fair dispatch for the gateway.
+
+Two small, separately testable mechanisms:
+
+* :class:`TokenBucket` — admission.  Each tenant (API key) holds a bucket
+  of ``capacity`` request tokens refilled at ``refill_per_s``; a request
+  that finds the bucket empty is rejected with the seconds-until-a-token
+  figure the gateway surfaces as ``Retry-After`` on its 429.  Clock is
+  injectable so quota tests never sleep.
+* :class:`WeightedRoundRobin` — dispatch.  Admitted work queues per
+  tenant, and the scheduler interleaves tenants by smooth weighted
+  round-robin (the nginx algorithm: each pick, every active tenant gains
+  its weight in credit, the highest-credit tenant is picked and pays the
+  total weight back).  A tenant with weight 3 gets 3 of every 4 slots
+  against a weight-1 tenant, spread evenly rather than in bursts, and an
+  idle tenant accumulates no advantage — credit only accrues while work
+  is queued.
+
+Neither class knows about HTTP, sampling, or each other; the gateway
+composes them (admission at request parse, dispatch in the scheduler
+loop).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass
+class TenantPolicy:
+    """One tenant's knobs, as the gateway's ``--tenant`` flag sets them."""
+
+    name: str
+    #: Burst size: requests admitted back-to-back from a full bucket.
+    burst: int = 8
+    #: Sustained admission rate, tokens (requests) per second.
+    refill_per_s: float = 4.0
+    #: Dispatch weight against other tenants' queued work.
+    weight: int = 1
+
+    def __post_init__(self):
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        if self.refill_per_s <= 0:
+            raise ValueError(
+                f"refill_per_s must be positive, got {self.refill_per_s}"
+            )
+        if self.weight < 1:
+            raise ValueError(f"weight must be >= 1, got {self.weight}")
+
+
+class TokenBucket:
+    """The classic leaky-bucket admission meter, thread-safe."""
+
+    def __init__(
+        self, capacity: int, refill_per_s: float, *, clock=time.monotonic
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if refill_per_s <= 0:
+            raise ValueError(
+                f"refill_per_s must be positive, got {refill_per_s}"
+            )
+        self.capacity = capacity
+        self.refill_per_s = refill_per_s
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            float(self.capacity),
+            self._tokens + (now - self._updated) * self.refill_per_s,
+        )
+        self._updated = now
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+    def try_acquire(self, cost: float = 1.0) -> float:
+        """Admit (return 0.0) or reject (return seconds until affordable).
+
+        The rejection value is exactly what ``Retry-After`` needs: how
+        long the caller must wait, at the sustained rate, before ``cost``
+        tokens exist.  Never returns a negative number.
+        """
+        with self._lock:
+            self._refill()
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return 0.0
+            return (cost - self._tokens) / self.refill_per_s
+
+
+class WeightedRoundRobin:
+    """Smooth WRR over per-tenant FIFO queues.
+
+    ``push(tenant, item)`` enqueues; ``pop()`` returns
+    ``(tenant, item)`` for the fairest next tenant or ``None`` when every
+    queue is empty.  Fairness is smooth: with weights {a: 5, b: 1} the
+    pick sequence is ``a a a b a a`` — b is never starved for longer than
+    one full cycle.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._queues: dict[str, deque] = {}
+        self._weights: dict[str, int] = {}
+        self._credit: dict[str, int] = {}
+
+    def set_weight(self, tenant: str, weight: int) -> None:
+        if weight < 1:
+            raise ValueError(f"weight must be >= 1, got {weight}")
+        with self._lock:
+            self._weights[tenant] = weight
+
+    def push(self, tenant: str, item) -> None:
+        with self._lock:
+            self._queues.setdefault(tenant, deque()).append(item)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(q) for q in self._queues.values())
+
+    def queued(self, tenant: str) -> int:
+        with self._lock:
+            queue = self._queues.get(tenant)
+            return len(queue) if queue else 0
+
+    def pop(self):
+        """The smooth-WRR pick over tenants with queued work."""
+        with self._lock:
+            active = [t for t, q in self._queues.items() if q]
+            if not active:
+                return None
+            total = 0
+            best = None
+            for tenant in active:
+                weight = self._weights.get(tenant, 1)
+                total += weight
+                self._credit[tenant] = (
+                    self._credit.get(tenant, 0) + weight
+                )
+                if best is None or self._credit[tenant] > self._credit[best]:
+                    best = tenant
+            self._credit[best] -= total
+            item = self._queues[best].popleft()
+            if not self._queues[best]:
+                # Idle tenants carry no residue into their next burst.
+                del self._queues[best]
+                self._credit.pop(best, None)
+            return best, item
+
+
+__all__ = ["TenantPolicy", "TokenBucket", "WeightedRoundRobin"]

@@ -38,7 +38,12 @@ answer and how much memory it costs, never the answer.
 from .base import CompositeSink, StreamSink, compose, run_stream
 from .fold import StatsFold
 from .gate import OnlineUniformityGate
-from .writers import DimacsWitnessWriter, JsonlWitnessWriter
+from .writers import (
+    DimacsWitnessWriter,
+    JsonlWitnessWriter,
+    dimacs_witness_line,
+    jsonl_witness_line,
+)
 
 __all__ = [
     "StreamSink",
@@ -49,4 +54,6 @@ __all__ = [
     "StatsFold",
     "JsonlWitnessWriter",
     "DimacsWitnessWriter",
+    "jsonl_witness_line",
+    "dimacs_witness_line",
 ]

@@ -18,6 +18,28 @@ from ..core.base import SampleResult, witness_to_lits
 from .base import StreamSink
 
 
+def jsonl_witness_line(chunk_index: int, result: SampleResult) -> str:
+    """The one JSONL record form: ``{"chunk": k, "witness": [lits…]}``.
+
+    Shared by :class:`JsonlWitnessWriter` and the service gateway's
+    chunked HTTP witness stream, so a ``--out witnesses.jsonl`` file and a
+    ``GET /v1/jobs/<id>/witnesses`` body are line-for-line identical.
+    """
+    return json.dumps(
+        {
+            "chunk": chunk_index,
+            "witness": witness_to_lits(result.witness),
+        },
+        separators=(",", ":"),
+    )
+
+
+def dimacs_witness_line(chunk_index: int, result: SampleResult) -> str:
+    """One DIMACS-style ``v`` line, as the CLI prints witnesses."""
+    lits = " ".join(str(l) for l in witness_to_lits(result.witness))
+    return f"v {lits} 0"
+
+
 class _LineWriter(StreamSink):
     """Shared open/format/flush/close plumbing of the two writers."""
 
@@ -67,13 +89,7 @@ class JsonlWitnessWriter(_LineWriter):
     name = "jsonl-writer"
 
     def _format(self, chunk_index: int, result: SampleResult) -> str:
-        return json.dumps(
-            {
-                "chunk": chunk_index,
-                "witness": witness_to_lits(result.witness),
-            },
-            separators=(",", ":"),
-        )
+        return jsonl_witness_line(chunk_index, result)
 
 
 class DimacsWitnessWriter(_LineWriter):
@@ -82,5 +98,4 @@ class DimacsWitnessWriter(_LineWriter):
     name = "dimacs-writer"
 
     def _format(self, chunk_index: int, result: SampleResult) -> str:
-        lits = " ".join(str(l) for l in witness_to_lits(result.witness))
-        return f"v {lits} 0"
+        return dimacs_witness_line(chunk_index, result)

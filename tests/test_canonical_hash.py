@@ -1,0 +1,162 @@
+"""Properties of :meth:`repro.cnf.formula.CNF.canonical_hash`.
+
+The digest is the service tier's cache key, so the two directions both
+matter: presentation changes (clause/literal permutations, duplicates)
+must not change it, and semantic changes (flipped literals, added
+clauses, a different sampling set) must.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnf.dimacs import parse_dimacs, to_dimacs
+from repro.cnf.formula import CNF
+from repro.cnf.xor import XorClause
+
+
+def _clause_strategy():
+    lits = st.integers(min_value=1, max_value=8).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    return st.lists(lits, min_size=1, max_size=4)
+
+
+def _cnf_strategy():
+    return st.builds(
+        lambda clauses, xors, sampling: _build(clauses, xors, sampling),
+        st.lists(_clause_strategy(), min_size=1, max_size=6),
+        st.lists(
+            st.tuples(
+                st.sets(st.integers(min_value=1, max_value=8),
+                        min_size=1, max_size=3),
+                st.booleans(),
+            ),
+            max_size=2,
+        ),
+        st.one_of(
+            st.none(),
+            st.sets(st.integers(min_value=1, max_value=8), min_size=1),
+        ),
+    )
+
+
+def _build(clauses, xors, sampling) -> CNF:
+    cnf = CNF(num_vars=8)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    for vars_, rhs in xors:
+        cnf.add_xor(XorClause.from_vars(vars_, rhs))
+    if sampling is not None:
+        cnf.sampling_set = sampling
+    return cnf
+
+
+@settings(max_examples=60, deadline=None)
+@given(_cnf_strategy(), st.randoms(use_true_random=False))
+def test_permutations_hash_identically(cnf, rng):
+    """Shuffling clause order and literal order never changes the digest."""
+    base = cnf.canonical_hash()
+    shuffled = cnf.copy()
+    clauses = [list(c) for c in shuffled.clauses]
+    rng.shuffle(clauses)
+    for clause in clauses:
+        rng.shuffle(clause)
+    shuffled.clauses = [tuple(c) for c in clauses]
+    xors = list(shuffled.xor_clauses)
+    rng.shuffle(xors)
+    shuffled.xor_clauses = xors
+    assert shuffled.canonical_hash() == base
+
+
+@settings(max_examples=60, deadline=None)
+@given(_cnf_strategy())
+def test_duplicates_collapse(cnf):
+    """Repeating a literal or a whole clause is pure presentation."""
+    base = cnf.canonical_hash()
+    dup = cnf.copy()
+    first = dup.clauses[0]
+    dup.clauses = [first + (first[0],)] + list(dup.clauses[1:]) + [first]
+    assert dup.canonical_hash() == base
+
+
+@settings(max_examples=60, deadline=None)
+@given(_cnf_strategy())
+def test_dimacs_round_trip_preserves_hash(cnf):
+    """The digest survives a DIMACS write/parse cycle (the service's
+    submission format)."""
+    again = parse_dimacs(to_dimacs(cnf))
+    assert again.canonical_hash() == cnf.canonical_hash()
+
+
+@settings(max_examples=60, deadline=None)
+@given(_cnf_strategy())
+def test_semantic_changes_change_the_hash(cnf):
+    base = cnf.canonical_hash()
+
+    flipped = cnf.copy()
+    first = flipped.clauses[0]
+    flipped.clauses = [(-first[0],) + first[1:]] + list(flipped.clauses[1:])
+    if sorted(set(flipped.clauses[0]), key=lambda l: (abs(l), l)) != sorted(
+        set(first), key=lambda l: (abs(l), l)
+    ):
+        assert flipped.canonical_hash() != base
+
+    grown = cnf.conjoined_with(clauses=[(cnf.num_vars + 1,)])
+    assert grown.canonical_hash() != base
+
+
+def test_sampling_set_awareness():
+    cnf = CNF(3, clauses=[(1, 2), (-2, 3)])
+    undeclared = cnf.canonical_hash()
+    declared = cnf.copy()
+    declared.sampling_set = [1, 2, 3]
+    narrowed = cnf.copy()
+    narrowed.sampling_set = [1, 2]
+    assert declared.canonical_hash() != undeclared
+    assert narrowed.canonical_hash() != declared.canonical_hash()
+    # Declaration order of the set itself is presentation.
+    reordered = cnf.copy()
+    reordered.sampling_set = [2, 1]
+    assert reordered.canonical_hash() == narrowed.canonical_hash()
+
+
+def test_free_variables_widen_the_hash():
+    """Extra never-mentioned variables change witnesses, hence the hash."""
+    small = CNF(2, clauses=[(1, 2)])
+    wide = CNF(4, clauses=[(1, 2)])
+    assert small.canonical_hash() != wide.canonical_hash()
+
+
+def test_xor_normal_form_is_presentation_insensitive():
+    a = CNF(3, clauses=[(1,)])
+    a.add_xor([1, -2, 3], rhs=True)
+    b = CNF(3, clauses=[(1,)])
+    b.add_xor([3, 2, 1], rhs=False)  # ¬2 folded: same constraint
+    assert a.canonical_hash() == b.canonical_hash()
+    c = CNF(3, clauses=[(1,)])
+    c.add_xor([1, 2, 3], rhs=True)
+    assert c.canonical_hash() != a.canonical_hash()
+
+
+def test_cache_key_includes_epsilon():
+    from repro.api import SamplerConfig, prepare
+
+    cnf = CNF(3, clauses=[(1, 2, 3)], sampling_set=[1, 2, 3])
+    a = prepare(cnf, SamplerConfig(epsilon=6.0, seed=1))
+    b = prepare(cnf, SamplerConfig(epsilon=8.0, seed=1))
+    assert a.cache_key() != b.cache_key()
+    assert a.cache_key().startswith(cnf.canonical_hash())
+
+
+@pytest.mark.parametrize("text", [
+    "p cnf 3 2\n1 2 0\n-2 3 0\n",
+    "p cnf 3 2\nc ind 1 3 0\n1 2 0\n-2 3 0\n",
+])
+def test_hash_is_stable_across_parses(text):
+    assert (
+        parse_dimacs(text).canonical_hash()
+        == parse_dimacs(text).canonical_hash()
+    )

@@ -272,3 +272,93 @@ class TestExitCodes:
         proc = repro("sample", "tiny.cnf", "--sampler", "bogus", cwd=workdir)
         assert proc.returncode == 2
         assert "unknown sampler" in proc.stderr
+
+
+class TestServeSubmitStatus:
+    """The service verbs, driven the way the README drives them."""
+
+    @pytest.fixture(scope="class")
+    def gateway(self, workdir):
+        """One `repro serve` subprocess; yields its base URL."""
+        import re
+
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--chunk-size", "4", "--coalesce-window", "0.05"],
+            cwd=workdir,
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = proc.stderr.readline()
+            assert "gateway listening on http://" in banner, banner
+            yield re.search(r"http://\S+", banner).group(0)
+        finally:
+            proc.terminate()
+            tail = proc.stderr.read()
+            assert proc.wait(timeout=15) == 0
+            assert "gateway drained and closed" in tail
+
+    def test_submit_streams_the_slice_and_status_reads_back(
+        self, workdir, gateway
+    ):
+        proc = repro("submit", "tiny.cnf", "-n", 8, "--seed", 5,
+                     "--url", gateway, cwd=workdir)
+        assert proc.returncode == 0, proc.stderr
+        assert "c submitted job-" in proc.stderr
+        lines = proc.stdout.splitlines()
+        assert len(lines) == 8
+        records = [json.loads(line) for line in lines]
+        assert all(set(r) == {"chunk", "witness"} for r in records)
+
+        job_id = proc.stderr.split("c submitted ")[1].split()[0]
+        status = repro("status", job_id, "--url", gateway, cwd=workdir)
+        assert status.returncode == 0
+        payload = json.loads(status.stdout)
+        assert payload["state"] == "done"
+        assert payload["delivered"] == 8
+        assert payload["root_seed"] == 5
+
+    def test_same_seed_resubmit_reuses_the_prepare_and_prefixes(
+        self, workdir, gateway
+    ):
+        """Same formula, same seed, same chunk grid: n=4 is the byte
+        prefix of n=8, and the artifact was prepared exactly once."""
+        big = repro("submit", "tiny.cnf", "-n", 8, "--seed", 5,
+                    "--url", gateway, cwd=workdir)
+        small = repro("submit", "tiny.cnf", "-n", 4, "--seed", 5,
+                      "--url", gateway, cwd=workdir)
+        assert big.returncode == 0 and small.returncode == 0
+        assert small.stdout == "".join(
+            line + "\n" for line in big.stdout.splitlines()[:4]
+        )
+        stats = repro("status", "--url", gateway, cwd=workdir)
+        assert stats.returncode == 0
+        assert json.loads(stats.stdout)["cache"]["prepare_calls"] == 1
+
+    def test_no_wait_prints_the_ticket(self, workdir, gateway):
+        proc = repro("submit", "tiny.cnf", "-n", 4, "--seed", 6,
+                     "--no-wait", "--url", gateway, cwd=workdir)
+        assert proc.returncode == 0, proc.stderr
+        ticket = json.loads(proc.stdout)
+        assert ticket["job_id"].startswith("job-")
+        assert ticket["chunk_size"] == 4
+
+    def test_submit_against_a_dead_gateway_exits_2(self, workdir):
+        proc = repro("submit", "tiny.cnf", "-n", 2,
+                     "--url", "http://127.0.0.1:1", cwd=workdir)
+        assert proc.returncode == 2
+        assert "c error" in proc.stderr
+
+    def test_bad_tenant_spec_exits_2(self, workdir):
+        proc = repro("serve", "--tenant", "nocolon", cwd=workdir)
+        assert proc.returncode == 2
+        assert "c error" in proc.stderr

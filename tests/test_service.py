@@ -1,0 +1,804 @@
+"""The sampling-as-a-service tier: cache, quotas, coalescing, gateway.
+
+Four layers, tested innermost-out:
+
+* **Unit mechanisms** — :class:`SingleFlightCache` (LRU + TTL + exactly
+  one build per thundering herd), :class:`TokenBucket` (Retry-After
+  arithmetic on an injected clock), :class:`WeightedRoundRobin` (the
+  smooth ``a a a b a a`` interleave, no idle credit).
+* **Coalescing semantics** — a member's slice of a shared group run is
+  byte-identical to a solo run with the same root seed whenever its
+  ``n`` is a multiple of the chunk size (hypothesis-checked against an
+  independent ``build_plan`` + serial-stream reference).
+* **The gateway over real HTTP** — the ISSUE's acceptance bit: two
+  concurrent ``POST /v1/sample`` for one formula cost exactly one
+  ``prepare()`` and one coalesced group, each caller's stream
+  byte-identical to its solo reference.  Plus every failure path the
+  front door promises: 400/401/404/422/429/503, each with its typed
+  payload (and ``Retry-After`` where the status calls for it).
+* **Eviction mid-coalesce** — a capacity-1 cache churning under an open
+  group must not break the group: it holds its own artifact reference.
+"""
+
+import json
+import threading
+import time
+from http.client import HTTPConnection
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import SamplerConfig, prepare
+from repro.cnf import exactly_k_solutions_formula
+from repro.cnf.dimacs import to_dimacs
+from repro.execution.base import build_plan
+from repro.execution.registry import make_backend
+from repro.service import (
+    Coalescer,
+    GatewayConfig,
+    GatewayThread,
+    ServiceClient,
+    ServiceError,
+    SingleFlightCache,
+    SliceRouter,
+    TenantPolicy,
+    TokenBucket,
+    WeightedRoundRobin,
+    WitnessSlice,
+)
+from repro.sinks import jsonl_witness_line
+
+EPSILON = 6.0
+PREPARE_SEED = 0
+
+
+@pytest.fixture(scope="module")
+def instance():
+    cnf = exactly_k_solutions_formula(5, 8)
+    cnf.sampling_set = range(1, 6)
+    artifact = prepare(
+        cnf, SamplerConfig(epsilon=EPSILON, seed=PREPARE_SEED)
+    )
+    return cnf, to_dimacs(cnf), artifact
+
+
+def solo_lines(artifact, n, *, root_seed, chunk_size, sampler="unigen2"):
+    """The independent reference: a solo serial run's JSONL lines."""
+    plan = build_plan(
+        artifact,
+        n,
+        SamplerConfig(epsilon=EPSILON, seed=root_seed),
+        sampler=sampler,
+        chunk_size=chunk_size,
+    )
+    lines = []
+    for chunk_index, result in make_backend("serial").iter_sample_stream(
+        plan
+    ):
+        if result.ok:
+            lines.append(jsonl_witness_line(chunk_index, result))
+    return lines
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# SingleFlightCache
+# ----------------------------------------------------------------------
+
+
+class TestSingleFlightCache:
+    def test_concurrent_misses_share_exactly_one_build(self):
+        cache = SingleFlightCache(capacity=4)
+        builds = []
+        release = threading.Event()
+        started = threading.Event()
+
+        def build():
+            builds.append(threading.get_ident())
+            started.set()
+            release.wait(timeout=10)
+            return object()
+
+        results = []
+
+        def worker():
+            results.append(cache.get_or_build("k", build))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        threads[0].start()
+        assert started.wait(timeout=10)
+        for thread in threads[1:]:
+            thread.start()
+        # Give the waiters time to latch onto the flight before release.
+        deadline = time.monotonic() + 5
+        while (
+            cache.stats.coalesced_waits < 5
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.005)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(builds) == 1
+        assert len(results) == 6
+        assert len({id(value) for value in results}) == 1
+        assert cache.stats.prepare_calls == 1
+        assert cache.stats.coalesced_waits == 5
+
+    def test_hit_and_lru_eviction(self):
+        cache = SingleFlightCache(capacity=2)
+        cache.get_or_build("a", lambda: "A")
+        cache.get_or_build("b", lambda: "B")
+        assert cache.get_or_build("a", lambda: "A2") == "A"  # hit, no build
+        cache.get_or_build("c", lambda: "C")  # evicts b (a was refreshed)
+        assert "b" not in cache
+        assert cache.peek("a") == "A" and cache.peek("c") == "C"
+        assert cache.stats.evictions == 1
+        assert cache.stats.hits == 1
+        assert len(cache) == 2
+
+    def test_ttl_expiry_on_injected_clock(self):
+        clock = FakeClock()
+        cache = SingleFlightCache(capacity=4, ttl_s=10.0, clock=clock)
+        cache.get_or_build("k", lambda: "v1")
+        clock.advance(9.9)
+        assert cache.peek("k") == "v1"
+        clock.advance(0.2)
+        assert cache.peek("k") is None
+        assert cache.stats.expirations == 1
+        assert cache.get_or_build("k", lambda: "v2") == "v2"
+        assert cache.stats.prepare_calls == 2
+
+    def test_failed_build_propagates_and_caches_nothing(self):
+        cache = SingleFlightCache(capacity=4)
+        boom = RuntimeError("prepare exploded")
+
+        def bad_build():
+            raise boom
+
+        with pytest.raises(RuntimeError, match="prepare exploded"):
+            cache.get_or_build("k", bad_build)
+        assert cache.stats.errors == 1
+        assert "k" not in cache
+        # The next request retries rather than inheriting the corpse.
+        assert cache.get_or_build("k", lambda: "ok") == "ok"
+
+    def test_invalidate_and_validation(self):
+        cache = SingleFlightCache(capacity=1)
+        cache.get_or_build("k", lambda: "v")
+        assert cache.invalidate("k") is True
+        assert cache.invalidate("k") is False
+        with pytest.raises(ValueError):
+            SingleFlightCache(capacity=0)
+        with pytest.raises(ValueError):
+            SingleFlightCache(ttl_s=0)
+
+
+# ----------------------------------------------------------------------
+# Quotas
+# ----------------------------------------------------------------------
+
+
+class TestTokenBucket:
+    def test_burst_then_retry_after_arithmetic(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2, 0.5, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        # Empty: one token at 0.5/s is 2 seconds away.
+        assert bucket.try_acquire() == pytest.approx(2.0)
+        clock.advance(2.0)
+        assert bucket.try_acquire() == 0.0
+
+    def test_refill_caps_at_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(3, 10.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.tokens == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0, 1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(1, 0.0)
+        with pytest.raises(ValueError):
+            TenantPolicy("t", burst=0)
+        with pytest.raises(ValueError):
+            TenantPolicy("t", refill_per_s=-1)
+        with pytest.raises(ValueError):
+            TenantPolicy("t", weight=0)
+
+
+class TestWeightedRoundRobin:
+    def test_smooth_5_to_1_interleave(self):
+        wrr = WeightedRoundRobin()
+        wrr.set_weight("a", 5)
+        wrr.set_weight("b", 1)
+        for i in range(5):
+            wrr.push("a", f"a{i}")
+        wrr.push("b", "b0")
+        picks = [wrr.pop()[0] for _ in range(6)]
+        # The nginx smooth sequence: b lands mid-cycle, not at the end.
+        assert picks == ["a", "a", "a", "b", "a", "a"]
+        assert wrr.pop() is None
+
+    def test_fifo_within_a_tenant(self):
+        wrr = WeightedRoundRobin()
+        wrr.push("t", 1)
+        wrr.push("t", 2)
+        assert [wrr.pop()[1], wrr.pop()[1]] == [1, 2]
+
+    def test_idle_tenant_accumulates_no_credit(self):
+        wrr = WeightedRoundRobin()
+        wrr.set_weight("a", 1)
+        wrr.set_weight("b", 1)
+        # a drains alone: whatever credit dance happened is purged.
+        for i in range(4):
+            wrr.push("a", i)
+        while wrr.pop() is not None:
+            pass
+        # Now both queue one item; the restart is fair, not biased by
+        # a's solo history.
+        wrr.push("a", "x")
+        wrr.push("b", "y")
+        picked = {wrr.pop()[0], wrr.pop()[0]}
+        assert picked == {"a", "b"}
+        assert len(wrr) == 0
+        with pytest.raises(ValueError):
+            wrr.set_weight("c", 0)
+
+
+# ----------------------------------------------------------------------
+# Coalescing
+# ----------------------------------------------------------------------
+
+
+class TestCoalescing:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        chunk_size=st.sampled_from([2, 4]),
+        mult_small=st.integers(1, 2),
+        mult_extra=st.integers(0, 2),
+        root_seed=st.integers(0, 2**32 - 1),
+    )
+    def test_member_slices_are_byte_identical_to_solo_runs(
+        self, instance, chunk_size, mult_small, mult_extra, root_seed
+    ):
+        """The coalescing identity, against an independent reference.
+
+        Both members' ``n`` are multiples of the chunk size, so every
+        shared task row (including attempt budgets) matches the solo
+        plan's rows exactly — the slices must agree byte for byte.
+        """
+        _cnf, _dimacs, artifact = instance
+        n_small = mult_small * chunk_size
+        n_big = (mult_small + mult_extra) * chunk_size
+        coalescer = Coalescer()
+        small, big = WitnessSlice(n_small), WitnessSlice(n_big)
+        first = coalescer.submit(
+            artifact, SamplerConfig(epsilon=EPSILON), small,
+            sampler="unigen2", chunk_size=chunk_size, root_seed=root_seed,
+        )
+        second = coalescer.submit(
+            artifact, SamplerConfig(epsilon=EPSILON), big,
+            sampler="unigen2", chunk_size=chunk_size, root_seed=root_seed,
+        )
+        assert second.group is first.group and not second.created
+        coalescer.seal(first.group)
+        plan = first.group.run(make_backend("serial"))
+        assert plan.n == n_big
+        for member, n in ((small, n_small), (big, n_big)):
+            reference = solo_lines(
+                artifact, n, root_seed=root_seed, chunk_size=chunk_size
+            )
+            assert member.lines == reference[:n]
+            assert member.complete
+
+    def test_seedless_requests_join_any_open_group(self, instance):
+        _cnf, _dimacs, artifact = instance
+        coalescer = Coalescer()
+        a, b = WitnessSlice(4), WitnessSlice(4)
+        config = SamplerConfig(epsilon=EPSILON)
+        first = coalescer.submit(
+            artifact, config, a,
+            sampler="unigen2", chunk_size=4, root_seed=None,
+        )
+        second = coalescer.submit(
+            artifact, config, b,
+            sampler="unigen2", chunk_size=4, root_seed=None,
+        )
+        assert second.group is first.group
+        assert coalescer.joins == 1 and coalescer.groups_opened == 1
+
+    def test_distinct_explicit_seeds_never_share_a_group(self, instance):
+        _cnf, _dimacs, artifact = instance
+        coalescer = Coalescer()
+        config = SamplerConfig(epsilon=EPSILON)
+        first = coalescer.submit(
+            artifact, config, WitnessSlice(4),
+            sampler="unigen2", chunk_size=4, root_seed=1,
+        )
+        second = coalescer.submit(
+            artifact, config, WitnessSlice(4),
+            sampler="unigen2", chunk_size=4, root_seed=2,
+        )
+        assert second.group is not first.group
+        assert coalescer.groups_opened == 2 and coalescer.joins == 0
+
+    def test_max_members_seals_on_the_filling_join(self, instance):
+        _cnf, _dimacs, artifact = instance
+        coalescer = Coalescer(max_members=2)
+        config = SamplerConfig(epsilon=EPSILON)
+        first = coalescer.submit(
+            artifact, config, WitnessSlice(4),
+            sampler="unigen2", chunk_size=4, root_seed=5,
+        )
+        assert not first.sealed
+        second = coalescer.submit(
+            artifact, config, WitnessSlice(4),
+            sampler="unigen2", chunk_size=4, root_seed=5,
+        )
+        assert second.sealed and second.group.sealed
+        assert coalescer.open_groups() == 0
+        # Sealing again is a no-op, not a second transition.
+        assert coalescer.seal(second.group) is False
+        # A third request opens a fresh group rather than joining.
+        third = coalescer.submit(
+            artifact, config, WitnessSlice(4),
+            sampler="unigen2", chunk_size=4, root_seed=5,
+        )
+        assert third.created and third.group is not second.group
+
+    def test_max_members_one_disables_coalescing(self, instance):
+        _cnf, _dimacs, artifact = instance
+        coalescer = Coalescer(max_members=1)
+        outcome = coalescer.submit(
+            artifact, SamplerConfig(epsilon=EPSILON), WitnessSlice(2),
+            sampler="unigen2", chunk_size=2, root_seed=None,
+        )
+        assert outcome.created and outcome.sealed
+
+    def test_run_before_seal_is_a_programming_error(self, instance):
+        _cnf, _dimacs, artifact = instance
+        outcome = Coalescer().submit(
+            artifact, SamplerConfig(epsilon=EPSILON), WitnessSlice(2),
+            sampler="unigen2", chunk_size=2, root_seed=0,
+        )
+        with pytest.raises(RuntimeError, match="sealed"):
+            outcome.group.run(make_backend("serial"))
+
+    def test_router_attributes_bottoms_to_intersecting_members(self):
+        from repro.core.base import SampleResult
+
+        small, big = WitnessSlice(2), WitnessSlice(4)
+        router = SliceRouter(2, [small, big])
+        ok = SampleResult(witness={1: True})
+        bot = SampleResult(witness=None)
+        router.feed(0, ok)    # slot 0 → both
+        router.feed(0, bot)   # chunk 0 ⊥ → both ranges intersect
+        router.feed(0, ok)    # slot 1 → both
+        router.feed(1, bot)   # chunk 1 ⊥ → only big's range reaches it
+        router.feed(1, ok)    # slot 2 → big only
+        router.feed(1, ok)    # slot 3 → big only
+        assert small.delivered == 2 and small.failed_attempts == 1
+        assert big.delivered == 4 and big.failed_attempts == 2
+        assert small.complete and big.complete
+        assert big.lines[:2] == small.lines
+
+
+# ----------------------------------------------------------------------
+# The gateway over real HTTP
+# ----------------------------------------------------------------------
+
+
+def raw_witness_lines(url, job_id):
+    """Fetch a job's stream as raw bytes (byte-identity needs no JSON
+    round-trip on the reading side)."""
+    host, port = url.split("//")[1].split(":")
+    conn = HTTPConnection(host, int(port), timeout=60)
+    try:
+        conn.request("GET", f"/v1/jobs/{job_id}/witnesses")
+        response = conn.getresponse()
+        assert response.status == 200
+        body = response.read()
+    finally:
+        conn.close()
+    return body.decode("utf-8").splitlines()
+
+
+@pytest.fixture(scope="module")
+def open_gateway(instance):
+    """One anonymous serial-backend gateway shared by the happy paths."""
+    config = GatewayConfig(
+        chunk_size=4,
+        coalesce_window_s=0.25,
+        max_n=64,
+        prepare_seed=PREPARE_SEED,
+        epsilon=EPSILON,
+        # The whole module hammers this one gateway; admission control
+        # has its own dedicated tests with a tight bucket.
+        default_policy=TenantPolicy(
+            "anonymous", burst=256, refill_per_s=200.0
+        ),
+    )
+    with GatewayThread(config) as gw:
+        yield gw
+
+
+class TestGatewayHttp:
+    def test_acceptance_two_concurrent_samples_one_prepare_one_group(
+        self, open_gateway, instance
+    ):
+        """The ISSUE's acceptance bit, over a real socket."""
+        _cnf, dimacs, artifact = instance
+        gw = open_gateway
+        client = ServiceClient(gw.url)
+        before = client.stats()
+        tickets = [None, None]
+        errors = []
+
+        def submit(index, n):
+            try:
+                tickets[index] = client.sample(dimacs, n, seed=42)
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=submit, args=(0, 16)),
+            threading.Thread(target=submit, args=(1, 8)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        statuses = [
+            client.wait(ticket["job_id"], timeout_s=120)
+            for ticket in tickets
+        ]
+
+        # Exactly one prepare() and one coalesced group served both.
+        after = client.stats()
+        assert (
+            after["cache"]["prepare_calls"]
+            - before["cache"]["prepare_calls"]
+        ) == 1
+        assert (
+            after["coalescer"]["groups_opened"]
+            - before["coalescer"]["groups_opened"]
+        ) == 1
+        assert (
+            after["coalescer"]["joins"] - before["coalescer"]["joins"]
+        ) == 1
+        assert sorted(t["coalesced"] for t in tickets) == [False, True]
+        assert tickets[0]["root_seed"] == tickets[1]["root_seed"] == 42
+        for status, n in zip(statuses, (16, 8)):
+            assert status["state"] == "done"
+            assert status["delivered"] == n
+            assert status["coalesced_with"] == 1
+
+        # Each caller's stream is byte-identical to its solo reference.
+        reference = solo_lines(artifact, 16, root_seed=42, chunk_size=4)
+        big = raw_witness_lines(gw.url, tickets[0]["job_id"])
+        small = raw_witness_lines(gw.url, tickets[1]["job_id"])
+        assert big == reference
+        assert small == solo_lines(artifact, 8, root_seed=42, chunk_size=4)
+        assert small == big[:8]
+
+    def test_prepare_endpoint_reports_cache_state(
+        self, open_gateway, instance
+    ):
+        _cnf, dimacs, artifact = instance
+        client = ServiceClient(open_gateway.url)
+        first = client.prepare(dimacs)
+        assert first["key"] == artifact.cache_key()
+        assert first["epsilon"] == EPSILON
+        second = client.prepare(dimacs)
+        assert second["cached"] is True
+        assert second["q"] == first["q"]
+
+    def test_job_status_404_and_unknown_path_404(self, open_gateway):
+        client = ServiceClient(open_gateway.url)
+        with pytest.raises(ServiceError) as excinfo:
+            client.job("job-nope-1")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/v2/healthz")
+        assert excinfo.value.status == 404
+        assert client.health() == {"ok": True}
+
+    def test_bad_requests_are_typed_400s(self, open_gateway, instance):
+        _cnf, dimacs, _artifact = instance
+        client = ServiceClient(open_gateway.url)
+        cases = [
+            ("/v1/sample", {"dimacs": dimacs}),              # missing n
+            ("/v1/sample", {"dimacs": dimacs, "n": 0}),      # n < 1
+            ("/v1/sample", {"dimacs": dimacs, "n": True}),   # bool n
+            ("/v1/sample", {"dimacs": dimacs, "n": 65}),     # over max_n
+            ("/v1/sample", {"dimacs": dimacs, "n": 2, "seed": "x"}),
+            ("/v1/sample", {"dimacs": "p cnf oops", "n": 2}),
+            ("/v1/sample", {"n": 2}),                        # no dimacs
+            ("/v1/prepare", {"dimacs": dimacs, "epsilon": "wide"}),
+        ]
+        for path, payload in cases:
+            with pytest.raises(ServiceError) as excinfo:
+                client._request("POST", path, payload)
+            assert excinfo.value.status == 400, (path, payload)
+
+    def test_unsat_formula_is_a_422(self, open_gateway):
+        client = ServiceClient(open_gateway.url)
+        with pytest.raises(ServiceError) as excinfo:
+            client.sample("p cnf 1 2\n1 0\n-1 0\n", 2)
+        assert excinfo.value.status == 422
+        assert "unsatisfiable" in str(excinfo.value)
+
+    def test_over_quota_is_429_with_retry_after(self, instance):
+        _cnf, dimacs, _artifact = instance
+        config = GatewayConfig(
+            chunk_size=4,
+            max_n=64,
+            prepare_seed=PREPARE_SEED,
+            tenants={
+                "sekrit": TenantPolicy(
+                    "slowpoke", burst=1, refill_per_s=0.01
+                )
+            },
+        )
+        with GatewayThread(config) as gw:
+            client = ServiceClient(gw.url, api_key="sekrit")
+            ticket = client.sample(dimacs, 4, seed=3)
+            with pytest.raises(ServiceError) as excinfo:
+                client.sample(dimacs, 4, seed=3)
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after_s >= 1
+            stats = client.stats()
+            assert stats["counters"]["quota_rejections"] == 1
+            assert "slowpoke" in stats["tenants"]
+            # The admitted job still completes normally.
+            assert client.wait(ticket["job_id"], timeout_s=120)[
+                "state"
+            ] == "done"
+
+    def test_missing_key_is_401_when_anonymous_disabled(self, instance):
+        _cnf, dimacs, _artifact = instance
+        config = GatewayConfig(
+            max_n=64,
+            prepare_seed=PREPARE_SEED,
+            tenants={"good-key": TenantPolicy("member")},
+            allow_anonymous=False,
+        )
+        with GatewayThread(config) as gw:
+            with pytest.raises(ServiceError) as excinfo:
+                ServiceClient(gw.url).prepare(dimacs)
+            assert excinfo.value.status == 401
+            with pytest.raises(ServiceError) as excinfo:
+                ServiceClient(gw.url, api_key="wrong").prepare(dimacs)
+            assert excinfo.value.status == 401
+            assert ServiceClient(gw.url, api_key="good-key").prepare(
+                dimacs
+            )["key"]
+
+    def test_dead_broker_is_503_with_retry_after(self, instance):
+        _cnf, dimacs, _artifact = instance
+        config = GatewayConfig(
+            backend="broker",
+            broker="tcp://127.0.0.1:1",  # nothing listens on port 1
+            max_n=64,
+            retry_after_s=2.0,
+        )
+        with GatewayThread(config) as gw:
+            client = ServiceClient(gw.url)
+            with pytest.raises(ServiceError) as excinfo:
+                client.sample(dimacs, 4)
+            assert excinfo.value.status == 503
+            assert excinfo.value.retry_after_s == 2
+            assert client.stats()["counters"]["broker_unavailable"] == 1
+
+    def test_cache_eviction_mid_coalesce_does_not_break_the_group(
+        self, instance
+    ):
+        """A capacity-1 cache churns while a group is still open; the
+        group holds its own artifact reference and must run to done."""
+        _cnf, dimacs, artifact = instance
+        other = exactly_k_solutions_formula(4, 4)
+        other.sampling_set = range(1, 5)
+        config = GatewayConfig(
+            chunk_size=2,
+            coalesce_window_s=0.6,
+            cache_capacity=1,
+            max_n=64,
+            prepare_seed=PREPARE_SEED,
+            epsilon=EPSILON,
+        )
+        with GatewayThread(config) as gw:
+            client = ServiceClient(gw.url)
+            first = client.sample(dimacs, 4, seed=11)  # opens the group
+            client.prepare(to_dimacs(other))  # evicts the group's entry
+            second = client.sample(dimacs, 2, seed=11)  # re-prepares, joins
+            assert second["coalesced"] is True
+            for ticket, n in ((first, 4), (second, 2)):
+                status = client.wait(ticket["job_id"], timeout_s=120)
+                assert status["state"] == "done"
+                assert status["delivered"] == n
+            stats = client.stats()
+            assert stats["cache"]["evictions"] >= 2
+            assert stats["cache"]["prepare_calls"] == 3
+            assert stats["coalescer"]["groups_opened"] == 1
+            small = raw_witness_lines(gw.url, second["job_id"])
+            big = raw_witness_lines(gw.url, first["job_id"])
+            assert small == big[:2]
+            assert big == solo_lines(
+                artifact, 4, root_seed=11, chunk_size=2
+            )
+
+    def test_stream_follows_a_live_job(self, open_gateway, instance):
+        """witnesses() started before the job resolves still drains it."""
+        _cnf, dimacs, _artifact = instance
+        client = ServiceClient(open_gateway.url)
+        ticket = client.sample(dimacs, 8, seed=77)
+        records = list(client.witnesses(ticket["job_id"]))
+        assert len(records) == 8
+        assert all(
+            set(record) == {"chunk", "witness"} for record in records
+        )
+        status = client.job(ticket["job_id"])
+        assert status["state"] == "done"
+
+    def test_client_rejects_non_http_urls(self):
+        with pytest.raises(ValueError):
+            ServiceClient("ftp://example.org")
+        with pytest.raises(ValueError):
+            ServiceClient("http://")
+
+    def test_malformed_request_line_gets_a_400(self, open_gateway):
+        import socket
+
+        host, port = open_gateway.url.split("//")[1].split(":")
+        with socket.create_connection((host, int(port)), timeout=10) as s:
+            s.sendall(b"NONSENSE\r\n\r\n")
+            reply = s.recv(4096)
+        assert reply.startswith(b"HTTP/1.1 400")
+
+
+class TestGatewayFairness:
+    def test_weighted_tenant_drains_ahead_under_contention(self, instance):
+        """Queued groups dispatch by weight: with one run slot, a
+        weight-4 tenant's backlog beats a weight-1 tenant's."""
+        _cnf, dimacs, _artifact = instance
+        config = GatewayConfig(
+            chunk_size=2,
+            coalesce_window_s=0.05,
+            max_group_members=1,  # every request is its own group
+            max_concurrent_groups=1,
+            max_n=64,
+            prepare_seed=PREPARE_SEED,
+            tenants={
+                "heavy-key": TenantPolicy(
+                    "heavy", burst=16, refill_per_s=50.0, weight=4
+                ),
+                "light-key": TenantPolicy(
+                    "light", burst=16, refill_per_s=50.0, weight=1
+                ),
+            },
+        )
+        with GatewayThread(config) as gw:
+            heavy = ServiceClient(gw.url, api_key="heavy-key")
+            light = ServiceClient(gw.url, api_key="light-key")
+            tickets = []
+            for _ in range(3):
+                tickets.append(("heavy", heavy.sample(dimacs, 2, seed=1)))
+                tickets.append(("light", light.sample(dimacs, 2, seed=2)))
+            done = [
+                (tenant, heavy.wait(ticket["job_id"], timeout_s=120))
+                for tenant, ticket in tickets
+            ]
+            assert all(status["state"] == "done" for _, status in done)
+            stats = heavy.stats()
+            assert stats["counters"]["groups_dispatched"] >= 6
+
+
+# ----------------------------------------------------------------------
+# The CLI verbs, in-process
+# ----------------------------------------------------------------------
+
+
+class TestCliInProcess:
+    """`repro submit` / `status` / serve's argument plumbing, via main().
+
+    The golden suite drives these as real subprocesses; these calls run
+    them in-process so the verb bodies show up in coverage too.
+    """
+
+    def test_submit_writes_the_slice_and_status_reads_it(
+        self, open_gateway, instance, tmp_path, capsys
+    ):
+        from repro.experiments.cli import main
+
+        _cnf, dimacs, artifact = instance
+        path = tmp_path / "f.cnf"
+        path.write_text(dimacs)
+        out = tmp_path / "w.jsonl"
+        assert main(["submit", str(path), "-n", "4", "--seed", "9",
+                     "--url", open_gateway.url, "--out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "c submitted job-" in captured.err
+        job_id = captured.err.split("c submitted ")[1].split()[0]
+        lines = out.read_text().splitlines()
+        assert lines == solo_lines(
+            artifact, 4, root_seed=9, chunk_size=4
+        )
+
+        assert main(["status", job_id, "--url", open_gateway.url]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["state"] == "done" and payload["delivered"] == 4
+
+        assert main(["status", "--url", open_gateway.url]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["cache"]["prepare_calls"] >= 1
+
+    def test_submit_no_wait_prints_the_ticket(
+        self, open_gateway, instance, tmp_path, capsys
+    ):
+        from repro.experiments.cli import main
+
+        _cnf, dimacs, _artifact = instance
+        path = tmp_path / "f.cnf"
+        path.write_text(dimacs)
+        assert main(["submit", str(path), "-n", "4", "--no-wait",
+                     "--url", open_gateway.url]) == 0
+        ticket = json.loads(capsys.readouterr().out)
+        assert ticket["job_id"].startswith("job-")
+        assert ticket["chunk_size"] == 4
+
+    def test_submit_error_paths(self, tmp_path, capsys, instance):
+        from repro.experiments.cli import main
+
+        _cnf, dimacs, _artifact = instance
+        assert main(["submit", str(tmp_path / "missing.cnf"), "-n", "1",
+                     "--url", "http://127.0.0.1:1"]) == 2
+        path = tmp_path / "f.cnf"
+        path.write_text(dimacs)
+        assert main(["submit", str(path), "-n", "1",
+                     "--url", "http://127.0.0.1:1"]) == 2
+        assert "c error" in capsys.readouterr().err
+
+    def test_serve_argument_errors_exit_2(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["serve", "--tenant", "nocolon"]) == 2
+        assert "--tenant needs" in capsys.readouterr().err
+        assert main(["serve", "--backend", "broker"]) == 2
+        assert "needs --broker" in capsys.readouterr().err
+
+    def test_parse_tenant_spec_forms(self):
+        from repro.experiments.cli import _parse_tenant
+
+        key, policy = _parse_tenant("acme:sekrit:16:2.5:3")
+        assert key == "sekrit"
+        assert policy.name == "acme"
+        assert policy.burst == 16
+        assert policy.refill_per_s == 2.5
+        assert policy.weight == 3
+        key, policy = _parse_tenant("acme:sekrit")
+        assert (policy.burst, policy.refill_per_s, policy.weight) == (
+            8, 4.0, 1
+        )
+        with pytest.raises(ValueError):
+            _parse_tenant("acme")
+        with pytest.raises(ValueError):
+            _parse_tenant("acme:sekrit:lots")

@@ -615,3 +615,131 @@ def _spawn_cli_worker(url, *extra):
         stdout=subprocess.DEVNULL,
         stderr=subprocess.DEVNULL,
     )
+
+
+class TestBrokerAuth:
+    """The shared-secret hello: satellite (b) of the service-tier PR."""
+
+    TOKEN = "hunter2"
+
+    def test_authenticated_client_runs_the_full_protocol(self):
+        with BrokerServer(auth_token=self.TOKEN).start() as server:
+            client = TcpBroker(*server.address, token=self.TOKEN)
+            assert client.ping()["jobs"] == 0
+            synthetic_job(client)
+            lease = client.lease("w1")
+            client.ack(lease, raw_result(lease.task))
+            assert client.done_count() == 1
+            client.close()
+
+    def test_wrong_token_is_rejected_at_hello(self):
+        with BrokerServer(auth_token=self.TOKEN).start() as server:
+            client = TcpBroker(*server.address, token="letmein")
+            with pytest.raises(DistributedError,
+                               match="rejected the auth token"):
+                client.ping()
+            client.close()
+
+    def test_missing_token_is_rejected_before_any_op(self):
+        with BrokerServer(auth_token=self.TOKEN).start() as server:
+            client = TcpBroker(*server.address)
+            with pytest.raises(DistributedError,
+                               match="requires authentication"):
+                client.ping()
+            client.close()
+
+    def test_hello_against_an_open_server_is_harmless(self):
+        with BrokerServer().start() as server:
+            client = TcpBroker(*server.address, token="whatever")
+            assert client.ping()["jobs"] == 0
+            client.close()
+
+    def test_reconnect_reauthenticates(self):
+        with BrokerServer(auth_token=self.TOKEN).start() as server:
+            client = TcpBroker(*server.address, token=self.TOKEN)
+            assert client.ping()["jobs"] == 0
+            client.close()  # drop the socket; next op must redo the hello
+            assert client.ping()["jobs"] == 0
+            client.close()
+
+    def test_spool_targets_reject_a_token(self, tmp_path):
+        with pytest.raises(ValueError, match="tcp://"):
+            connect_broker(tmp_path / "spool", token=self.TOKEN)
+
+
+class TestGracefulShutdown:
+    """Satellite (c): drain in-flight connections, orphan no sockets."""
+
+    def test_close_gracefully_drains_the_connection_census(self):
+        server = BrokerServer().start()
+        client = TcpBroker(*server.address)
+        assert client.ping()["jobs"] == 0
+        assert server.connection_count() == 1
+        server.close_gracefully()
+        assert server.connection_count() == 0
+        with pytest.raises(DistributedError):
+            client.ping()
+        client.close()
+
+    def test_brokerd_sigterm_drains_and_exits_zero(self):
+        import re
+
+        proc = _spawn_brokerd()
+        client = None
+        try:
+            banner = proc.stderr.readline()
+            assert "brokerd listening on tcp://" in banner
+            url = re.search(r"tcp://\S+", banner).group(0)
+            client = TcpBroker.from_url(url)
+            assert client.ping()["jobs"] == 0
+            proc.send_signal(signal.SIGTERM)
+            tail = proc.stderr.read()  # pipe closes when the daemon exits
+            assert "draining connections" in tail
+            assert "drained and closed" in tail
+            assert proc.wait(timeout=15) == 0
+            # The served connection was shut down, not orphaned: every
+            # further op fails fast instead of hanging on a dead socket.
+            with pytest.raises((DistributedError, ConnectionError, OSError)):
+                client.ping()
+        finally:
+            if client is not None:
+                client.close()
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    def test_brokerd_auth_token_flag_guards_the_socket(self):
+        import re
+
+        proc = _spawn_brokerd("--auth-token", "hunter2")
+        try:
+            banner = proc.stderr.readline()
+            assert "(authenticated)" in banner
+            url = re.search(r"tcp://\S+", banner).group(0)
+            nosy = connect_broker(url)
+            with pytest.raises(DistributedError,
+                               match="requires authentication"):
+                nosy.ping()
+            nosy.close()
+            good = connect_broker(url, token="hunter2")
+            assert good.ping()["jobs"] == 0
+            good.close()
+        finally:
+            proc.terminate()
+            assert proc.wait(timeout=15) == 0
+
+
+def _spawn_brokerd(*extra):
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "brokerd", "--port", "0", *extra],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )

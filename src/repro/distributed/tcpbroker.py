@@ -138,6 +138,7 @@ def parse_tcp_url(url: str) -> tuple[str, int]:
 def connect_broker(
     target: str | Path, *, token: str | None = None,
     clock: Clock = wall_clock,
+    retry_window_s: float = 0.0,
 ) -> Broker:
     """One resolver for every CLI broker target.
 
@@ -145,11 +146,15 @@ def connect_broker(
     spool directory for a :class:`~repro.distributed.filebroker.FileBroker`.
     ``token`` is the brokerd shared secret (TCP only — a spool directory
     has no authentication seam, so passing a token for one is an error,
-    not a silent no-op).
+    not a silent no-op).  ``retry_window_s`` is how long idempotent TCP
+    calls ride out an unreachable brokerd (``--broker-retry``); a spool
+    directory never disconnects, so there it is a harmless no-op rather
+    than an error — workers pass it regardless of transport.
     """
     if isinstance(target, str) and target.startswith("tcp://"):
         host, port = parse_tcp_url(target)
-        return TcpBroker(host, port, token=token)
+        return TcpBroker(host, port, token=token,
+                         retry_window_s=retry_window_s)
     if token is not None:
         raise ValueError(
             f"--auth-token only applies to tcp:// brokers, not the spool "
@@ -172,6 +177,9 @@ class TcpBroker(Broker):
     the worker's heartbeat thread shares the instance with the chunk
     loop) and reconnecting: a dropped connection is retried once per
     call before surfacing as :class:`~repro.errors.DistributedError`.
+    With ``retry_window_s > 0`` idempotent calls keep retrying (with a
+    short backoff) for that long instead — the knob that lets workers
+    and coordinators ride out a brokerd restart on a spool journal.
     """
 
     def __init__(
@@ -183,6 +191,8 @@ class TcpBroker(Broker):
         token: str | None = None,
         connect_timeout_s: float = 10.0,
         op_timeout_s: float = 60.0,
+        retry_window_s: float = 0.0,
+        retry_backoff_s: float = 0.25,
     ):
         self.host = host
         self.port = port
@@ -194,6 +204,12 @@ class TcpBroker(Broker):
         #: fails its first call instead of hanging.
         self.token = token
         self._connect_timeout_s = connect_timeout_s
+        #: How long idempotent ops keep retrying a dead connection before
+        #: surfacing.  0.0 preserves the historical single immediate
+        #: retry; a positive window makes this client survive a brokerd
+        #: that is SIGKILLed and restarted on the same spool journal.
+        self._retry_window_s = retry_window_s
+        self._retry_backoff_s = retry_backoff_s
         #: Per-operation read deadline.  Every op is an in-memory lookup
         #: server-side, so a response that takes this long means the
         #: daemon is hung or the network is partitioned — without a
@@ -267,10 +283,13 @@ class TcpBroker(Broker):
         # duplicate job that orphan workers then drain twice.  (The
         # others are safe: reads are pure, lease at worst grants a lease
         # that ages out, and ack/nack/heartbeat are lease-id fenced.)
+        # With a retry window, the same idempotent ops keep retrying on a
+        # backoff until the window (opened at the first failure) closes.
         retry_ok = op != "submit"
         with self._lock:
             response = None
-            for attempt in (1, 2):
+            deadline: float | None = None
+            while True:
                 try:
                     if self._sock is None:
                         self._connect()
@@ -281,11 +300,25 @@ class TcpBroker(Broker):
                     break
                 except (OSError, ConnectionError) as exc:
                     self._disconnect()
-                    if attempt == 2 or not retry_ok:
+                    if not retry_ok:
                         raise DistributedError(
                             f"brokerd at tcp://{self.host}:{self.port} "
                             f"unreachable ({op}): {exc}"
                         ) from exc
+                    now = time.monotonic()
+                    if deadline is None:
+                        # First failure: open the window and take the
+                        # historical immediate retry (no sleep).
+                        deadline = now + self._retry_window_s
+                        continue
+                    if now >= deadline:
+                        raise DistributedError(
+                            f"brokerd at tcp://{self.host}:{self.port} "
+                            f"unreachable ({op}): {exc}"
+                        ) from exc
+                    time.sleep(
+                        min(self._retry_backoff_s, max(deadline - now, 0.0))
+                    )
                 except DistributedError:
                     # Framing trouble (oversized or non-JSON line): the
                     # stream may be stuck mid-line, so any further read
@@ -492,12 +525,34 @@ class _TCPServer(socketserver.ThreadingTCPServer):
 
 
 class BrokerServer:
-    """``repro brokerd``: many concurrent jobs, one InMemoryBroker each.
+    """``repro brokerd``: many concurrent jobs, one broker each.
 
     The job table is append-ordered; unpinned requests (workers) resolve
     to the oldest incomplete job so a fleet drains jobs in submission
-    order.  ``purge`` drops a job from the table — its memory is the only
-    durable state, so a purged job is simply gone.
+    order.  ``purge`` drops a job from the table.
+
+    Durability is the ``spool`` knob.  Without it (the historical
+    default) every job is an :class:`~repro.distributed.broker.
+    InMemoryBroker` and a daemon restart loses all in-flight work.  With
+    ``spool=DIR`` each job lives in its own
+    :class:`~repro.distributed.filebroker.FileBroker` under a
+    sequence-numbered subdirectory::
+
+        spool/
+          00001/job.json pending/ leased/ results/ lost/ requeues.log
+          00002/…
+
+    so every submitted payload, lease, ack, and result is journaled via
+    the FileBroker's atomic-rename machinery.  A restarted daemon
+    replays the journal on construction: jobs reappear under their
+    original ids in submission order, already-acked results are served
+    from disk, and unacked chunks are still pending — or sit in
+    ``leased/`` until the coordinator's normal ``requeue_expired`` scan
+    re-issues them *with their original derived seeds*, so the merged
+    stream stays byte-identical to an uninterrupted run.  Lease files
+    persist their lease ids across the restart, which keeps fencing
+    honest for workers that outlived the daemon: a surviving worker's
+    ack/heartbeat lands exactly as if the daemon had never blinked.
     """
 
     def __init__(
@@ -507,20 +562,75 @@ class BrokerServer:
         *,
         auth_token: str | None = None,
         clock: Clock = wall_clock,
+        spool: str | Path | None = None,
     ):
         self._clock = clock
         self._lock = threading.RLock()
-        self._jobs: dict[str, InMemoryBroker] = {}
+        self._jobs: dict[str, Broker] = {}
         self._order: list[str] = []
         #: job id → last pinned access (the reaper's liveness signal).
         self._touched: dict[str, float] = {}
         #: Shared secret; ``None`` = open daemon (the historical default).
         self.auth_token = auth_token
+        #: Journal root (None = in-memory jobs, nothing survives).
+        self.spool = None if spool is None else Path(spool)
+        #: Next journal subdirectory sequence number.
+        self._job_seq = 1
+        #: Jobs restored from the journal at construction (CLI banner).
+        self.replayed_jobs = 0
+        if self.spool is not None:
+            self.spool.mkdir(parents=True, exist_ok=True)
+            self._replay()
         self._conn_lock = threading.Lock()
         self._connections: set[socket.socket] = set()
         self._tcp = _TCPServer((host, port), _Handler)
         self._tcp.broker_server = self
         self._thread: threading.Thread | None = None
+
+    def _replay(self) -> None:
+        """Rebuild the job table from the spool journal (startup only).
+
+        Subdirectory names are zero-padded submission sequence numbers,
+        so a sorted scan restores submission order — the order unpinned
+        workers drain in.  A subdirectory without a ``job.json`` is a
+        submit or purge that crashed mid-flight: its queue was never
+        published (or was already being torn down), so it is skipped —
+        but its sequence number is still honoured so new submissions
+        never collide with it.  A corrupt journal entry is skipped the
+        same way rather than wedging the daemon at boot.
+        """
+        from .filebroker import FileBroker
+
+        for entry in sorted(self.spool.iterdir()):
+            if not entry.is_dir():
+                continue
+            try:
+                seq = int(entry.name)
+            except ValueError:
+                continue  # a foreign directory, not ours
+            self._job_seq = max(self._job_seq, seq + 1)
+            broker = FileBroker(entry, clock=self._clock)
+            try:
+                spec = broker.job()
+            except DistributedError:
+                continue  # corrupt job.json — skip, keep serving the rest
+            if spec is None:
+                continue  # unpublished (crashed submit) or purged dir
+            self._jobs[spec.job_id] = broker
+            self._order.append(spec.job_id)
+            self._touched[spec.job_id] = self._clock()
+            self.replayed_jobs += 1
+
+    def _new_job_broker(self) -> Broker:
+        """One broker per submit: journaled when a spool is configured."""
+        if self.spool is None:
+            return InMemoryBroker(clock=self._clock)
+        from .filebroker import FileBroker
+
+        with self._lock:
+            seq = self._job_seq
+            self._job_seq += 1
+        return FileBroker(self.spool / f"{seq:05d}", clock=self._clock)
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -620,14 +730,14 @@ class BrokerServer:
         with self._lock:
             return len(self._jobs)
 
-    def _pinned(self, job_id: str) -> InMemoryBroker | None:
+    def _pinned(self, job_id: str) -> Broker | None:
         with self._lock:
             broker = self._jobs.get(job_id)
             if broker is not None:
                 self._touched[job_id] = self._clock()
             return broker
 
-    def _current(self) -> InMemoryBroker | None:
+    def _current(self) -> Broker | None:
         """The job an unpinned client means.
 
         Resolution order: first job (submission order) with **pending**
@@ -656,7 +766,7 @@ class BrokerServer:
                 return broker
         return ordered[-1] if ordered else None
 
-    def _resolve(self, job_id: str | None) -> InMemoryBroker | None:
+    def _resolve(self, job_id: str | None) -> Broker | None:
         return self._current() if job_id is None else self._pinned(job_id)
 
     def _reap_jobs(self) -> None:
@@ -701,7 +811,7 @@ class BrokerServer:
                 self._order.remove(job_id)
                 self._touched.pop(job_id, None)
 
-    def _broker_for_lease(self, lease_dict: dict) -> InMemoryBroker:
+    def _broker_for_lease(self, lease_dict: dict) -> Broker:
         broker = self._pinned(lease_dict.get("job_id"))
         if broker is None:
             raise LeaseExpired(
@@ -742,7 +852,7 @@ class BrokerServer:
 
         if op == "submit":
             tasks = [ChunkTask.from_dict(t) for t in request["tasks"]]
-            broker = InMemoryBroker(clock=self._clock)
+            broker = self._new_job_broker()
             spec = broker.submit(
                 request["payload"],
                 tasks,

@@ -195,6 +195,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--auth-token", default=None, metavar="SECRET",
                    help="shared secret of an authenticated tcp:// brokerd"
                         " (--broker only; forwarded to spawned workers)")
+    p.add_argument("--broker-retry", type=float, default=0.0,
+                   metavar="SECS",
+                   help="seconds idempotent broker calls ride out an"
+                        " unreachable tcp:// brokerd before failing"
+                        " (default 0: one immediate retry); forwarded to"
+                        " spawned workers — set it when the daemon may be"
+                        " restarted on a --spool journal mid-run")
     p.add_argument("--report-json", metavar="PATH", default=None,
                    help="also write the full sampling report (witnesses,"
                         " per-draw results, merged stats) as JSON")
@@ -254,6 +261,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--auth-token", default=None, metavar="SECRET",
                    help="shared secret of an authenticated tcp:// brokerd "
                         "(forwarded to spawned local workers)")
+    p.add_argument("--broker-retry", type=float, default=0.0,
+                   metavar="SECS",
+                   help="seconds idempotent broker calls ride out an "
+                        "unreachable tcp:// brokerd before failing "
+                        "(default 0: one immediate retry); forwarded to "
+                        "spawned local workers")
     p.add_argument("--purge", action="store_true",
                    help="purge the queue's spent job state after clean "
                         "completion (spool files / brokerd job entry)")
@@ -278,6 +291,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit once the current job is complete")
     p.add_argument("--auth-token", default=None, metavar="SECRET",
                    help="shared secret of an authenticated tcp:// brokerd")
+    p.add_argument("--broker-retry", type=float, default=0.0,
+                   metavar="SECS",
+                   help="seconds idempotent broker calls ride out an "
+                        "unreachable tcp:// brokerd before failing "
+                        "(default 0: one immediate retry) — lets the "
+                        "worker survive a brokerd restart on a --spool "
+                        "journal")
     # Fault-injection hook for the chaos tests: SIGKILL our own process
     # right after leasing the Nth chunk (mid-chunk, nothing acked).
     p.add_argument("--chaos-kill-after", type=int, default=None,
@@ -297,6 +317,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="require this shared secret from every connection "
                         "(clients open with a hello op; wrong or missing "
                         "token disconnects)")
+    p.add_argument("--spool", metavar="DIR", default=None,
+                   help="journal every job to per-job spool directories "
+                        "under DIR (created if missing): payloads, leases, "
+                        "acks, and results survive a crash, and a restart "
+                        "on the same DIR replays them — unacked chunks are "
+                        "re-issued with their original derived seeds, so "
+                        "the merged stream stays byte-identical")
 
     p = sub.add_parser(
         "serve",
@@ -341,6 +368,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "--seed`)")
     p.add_argument("--max-n", type=int, default=100_000,
                    help="largest single sample request")
+    p.add_argument("--job-ttl", type=float, default=3600.0, metavar="S",
+                   help="seconds a finished job's status and witnesses "
+                        "stay queryable before the gateway ages it out "
+                        "(aged-out ids answer 410; default 3600)")
+    p.add_argument("--max-jobs", type=int, default=4096,
+                   help="retained job cap: beyond it the oldest finished "
+                        "jobs are evicted early (running jobs are never "
+                        "evicted; default 4096)")
     p.add_argument("--tenant", action="append", default=[],
                    metavar="NAME:KEY[:burst[:rate[:weight]]]",
                    help="register a tenant: API key KEY admits NAME at "
@@ -457,12 +492,15 @@ def _resolve_sample_target(cnf_file, prepared_path, epsilon):
 
 
 def _spawn_local_workers(spool, count: int, poll: float,
-                         token: str | None = None):
+                         token: str | None = None,
+                         retry_window_s: float = 0.0):
     """Start ``count`` drain-mode ``repro worker`` subprocesses on ``spool``.
 
     The children inherit our environment plus this package's source root on
     ``PYTHONPATH``, so they resolve the same ``repro`` regardless of how
-    the parent was launched.  ``token`` forwards the brokerd shared secret.
+    the parent was launched.  ``token`` forwards the brokerd shared secret;
+    ``retry_window_s`` forwards ``--broker-retry`` so the whole fleet rides
+    out the same daemon restarts the coordinator does.
     """
     import os
     import subprocess
@@ -479,6 +517,8 @@ def _spawn_local_workers(spool, count: int, poll: float,
             "--drain", "--poll", str(poll)]
     if token is not None:
         argv += ["--auth-token", token]
+    if retry_window_s > 0:
+        argv += ["--broker-retry", str(retry_window_s)]
     return [subprocess.Popen(argv, env=env) for _ in range(count)]
 
 
@@ -494,7 +534,8 @@ def _wait_local_workers(procs) -> None:
 
 @contextlib.contextmanager
 def _local_workers(spool, count: int, poll: float,
-                   token: str | None = None):
+                   token: str | None = None,
+                   retry_window_s: float = 0.0):
     """Context manager: spawn drain-mode workers, always reap on exit.
 
     The one worker-lifecycle implementation both broker CLI paths use —
@@ -502,7 +543,7 @@ def _local_workers(spool, count: int, poll: float,
     submit-time failure never leaves freshly spawned workers serving
     whatever stale job sits in the queue.
     """
-    procs = _spawn_local_workers(spool, count, poll, token)
+    procs = _spawn_local_workers(spool, count, poll, token, retry_window_s)
     try:
         yield procs
     finally:
@@ -563,6 +604,7 @@ def _sample_via_broker(
     workers: int = 0,
     purge_spent: bool = False,
     token: str | None = None,
+    retry_window_s: float = 0.0,
 ):
     """Submit to a chunk queue (spool directory or tcp:// brokerd),
     optionally spawn local workers, and collect the merged report.
@@ -577,7 +619,8 @@ def _sample_via_broker(
     from ..distributed import connect_broker, submit_job, wait_for_report
     from ..errors import WorkerFailure
 
-    broker = connect_broker(spool, token=token)
+    broker = connect_broker(spool, token=token,
+                            retry_window_s=retry_window_s)
     submitted = submit_job(
         broker,
         target,
@@ -594,7 +637,7 @@ def _sample_via_broker(
         f"seed={submitted.root_seed}, lease={lease_timeout_s:g}s)",
         file=sys.stderr,
     )
-    with _local_workers(spool, workers, poll, token):
+    with _local_workers(spool, workers, poll, token, retry_window_s):
         try:
             report = wait_for_report(
                 broker, submitted, poll_interval_s=poll, timeout_s=timeout
@@ -708,7 +751,8 @@ def _run_backend_sample(args, target, config) -> int:
     if args.backend == "broker":
         from ..distributed import connect_broker
 
-        broker = connect_broker(args.broker, token=args.auth_token)
+        broker = connect_broker(args.broker, token=args.auth_token,
+                                retry_window_s=args.broker_retry)
         backend = make_backend(
             "broker",
             broker=broker,
@@ -758,7 +802,7 @@ def _run_backend_sample(args, target, config) -> int:
             file=sys.stderr,
         )
         workers_ctx = _local_workers(
-            args.broker, workers, 0.1, args.auth_token
+            args.broker, workers, 0.1, args.auth_token, args.broker_retry
         )
     else:
         workers_ctx = contextlib.nullcontext()
@@ -1179,6 +1223,7 @@ def main(argv: list[str] | None = None) -> int:
                 workers=args.workers,
                 purge_spent=args.purge,
                 token=args.auth_token,
+                retry_window_s=args.broker_retry,
             )
         except UnsatisfiableError:
             print("s UNSATISFIABLE")
@@ -1200,12 +1245,17 @@ def main(argv: list[str] | None = None) -> int:
         port = DEFAULT_PORT if args.port is None else args.port
         try:
             server = BrokerServer(
-                args.host, port, auth_token=args.auth_token
+                args.host, port, auth_token=args.auth_token,
+                spool=args.spool,
             )
         except OSError as exc:
             print(f"c error: cannot bind {args.host}:{port}: {exc}",
                   file=sys.stderr)
             return 2
+        if args.spool is not None:
+            print(f"c brokerd journaling to {args.spool} "
+                  f"({server.replayed_jobs} jobs replayed)",
+                  file=sys.stderr, flush=True)
         print(f"c brokerd listening on {server.url}"
               + (" (authenticated)" if args.auth_token else ""),
               file=sys.stderr, flush=True)
@@ -1266,6 +1316,8 @@ def main(argv: list[str] | None = None) -> int:
             cache_ttl_s=args.cache_ttl,
             prepare_seed=args.prepare_seed,
             max_n=args.max_n,
+            job_ttl_s=args.job_ttl,
+            max_jobs=args.max_jobs,
             tenants=tenants,
             allow_anonymous=not args.require_key,
         )
@@ -1372,7 +1424,8 @@ def main(argv: list[str] | None = None) -> int:
         from ..errors import ReproError
 
         try:
-            broker = connect_broker(args.spool, token=args.auth_token)
+            broker = connect_broker(args.spool, token=args.auth_token,
+                                    retry_window_s=args.broker_retry)
             report = run_worker(
                 broker,
                 worker_id=args.worker_id,

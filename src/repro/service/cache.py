@@ -15,8 +15,10 @@ three disciplines a shared cache needs:
   exactly one ``prepare()``; the other N−1 block on that flight and adopt
   its artifact (or re-raise its error — a failed flight is not cached, so
   the next request retries).
-* **Bounds** — LRU capacity plus a TTL, both enforced at lookup time with
-  an injectable clock so tests pin expiry without sleeping.
+* **Bounds** — LRU capacity plus a TTL; expiry is enforced at lookup
+  *and* swept at insert (so never-touched-again entries cannot pin their
+  artifact), with an injectable clock so tests pin expiry without
+  sleeping.
 
 The cache is thread-safe (the gateway runs prepares on a thread pool) and
 sized in entries, not bytes: artifacts are small (a DIMACS text plus a
@@ -184,6 +186,14 @@ class SingleFlightCache:
         )
 
     def _store(self, key: str, value) -> None:
+        # Sweep everything TTL-dead before admitting the new entry: an
+        # expired entry that is never looked up again must not pin its
+        # artifact until capacity pressure happens to reach it.
+        for stale_key in [
+            k for k, e in self._entries.items() if self._expired(e)
+        ]:
+            del self._entries[stale_key]
+            self.stats.expirations += 1
         self._entries[key] = _Entry(value=value, stored_at=self._clock())
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:

@@ -38,6 +38,12 @@ class ServiceError(ReproError):
         self.retry_after_s = retry_after_s
         self.payload = payload
 
+    @property
+    def gone(self) -> bool:
+        """True when the job id aged out of the gateway's retention
+        window (HTTP 410) — re-submit rather than retry the poll."""
+        return self.status == 410
+
 
 class ServiceClient:
     """Synchronous client for one gateway base URL."""

@@ -35,6 +35,7 @@ open group they join, or a fresh OS-entropy seed when they open one.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from dataclasses import dataclass, replace
 from typing import NamedTuple
@@ -135,9 +136,14 @@ class CoalesceGroup:
         prepared,
         config,
         *,
+        seq: int = 0,
         max_attempts_factor: int = 10,
     ):
         self.key = key
+        #: Monotonic group id, unique for the life of the process.  The
+        #: gateway keys per-group state by this — never by ``id(group)``,
+        #: which CPython reuses once a group is garbage-collected.
+        self.seq = seq
         self.prepared = prepared
         # The group's plan must derive chunk seeds from the group key's
         # root, whatever seed the opening request's config carried.
@@ -223,6 +229,7 @@ class Coalescer:
         self.max_members = max_members
         self._lock = threading.Lock()
         self._open: dict[GroupKey, CoalesceGroup] = {}
+        self._seq = itertools.count(1)
         #: Requests that joined an existing group instead of opening one.
         self.joins = 0
         self.groups_opened = 0
@@ -265,7 +272,8 @@ class Coalescer:
                 chunk_size,
                 root_seed if root_seed is not None else fresh_root_seed(),
             )
-            group = CoalesceGroup(key, prepared, config)
+            group = CoalesceGroup(key, prepared, config,
+                                  seq=next(self._seq))
             group.try_join(member)
             self._open[key] = group
             self.groups_opened += 1

@@ -34,7 +34,6 @@ The JSON API (all under ``/v1``):
 from __future__ import annotations
 
 import asyncio
-import itertools
 import math
 import threading
 import time
@@ -94,6 +93,15 @@ class GatewayConfig:
     prepare_seed: int | None = 0
     #: Largest single request; bigger submissions are rejected with 400.
     max_n: int = 100_000
+    #: Seconds a *terminal* job's status/witnesses stay queryable before
+    #: the sweep ages it out (its id then answers 410, not 404).
+    #: ``None`` disables age-based eviction.
+    job_ttl_s: float | None = 3600.0
+    #: Retained-job cap: beyond it the sweep evicts the oldest *finished*
+    #: jobs early.  Running jobs are never evicted, so the table can
+    #: transiently exceed the cap under a burst of live work.  ``None``
+    #: disables the cap.
+    max_jobs: int | None = 4096
     #: ``Retry-After`` hint when the broker fleet is unreachable.
     retry_after_s: float = 2.0
     #: API key → policy.  Empty + ``allow_anonymous`` = open gateway.
@@ -109,13 +117,18 @@ class GatewayConfig:
 class Job:
     """One tenant request's lifecycle, readable from the event loop."""
 
-    def __init__(self, job_id: str, tenant: str, n: int, loop):
+    def __init__(self, job_id: str, tenant: str, n: int, loop,
+                 clock=time.monotonic):
         self.id = job_id
         self.tenant = tenant
         self.n = n
         self.state = QUEUED
         self.error: str | None = None
-        self.created_at = time.time()
+        self._clock = clock
+        self.created_at = clock()
+        #: When the job went terminal (the GC sweep's age signal);
+        #: ``None`` while queued or running.
+        self.finished_at: float | None = None
         self.group: CoalesceGroup | None = None
         self._loop = loop
         #: Set whenever a line lands or the state goes terminal.
@@ -129,6 +142,7 @@ class Job:
     def finish(self, state: str, error: str | None = None) -> None:
         self.state = state
         self.error = error
+        self.finished_at = self._clock()
         self._wake()
 
     @property
@@ -157,13 +171,15 @@ class Job:
 class Gateway:
     """The service object: ``await start()``, handle requests, ``close()``."""
 
-    def __init__(self, config: GatewayConfig | None = None):
+    def __init__(self, config: GatewayConfig | None = None, *,
+                 clock=time.monotonic):
         self.config = config or GatewayConfig()
         self.cache = SingleFlightCache(
             self.config.cache_capacity, self.config.cache_ttl_s
         )
         self.coalescer = Coalescer(max_members=self.config.max_group_members)
         self.wrr = WeightedRoundRobin()
+        self._clock = clock
         self.jobs: dict[str, Job] = {}
         self.counters = {
             "prepare_requests": 0,
@@ -171,10 +187,21 @@ class Gateway:
             "quota_rejections": 0,
             "broker_unavailable": 0,
             "groups_dispatched": 0,
+            "jobs_evicted_ttl": 0,
+            "jobs_evicted_cap": 0,
         }
+        #: First failure swallowed while draining group runs in
+        #: :meth:`close` (surfaced in ``/v1/stats``; ``None`` = clean).
+        self.close_failure: str | None = None
         self._buckets: dict[str, TokenBucket] = {}
+        #: Group sequence number → its member jobs, pending dispatch.
+        #: Keyed by :attr:`CoalesceGroup.seq` — a monotonic id — never by
+        #: ``id(group)``, which CPython reuses after a group is collected
+        #: (a new group could inherit a dead group's job list).
         self._group_jobs: dict[int, list[Job]] = {}
-        self._job_ids = itertools.count(1)
+        #: Manual job sequence counter (not itertools.count: the 410
+        #: contract needs to *read* the next value without consuming it).
+        self._next_job_seq = 1
         self._job_tag = f"{fresh_root_seed() & 0xFFFFFF:06x}"
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.executor_threads,
@@ -219,8 +246,10 @@ class Gateway:
             # the executor shutdown below waits for them.
             try:
                 await task
-            except Exception:
-                pass
+            except Exception as exc:  # noqa: BLE001 — drain must reach
+                # every task, but the first failure is kept, not dropped.
+                if self.close_failure is None:
+                    self.close_failure = f"{type(exc).__name__}: {exc}"
         await self._server.close()
         self._executor.shutdown(wait=True)
 
@@ -410,11 +439,15 @@ class Gateway:
         await self._check_broker()
         prepared, _hit = await self._ensure_prepared(cnf, epsilon)
 
+        self._sweep_jobs()
+        seq = self._next_job_seq
+        self._next_job_seq += 1
         job = Job(
-            f"job-{self._job_tag}-{next(self._job_ids)}",
+            f"job-{self._job_tag}-{seq}",
             policy.name,
             n,
             asyncio.get_running_loop(),
+            clock=self._clock,
         )
         self.jobs[job.id] = job
         try:
@@ -430,7 +463,7 @@ class Gateway:
             del self.jobs[job.id]
             raise HttpError(400, str(exc))
         job.group = outcome.group
-        self._group_jobs.setdefault(id(outcome.group), []).append(job)
+        self._group_jobs.setdefault(outcome.group.seq, []).append(job)
         if outcome.sealed:
             self._queue_group(outcome.group)
         elif outcome.created:
@@ -459,7 +492,7 @@ class Gateway:
     def _queue_group(self, group: CoalesceGroup) -> None:
         # The group queues under the tenant of its *first* member: the
         # request that opened it pays for its slot in the rotation.
-        jobs = self._group_jobs.get(id(group), [])
+        jobs = self._group_jobs.get(group.seq, [])
         tenant = jobs[0].tenant if jobs else "anonymous"
         self.wrr.push(tenant, group)
         if self._work is not None:
@@ -481,7 +514,7 @@ class Gateway:
                 task.add_done_callback(self._group_runs.discard)
 
     async def _run_group(self, group: CoalesceGroup) -> None:
-        jobs = self._group_jobs.pop(id(group), [])
+        jobs = self._group_jobs.pop(group.seq, [])
         for job in jobs:
             job.state = RUNNING
             job.event.set()
@@ -519,10 +552,57 @@ class Gateway:
             if broker is not None:
                 broker.close()
 
+    # -- job lifecycle ---------------------------------------------------
+    def _sweep_jobs(self) -> None:
+        """Age out terminal jobs by TTL, then bound the table by cap.
+
+        Running/queued jobs are never evicted — only jobs whose
+        ``finished_at`` is set are candidates.  The cap pass drops the
+        oldest-finished first.  Swept group entries whose member jobs are
+        all terminal go with them, so ``_group_jobs`` cannot leak either.
+        """
+        ttl = self.config.job_ttl_s
+        cap = self.config.max_jobs
+        now = self._clock()
+        if ttl is not None:
+            for job_id, job in list(self.jobs.items()):
+                if job.finished_at is not None and now - job.finished_at >= ttl:
+                    del self.jobs[job_id]
+                    self.counters["jobs_evicted_ttl"] += 1
+        if cap is not None and len(self.jobs) > cap:
+            terminal = sorted(
+                (j for j in self.jobs.values() if j.finished_at is not None),
+                key=lambda j: j.finished_at,
+            )
+            for job in terminal[: len(self.jobs) - cap]:
+                del self.jobs[job.id]
+                self.counters["jobs_evicted_cap"] += 1
+        for seq, jobs in list(self._group_jobs.items()):
+            if all(j.terminal for j in jobs):
+                del self._group_jobs[seq]
+
+    def _was_issued(self, job_id: str) -> bool:
+        """True if this gateway process ever handed out ``job_id``."""
+        prefix = f"job-{self._job_tag}-"
+        if not job_id.startswith(prefix):
+            return False
+        try:
+            seq = int(job_id[len(prefix):])
+        except ValueError:
+            return False
+        return 1 <= seq < self._next_job_seq
+
     # -- job introspection ----------------------------------------------
     def _get_job(self, job_id: str) -> Job:
+        self._sweep_jobs()
         job = self.jobs.get(job_id)
         if job is None:
+            if self._was_issued(job_id):
+                raise HttpError(
+                    410,
+                    f"job {job_id} has aged out of the gateway's "
+                    f"retention window",
+                )
             raise HttpError(404, f"no such job: {job_id}")
         return job
 
@@ -556,10 +636,13 @@ class Gateway:
 
     # -- stats ----------------------------------------------------------
     def _stats(self) -> dict:
+        self._sweep_jobs()
         states: dict[str, int] = {}
         for job in self.jobs.values():
             states[job.state] = states.get(job.state, 0) + 1
         return {
+            "jobs_retained": len(self.jobs),
+            "close_failure": self.close_failure,
             "cache": self.cache.stats.to_dict(),
             "cache_entries": len(self.cache),
             "coalescer": {

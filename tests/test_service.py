@@ -20,6 +20,7 @@ Four layers, tested innermost-out:
   group must not break the group: it holds its own artifact reference.
 """
 
+import asyncio
 import json
 import threading
 import time
@@ -36,8 +37,11 @@ from repro.execution.base import build_plan
 from repro.execution.registry import make_backend
 from repro.service import (
     Coalescer,
+    Gateway,
     GatewayConfig,
     GatewayThread,
+    HttpError,
+    HttpRequest,
     ServiceClient,
     ServiceError,
     SingleFlightCache,
@@ -47,6 +51,7 @@ from repro.service import (
     WeightedRoundRobin,
     WitnessSlice,
 )
+from repro.service.gateway import DONE
 from repro.sinks import jsonl_witness_line
 
 EPSILON = 6.0
@@ -173,6 +178,21 @@ class TestSingleFlightCache:
         assert "k" not in cache
         # The next request retries rather than inheriting the corpse.
         assert cache.get_or_build("k", lambda: "ok") == "ok"
+
+    def test_insert_sweeps_expired_entries(self):
+        # Never-touched-again entries must not pin their artifact until
+        # a lookup happens to land on them: insert sweeps the TTL-dead.
+        clock = FakeClock()
+        cache = SingleFlightCache(capacity=8, ttl_s=10.0, clock=clock)
+        cache.get_or_build("a", lambda: "A")
+        cache.get_or_build("b", lambda: "B")
+        clock.advance(11)
+        cache.get_or_build("c", lambda: "C")
+        assert len(cache) == 1
+        assert cache.stats.expirations == 2
+        assert cache.peek("a") is None
+        assert cache.peek("b") is None
+        assert cache.peek("c") == "C"
 
     def test_invalidate_and_validation(self):
         cache = SingleFlightCache(capacity=1)
@@ -339,6 +359,24 @@ class TestCoalescing:
         )
         assert second.group is not first.group
         assert coalescer.groups_opened == 2 and coalescer.joins == 0
+
+    def test_group_seq_is_monotonic_and_unique(self, instance):
+        # The gateway keys per-group state by ``group.seq``; CPython can
+        # reuse ``id(group)`` after collection, so the seq must be a
+        # process-unique monotonic counter instead.
+        _cnf, _dimacs, artifact = instance
+        coalescer = Coalescer()
+        config = SamplerConfig(epsilon=EPSILON)
+        outcomes = [
+            coalescer.submit(
+                artifact, config, WitnessSlice(2),
+                sampler="unigen2", chunk_size=4, root_seed=seed,
+            )
+            for seed in (11, 22, 33)
+        ]
+        seqs = [outcome.group.seq for outcome in outcomes]
+        assert seqs == [1, 2, 3]
+        assert len(set(seqs)) == 3
 
     def test_max_members_seals_on_the_filling_join(self, instance):
         _cnf, _dimacs, artifact = instance
@@ -710,6 +748,178 @@ class TestGatewayFairness:
             assert all(status["state"] == "done" for _, status in done)
             stats = heavy.stats()
             assert stats["counters"]["groups_dispatched"] >= 6
+
+
+# ----------------------------------------------------------------------
+# Job lifecycle GC
+# ----------------------------------------------------------------------
+
+
+class TestGatewayJobGC:
+    def test_soak_bounds_jobs_and_aged_out_ids_answer_410(self, instance):
+        """ISSUE 7 acceptance: 1000 short jobs under a fake clock leave
+        ``len(gateway.jobs)`` bounded by ``--max-jobs`` and aged-out ids
+        answering 410 (never 404 — the id *was* issued)."""
+        _cnf, dimacs, _artifact = instance
+        clock = FakeClock()
+        config = GatewayConfig(
+            backend="serial",
+            chunk_size=4,
+            max_group_members=1,
+            max_n=64,
+            prepare_seed=PREPARE_SEED,
+            epsilon=EPSILON,
+            job_ttl_s=50.0,
+            max_jobs=32,
+            default_policy=TenantPolicy(
+                "anonymous", burst=5000, refill_per_s=100000.0
+            ),
+        )
+
+        def sample_request():
+            body = json.dumps({"dimacs": dimacs, "n": 2, "seed": 7})
+            return HttpRequest(
+                "POST", "/v1/sample", {}, {}, body.encode("utf-8")
+            )
+
+        async def soak():
+            # Unstarted gateway: requests go straight through handle()
+            # and jobs are finished synthetically, so the soak measures
+            # the lifecycle machinery, not 1000 real sampling runs.
+            gw = Gateway(config, clock=clock)
+            try:
+                job_ids = []
+                for _ in range(1000):
+                    response = await gw.handle(sample_request())
+                    assert response.status == 202
+                    payload = json.loads(response.body)
+                    job_ids.append(payload["job_id"])
+                    gw.jobs[payload["job_id"]].finish(DONE)
+                    clock.advance(1.0)
+                    assert len(gw.jobs) <= config.max_jobs + 1
+
+                stats_response = await gw.handle(
+                    HttpRequest("GET", "/v1/stats", {}, {}, b"")
+                )
+                stats = json.loads(stats_response.body)
+                assert len(gw.jobs) <= config.max_jobs
+                assert stats["jobs_retained"] == len(gw.jobs)
+                assert stats["counters"]["jobs_evicted_cap"] > 0
+                # Terminal groups are swept with their jobs.
+                assert gw._group_jobs == {}
+
+                # A cap-evicted id is 410 Gone; a never-issued id is 404.
+                with pytest.raises(HttpError) as excinfo:
+                    await gw.handle(
+                        HttpRequest(
+                            "GET", f"/v1/jobs/{job_ids[0]}", {}, {}, b""
+                        )
+                    )
+                assert excinfo.value.status == 410
+                with pytest.raises(HttpError) as excinfo:
+                    await gw.handle(
+                        HttpRequest(
+                            "GET", "/v1/jobs/job-zzzzzz-1", {}, {}, b""
+                        )
+                    )
+                assert excinfo.value.status == 404
+                # A retained id still answers normally.
+                ok = await gw.handle(
+                    HttpRequest(
+                        "GET", f"/v1/jobs/{job_ids[-1]}", {}, {}, b""
+                    )
+                )
+                assert json.loads(ok.body)["state"] == "done"
+
+                # Outlive the TTL: the age pass clears the survivors.
+                clock.advance(config.job_ttl_s * 3)
+                stats_response = await gw.handle(
+                    HttpRequest("GET", "/v1/stats", {}, {}, b"")
+                )
+                stats = json.loads(stats_response.body)
+                assert stats["jobs_retained"] == 0
+                assert stats["counters"]["jobs_evicted_ttl"] > 0
+                assert (
+                    stats["counters"]["jobs_evicted_ttl"]
+                    + stats["counters"]["jobs_evicted_cap"]
+                ) == 1000
+                with pytest.raises(HttpError) as excinfo:
+                    await gw.handle(
+                        HttpRequest(
+                            "GET", f"/v1/jobs/{job_ids[-1]}", {}, {}, b""
+                        )
+                    )
+                assert excinfo.value.status == 410
+            finally:
+                gw._executor.shutdown(wait=True)
+
+        asyncio.run(soak())
+
+    def test_running_jobs_are_never_evicted(self, instance):
+        _cnf, dimacs, _artifact = instance
+        clock = FakeClock()
+        config = GatewayConfig(
+            backend="serial",
+            chunk_size=4,
+            max_group_members=1,
+            prepare_seed=PREPARE_SEED,
+            epsilon=EPSILON,
+            job_ttl_s=10.0,
+            max_jobs=2,
+            default_policy=TenantPolicy(
+                "anonymous", burst=64, refill_per_s=1000.0
+            ),
+        )
+
+        async def scenario():
+            gw = Gateway(config, clock=clock)
+            try:
+                ids = []
+                for _ in range(6):
+                    response = await gw.handle(HttpRequest(
+                        "POST", "/v1/sample", {}, {},
+                        json.dumps(
+                            {"dimacs": dimacs, "n": 2, "seed": 3}
+                        ).encode("utf-8"),
+                    ))
+                    ids.append(json.loads(response.body)["job_id"])
+                clock.advance(100.0)
+                gw._sweep_jobs()
+                # All six outlived the TTL and exceed the cap, but none
+                # is terminal — the table may not drop a live job.
+                assert sorted(gw.jobs) == sorted(ids)
+                for job_id in ids:
+                    gw.jobs[job_id].finish(DONE)
+                gw._sweep_jobs()
+                # Now terminal: the cap applies immediately...
+                assert len(gw.jobs) == config.max_jobs
+                clock.advance(11.0)
+                gw._sweep_jobs()
+                # ...and the TTL clears the rest.
+                assert len(gw.jobs) == 0
+            finally:
+                gw._executor.shutdown(wait=True)
+
+        asyncio.run(scenario())
+
+
+class TestGatewayClose:
+    def test_close_records_first_swallowed_group_run_failure(self):
+        async def scenario():
+            gw = Gateway(GatewayConfig())
+            await gw.start()
+
+            async def boom(message):
+                await asyncio.sleep(0.01)
+                raise RuntimeError(message)
+
+            gw._group_runs.add(asyncio.create_task(boom("backend died")))
+            await gw.close()
+            return gw
+
+        gw = asyncio.run(scenario())
+        assert gw.close_failure == "RuntimeError: backend died"
+        assert gw._stats()["close_failure"] == "RuntimeError: backend died"
 
 
 # ----------------------------------------------------------------------

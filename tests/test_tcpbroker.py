@@ -18,6 +18,8 @@ import signal
 import socket
 import subprocess
 import sys
+import threading
+import time
 from pathlib import Path
 
 import pytest
@@ -571,6 +573,213 @@ class TestTcpDeterminismAndChaos:
             assert report.witnesses == reference.witnesses
             assert report.requeues >= 1
             client.close()
+
+
+class TestTcpRetryWindow:
+    """`--broker-retry`: clients ride out a brokerd outage instead of
+    dying on the first refused connection."""
+
+    def test_retry_window_rides_out_a_broker_outage(self):
+        server = BrokerServer().start()
+        host, port = server.address
+        client = TcpBroker(host, port, retry_window_s=30.0)
+        assert client.ping()["jobs"] == 0
+        server.close()
+        client.close()  # force the next op through a fresh connection
+        revived = []
+
+        def resurrect():
+            time.sleep(0.4)
+            revived.append(BrokerServer(host, port).start())
+
+        thread = threading.Thread(target=resurrect)
+        thread.start()
+        try:
+            # Blocks through the outage, reconnects, succeeds.
+            assert client.ping()["jobs"] == 0
+        finally:
+            thread.join()
+            client.close()
+            for extra in revived:
+                extra.close()
+
+    def test_zero_window_fails_fast(self):
+        server = BrokerServer().start()
+        client = TcpBroker(*server.address)
+        assert client.ping()["jobs"] == 0
+        server.close()
+        client.close()  # force the next op through a fresh connection
+        start = time.monotonic()
+        with pytest.raises(DistributedError):
+            client.ping()
+        assert time.monotonic() - start < 5.0
+        client.close()
+
+
+class TestBrokerdDurability:
+    """ISSUE 7 tentpole: the spool journal makes brokerd restart-safe."""
+
+    def test_journal_replay_restores_acks_pending_and_seeds(self, tmp_path):
+        spool = tmp_path / "journal"
+        server = BrokerServer(spool=spool).start()
+        client = TcpBroker(*server.address)
+        spec = synthetic_job(client, n_chunks=4)
+        done = []
+        for _ in range(2):
+            lease = client.lease("w1")
+            client.ack(lease, raw_result(lease.task))
+            done.append(lease.chunk_index)
+        client.close()
+        server.close()  # hard stop: no drain, no purge — crash-shaped
+
+        reborn = BrokerServer(spool=spool).start()
+        assert reborn.replayed_jobs == 1
+        # Pinned exactly as the original coordinator was: the job id is
+        # stable across the restart.
+        c2 = TcpBroker(*reborn.address, job_id=spec.job_id)
+        assert c2.job().job_id == spec.job_id
+        # Pre-crash acks survive: nothing already paid for is recomputed.
+        assert c2.result_indices() == set(done)
+        seeds = {task.index: task.seed for task in spec.tasks}
+        while (lease := c2.lease("w2")) is not None:
+            # The PR 3 invariant across a restart: re-issued chunks keep
+            # their original derived seeds.
+            assert lease.task.seed == seeds[lease.chunk_index]
+            c2.ack(lease, raw_result(lease.task))
+        assert c2.is_complete()
+        assert sorted(c2.results()) == sorted(seeds)
+        c2.purge()
+        assert reborn.job_count() == 0
+        assert not (spool / "00001").exists()
+        # The sequence counter resumed past the replayed job, so the
+        # next submit cannot collide with journal history.
+        synthetic_job(c2, n_chunks=1)
+        assert (spool / "00002").is_dir()
+        c2.close()
+        reborn.close()
+
+    def test_lease_fencing_survives_restart(self, tmp_path):
+        """A worker that outlives the broker crash can still ack its
+        pre-crash lease after replay — the fencing state is journaled."""
+        spool = tmp_path / "journal"
+        server = BrokerServer(spool=spool).start()
+        client = TcpBroker(*server.address)
+        synthetic_job(client, n_chunks=2)
+        lease = client.lease("w1")
+        client.close()
+        server.close()
+
+        reborn = BrokerServer(spool=spool).start()
+        c2 = TcpBroker(*reborn.address)
+        c2.ack(lease, raw_result(lease.task))
+        assert c2.result_indices() == {lease.chunk_index}
+        assert c2.progress().leased == 0
+        c2.close()
+        reborn.close()
+
+    def test_spoolless_brokerd_keeps_inmemory_semantics(self):
+        server = BrokerServer().start()
+        assert server.spool is None and server.replayed_jobs == 0
+        client = TcpBroker(*server.address)
+        synthetic_job(client, n_chunks=1)
+        lease = client.lease("w0")
+        client.ack(lease, raw_result(lease.task))
+        assert client.is_complete()
+        client.close()
+        server.close()
+
+    def test_replay_skips_unpublished_and_foreign_directories(
+        self, tmp_path
+    ):
+        spool = tmp_path / "journal"
+        server = BrokerServer(spool=spool).start()
+        client = TcpBroker(*server.address)
+        spec = synthetic_job(client, n_chunks=1)
+        client.close()
+        server.close()
+        # A submit that crashed before publishing job.json, and a
+        # directory that was never ours: both must be ignored.
+        (spool / "00002" / "pending").mkdir(parents=True)
+        (spool / "notes").mkdir()
+        reborn = BrokerServer(spool=spool).start()
+        assert reborn.replayed_jobs == 1
+        assert reborn.job_count() == 1
+        # …and seq 2 is burned, not reused.
+        c2 = TcpBroker(*reborn.address, job_id=spec.job_id)
+        c2.purge()
+        synthetic_job(c2, n_chunks=1)
+        assert (spool / "00003").is_dir()
+        c2.close()
+        reborn.close()
+
+    def test_sigkilled_brokerd_restarted_on_same_spool_is_byte_identical(
+        self, instance, reference, tmp_path
+    ):
+        """The ISSUE's chaos criterion: SIGKILL brokerd itself mid-job,
+        restart it on the same spool and port, and the merged stream
+        must still be byte-identical to an uninterrupted run."""
+        cnf, config, artifact = instance
+        spool = tmp_path / "journal"
+        proc = _spawn_brokerd("--spool", str(spool))
+        client = worker = reborn = None
+        try:
+            banner = _brokerd_banner(proc)
+            assert "journaling to" in banner
+            url = _banner_url(banner)
+            _host, port = parse_tcp_url(url)
+            client = connect_broker(url, retry_window_s=60.0)
+            submitted = submit_job(
+                client, artifact, N_DRAWS, config,
+                sampler="unigen2", chunk_size=CHUNK,
+            )
+            worker = _spawn_cli_worker(
+                url, "--drain", "--broker-retry", "60"
+            )
+            # Wait for the journal to record real progress, then murder
+            # brokerd mid-job.
+            deadline = time.monotonic() + 60
+            while not list(spool.glob("*/results/*.json")):
+                assert time.monotonic() < deadline, "no results journaled"
+                time.sleep(0.02)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=15)
+
+            # Restart on the same spool and port; the coordinator and the
+            # worker ride their retry windows across the outage.
+            reborn = _spawn_brokerd(
+                "--spool", str(spool), "--port", str(port)
+            )
+            banner = _brokerd_banner(reborn)
+            assert "1 jobs replayed" in banner
+            report = wait_for_report(
+                client, submitted, poll_interval_s=0.05, timeout_s=120.0
+            )
+            assert report.witnesses == reference.witnesses
+            worker.wait(timeout=60)
+        finally:
+            if client is not None:
+                client.close()
+            for p in (worker, proc, reborn):
+                if p is not None and p.poll() is None:
+                    p.kill()
+                    p.wait()
+
+
+def _brokerd_banner(proc):
+    """Read stderr up to (and including) the listening line."""
+    lines = []
+    while True:
+        line = proc.stderr.readline()
+        assert line, "brokerd exited before announcing its socket"
+        lines.append(line)
+        if "listening on tcp://" in line:
+            return "".join(lines)
+
+
+def _banner_url(banner):
+    import re
+
+    return re.search(r"tcp://\S+", banner).group(0)
 
 
 class TestBrokerdCli:

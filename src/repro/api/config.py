@@ -43,6 +43,14 @@ class SamplerConfig:
         the conservative CP'13 count) and ``"linear"`` vs ``"galloping"``.
     ``hash_density``
         XOR row density; 0.5 is the 3-independent family Theorem 1 needs.
+    ``matrix_reuse``
+        Opt-in prefix-consistent cell search: one ``draw_matrix`` per
+        window sweep with incremental GF(2) elimination across ``{q−3..q}``
+        (ApproxMC2-style).  Off by default — it changes RNG consumption,
+        so fixed-seed streams differ from the paper's per-``i`` protocol.
+    ``gf2_backend``
+        GF(2) elimination kernel: ``"python"`` | ``"numpy"`` | ``None``
+        (defer to ``$REPRO_GF2_BACKEND``, then auto-detection).
 
     Baselines
     ---------
@@ -68,6 +76,8 @@ class SamplerConfig:
     approxmc_iterations: int | None = 9
     approxmc_search: str = "linear"
     hash_density: float = 0.5
+    matrix_reuse: bool = False
+    gf2_backend: str | None = None
     leapfrog: bool = False
     xor_count: int | None = None
     max_cell: int = 10_000

@@ -1,0 +1,23 @@
+"""Config-driven benchmark runner (``repro bench``).
+
+See :mod:`repro.bench.runner` for the algorithm registry, the JSON sweep
+config schema, and the CSV/trajectory artifacts.
+"""
+
+from .runner import (
+    ALGORITHMS,
+    BenchAlgorithm,
+    emit_trajectory,
+    iter_param_grid,
+    load_config,
+    run_config,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "BenchAlgorithm",
+    "emit_trajectory",
+    "iter_param_grid",
+    "load_config",
+    "run_config",
+]

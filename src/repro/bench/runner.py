@@ -1,0 +1,428 @@
+"""Config-driven benchmark runner: algorithms registry + JSON sweeps + CSV.
+
+Modeled on the related repo's ``scripts/benchmarks/bench_runner.py``
+(SNIPPETS.md snippets 1–3): algorithms are defined once in a registry, a
+JSON config names which ones to run and which parameter lists to sweep
+(cartesian product), results land in one CSV per algorithm with
+skip-existing keyed on the identifying columns, and ``--emit`` folds the
+run's rows into a ``BENCH_*.json`` trajectory artifact so speedups are
+*measured*, not claimed.
+
+Config schema (JSON)::
+
+    {
+      "out_dir": "benchmarks/out",            // CSV directory (CLI can override)
+      "algorithms": [
+        {
+          "name": "gf2-elim",                  // registry key (required)
+          "parameters": {"backend": ["python"], "rows": [100, 500]},
+          "skip_existing": true,               // default true
+          "requires": ["numpy"]                // optional: skip block (with a
+        }                                      // log line) when unavailable
+      ]
+    }
+
+Omitted parameters use the registry defaults.  ``skip_existing`` consults
+the algorithm's ``key_cols`` against the existing CSV, so re-running a
+config only fills in missing combinations — append-only, never clobbering
+earlier measurements.
+
+Algorithms
+----------
+``gf2-elim``
+    The rank-``rows`` Gaussian-elimination micro: random dense GF(2) rows
+    appended to a :class:`~repro.sat.gf2.BitMatrix` and read back in
+    reduced form.  This is the asymptotic sanity gate for the
+    back-substitution fix — the old O(p²) all-pairs scan would show up as
+    a collapse of ``rows_per_s`` at rank 500.
+``unigen-sweep``
+    End-to-end witness sampling over a suite benchmark, sweeping sampler ×
+    GF(2) backend × jobs × window × matrix-reuse.  Honest wall-clock: the
+    prepare phase (lines 1–11) and the sampling loop are reported
+    separately so amortized and cold costs are both visible.
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from ..rng import RandomSource
+from ..sat.gf2 import BitMatrix, available_gf2_backends
+
+
+@dataclass(frozen=True)
+class BenchAlgorithm:
+    """One registered benchmark: defaults, identity columns, and a runner.
+
+    ``run(params)`` receives a fully-populated parameter dict and returns
+    the metrics dict; CSV columns are ``list(defaults) + list(metric_cols)``.
+    ``key_cols`` must uniquely identify a combination — they drive
+    skip-existing.
+    """
+
+    name: str
+    summary: str
+    defaults: dict
+    key_cols: tuple[str, ...]
+    metric_cols: tuple[str, ...]
+    run: Callable[[dict], dict]
+
+    @property
+    def columns(self) -> list[str]:
+        return list(self.defaults) + list(self.metric_cols)
+
+
+ALGORITHMS: dict[str, BenchAlgorithm] = {}
+
+
+def _register(algorithm: BenchAlgorithm) -> BenchAlgorithm:
+    if algorithm.name in ALGORITHMS:  # pragma: no cover - author error
+        raise ValueError(f"benchmark {algorithm.name!r} already registered")
+    ALGORITHMS[algorithm.name] = algorithm
+    return algorithm
+
+
+# ----------------------------------------------------------------------
+# gf2-elim: the rank-N elimination micro-benchmark.
+# ----------------------------------------------------------------------
+
+def _run_gf2_elim(params: dict) -> dict:
+    rng = RandomSource(int(params["seed"]))
+    n_vars = int(params["vars"])
+    rows = int(params["rows"])
+    repeats = max(1, int(params["repeats"]))
+    density = float(params["density"])
+    # Row generation happens outside the timed region: the micro measures
+    # elimination, not the RNG.  Bit v = variable v, hence the shift.
+    from ..hashing.xor_family import row_word
+
+    drawn = [
+        (row_word(rng, n_vars, density) << 1, rng.bit()) for _ in range(rows)
+    ]
+    best = None
+    rank = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        matrix = BitMatrix.create(n_vars, backend=params["backend"])
+        matrix.extend(drawn)
+        matrix.reduced_rows()
+        elapsed = time.perf_counter() - start
+        rank = matrix.rank
+        best = elapsed if best is None else min(best, elapsed)
+    return {
+        "wall_s": round(best, 6),
+        "rank": rank,
+        "rows_per_s": round(rows / best, 1) if best > 0 else float("inf"),
+    }
+
+
+_register(
+    BenchAlgorithm(
+        name="gf2-elim",
+        summary="rank-N GF(2) elimination micro (BitMatrix append + RREF)",
+        defaults={
+            "vars": 512,
+            "rows": 500,
+            "density": 0.5,
+            "backend": "python",
+            "seed": 2014,
+            "repeats": 3,
+        },
+        key_cols=("vars", "rows", "density", "backend", "seed"),
+        metric_cols=("wall_s", "rank", "rows_per_s"),
+        run=_run_gf2_elim,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# unigen-sweep: end-to-end sampling over a suite benchmark.
+# ----------------------------------------------------------------------
+
+def _run_unigen_sweep(params: dict) -> dict:
+    from ..api.config import SamplerConfig
+    from ..api.registry import make_sampler
+    from ..suite import registry as suite_registry
+
+    instance = suite_registry.build(params["benchmark"], params["scale"])
+    config = SamplerConfig(
+        epsilon=6.0,
+        seed=int(params["seed"]),
+        approxmc_search="galloping",
+        matrix_reuse=bool(params["matrix_reuse"]),
+        gf2_backend=params["gf2_backend"] or None,
+    )
+    n = int(params["n"])
+    jobs = int(params["jobs"])
+    if jobs > 1:
+        from ..parallel import ParallelSamplerConfig, sample_parallel
+
+        start = time.perf_counter()
+        report = sample_parallel(
+            instance.cnf,
+            n,
+            config,
+            ParallelSamplerConfig(
+                jobs=jobs,
+                sampler=params["sampler"],
+                window=params["window"] or None,
+            ),
+        )
+        wall = time.perf_counter() - start
+        witnesses = len(report.witnesses)
+        stats = report.stats
+        prepare_s = stats.setup_time_seconds
+    else:
+        sampler = make_sampler(params["sampler"], instance.cnf, config)
+        start = time.perf_counter()
+        sampler.prepare()
+        prepare_s = time.perf_counter() - start
+        start = time.perf_counter()
+        witnesses = len(sampler.sample_until(n, max_attempts=10 * n))
+        wall = prepare_s + (time.perf_counter() - start)
+        stats = sampler.stats
+    sample_s = max(wall - prepare_s, 0.0)
+    return {
+        "wall_s": round(wall, 4),
+        "prepare_s": round(prepare_s, 4),
+        "witnesses": witnesses,
+        "wit_per_s": round(witnesses / sample_s, 2) if sample_s > 0 else 0.0,
+        "avg_xor_len": round(stats.avg_xor_length, 2),
+        "bsat_calls": stats.bsat_calls,
+    }
+
+
+_register(
+    BenchAlgorithm(
+        name="unigen-sweep",
+        summary="end-to-end sampling: sampler x gf2 backend x jobs x window",
+        defaults={
+            "benchmark": "case121",
+            "scale": "quick",
+            "sampler": "unigen2",
+            "n": 200,
+            "seed": 2014,
+            "gf2_backend": "python",
+            "matrix_reuse": False,
+            "jobs": 1,
+            "window": 0,
+        },
+        key_cols=(
+            "benchmark",
+            "scale",
+            "sampler",
+            "n",
+            "seed",
+            "gf2_backend",
+            "matrix_reuse",
+            "jobs",
+            "window",
+        ),
+        metric_cols=(
+            "wall_s",
+            "prepare_s",
+            "witnesses",
+            "wit_per_s",
+            "avg_xor_len",
+            "bsat_calls",
+        ),
+        run=_run_unigen_sweep,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# The runner: config loading, sweeps, CSV with skip-existing.
+# ----------------------------------------------------------------------
+
+def load_config(path: str | Path) -> dict:
+    """Parse and validate a sweep config file."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or "algorithms" not in data:
+        raise ValueError(f"{path}: config must be an object with 'algorithms'")
+    for block in data["algorithms"]:
+        name = block.get("name")
+        if name not in ALGORITHMS:
+            raise ValueError(
+                f"{path}: unknown benchmark {name!r}; "
+                f"available: {sorted(ALGORITHMS)}"
+            )
+        unknown = set(block.get("parameters", {})) - set(
+            ALGORITHMS[name].defaults
+        )
+        if unknown:
+            raise ValueError(
+                f"{path}: benchmark {name!r} has no parameters {sorted(unknown)}"
+            )
+    return data
+
+
+def iter_param_grid(defaults: dict, sweeps: dict) -> list[dict]:
+    """Cartesian product of the swept lists over the defaults."""
+    names = [k for k in defaults if k in sweeps]
+    value_lists = [list(sweeps[k]) for k in names]
+    grid = []
+    for combo in itertools.product(*value_lists) if names else [()]:
+        params = dict(defaults)
+        params.update(zip(names, combo))
+        grid.append(params)
+    return grid
+
+
+def _requirements_met(block: dict) -> tuple[bool, str]:
+    for req in block.get("requires", []):
+        if req == "numpy":
+            if "numpy" not in available_gf2_backends():
+                return False, "numpy not installed"
+        else:
+            raise ValueError(f"unknown requirement {req!r}")
+    return True, ""
+
+
+def _key_of(algorithm: BenchAlgorithm, params: dict) -> tuple[str, ...]:
+    return tuple(str(params[k]) for k in algorithm.key_cols)
+
+
+def _existing_keys(
+    csv_path: Path, algorithm: BenchAlgorithm
+) -> set[tuple[str, ...]]:
+    if not csv_path.exists():
+        return set()
+    keys = set()
+    with csv_path.open(newline="") as fh:
+        for row in csv.DictReader(fh):
+            try:
+                keys.add(tuple(str(row[k]) for k in algorithm.key_cols))
+            except KeyError:
+                # A CSV from an older schema: treat as no match, re-measure.
+                continue
+    return keys
+
+
+@dataclass
+class BenchRow:
+    """One completed measurement: identity + metrics, CSV- and JSON-ready."""
+
+    algorithm: str
+    params: dict
+    metrics: dict
+    skipped: bool = False
+
+    def as_point(self) -> dict:
+        return {"algorithm": self.algorithm, **self.params, **self.metrics}
+
+
+def run_config(
+    config: dict,
+    out_dir: str | Path | None = None,
+    skip_existing_override: bool | None = None,
+    log: Callable[[str], None] | None = None,
+) -> list[BenchRow]:
+    """Run every algorithm block of ``config``; return completed rows.
+
+    CSVs are appended combination-by-combination (a crash loses at most
+    the in-flight measurement), and combinations already present in the
+    CSV are skipped when the block's ``skip_existing`` (default true)
+    allows — pass ``skip_existing_override`` to force either way.
+    Skipped combinations are returned with ``skipped=True`` so callers
+    can tell coverage from fresh work; unmet ``requires`` blocks are
+    logged, never silently dropped.
+    """
+    say = log or (lambda _msg: None)
+    out = Path(out_dir or config.get("out_dir", "benchmarks/out"))
+    out.mkdir(parents=True, exist_ok=True)
+    rows: list[BenchRow] = []
+    for block in config["algorithms"]:
+        algorithm = ALGORITHMS[block["name"]]
+        met, why = _requirements_met(block)
+        if not met:
+            say(f"skip {algorithm.name}: {why}")
+            continue
+        skip_existing = block.get("skip_existing", True)
+        if skip_existing_override is not None:
+            skip_existing = skip_existing_override
+        csv_path = out / f"{algorithm.name}.csv"
+        seen = _existing_keys(csv_path, algorithm) if skip_existing else set()
+        grid = iter_param_grid(algorithm.defaults, block.get("parameters", {}))
+        say(f"{algorithm.name}: {len(grid)} combination(s) -> {csv_path}")
+        for params in grid:
+            key = _key_of(algorithm, params)
+            if key in seen:
+                say(f"  skip existing {dict(zip(algorithm.key_cols, key))}")
+                rows.append(
+                    BenchRow(algorithm.name, params, {}, skipped=True)
+                )
+                continue
+            metrics = algorithm.run(params)
+            seen.add(key)
+            write_header = not csv_path.exists()
+            with csv_path.open("a", newline="") as fh:
+                writer = csv.DictWriter(fh, fieldnames=algorithm.columns)
+                if write_header:
+                    writer.writeheader()
+                writer.writerow({**params, **metrics})
+            say(f"  {dict(zip(algorithm.key_cols, key))} -> {metrics}")
+            rows.append(BenchRow(algorithm.name, params, metrics))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Trajectory artifact (BENCH_*.json).
+# ----------------------------------------------------------------------
+
+def _pair_speedups(points: list[dict]) -> list[dict]:
+    """python-vs-numpy pairs among gf2-elim points with matching identity."""
+    by_identity: dict[tuple, dict[str, dict]] = {}
+    for point in points:
+        if point.get("algorithm") != "gf2-elim":
+            continue
+        identity = (point["vars"], point["rows"], point["density"], point["seed"])
+        by_identity.setdefault(identity, {})[point["backend"]] = point
+    pairs = []
+    for (n_vars, rows, density, seed), sides in sorted(
+        by_identity.items(), key=str
+    ):
+        if "python" not in sides or "numpy" not in sides:
+            continue
+        py, np_ = sides["python"]["wall_s"], sides["numpy"]["wall_s"]
+        pairs.append(
+            {
+                "vars": n_vars,
+                "rows": rows,
+                "density": density,
+                "seed": seed,
+                "python_wall_s": py,
+                "numpy_wall_s": np_,
+                "speedup": round(py / np_, 2) if np_ > 0 else float("inf"),
+            }
+        )
+    return pairs
+
+
+def emit_trajectory(
+    rows: list[BenchRow], path: str | Path, config_path: str | None = None
+) -> dict:
+    """Write the run's fresh points as one ``BENCH_*.json`` artifact.
+
+    Skipped (already-measured) combinations are counted but not re-listed;
+    gf2-elim python/numpy pairs are folded into ``speedups`` so the
+    headline ratio is recomputed from the measured points every time.
+    """
+    points = [row.as_point() for row in rows if not row.skipped]
+    artifact = {
+        "bench": "innerloop",
+        "generated_by": "repro bench",
+        "config": config_path,
+        "gf2_backends_available": available_gf2_backends(),
+        "points": points,
+        "skipped_existing": sum(1 for row in rows if row.skipped),
+        "speedups": _pair_speedups(points),
+    }
+    Path(path).write_text(json.dumps(artifact, indent=2) + "\n")
+    return artifact

@@ -107,6 +107,11 @@ class SamplerStats:
     bsat_timeouts: int = 0
     xor_clauses_added: int = 0
     xor_literals_added: int = 0
+    # XOR rows of timed-out BSAT calls whose cells were discarded and
+    # redrawn (the Section 5 retry rule).  Kept out of the *_added counters
+    # so "Avg XOR len" reflects only cells that actually produced results.
+    xor_clauses_retried: int = 0
+    xor_literals_retried: int = 0
     sample_time_seconds: float = 0.0
     setup_time_seconds: float = 0.0
 

@@ -11,7 +11,28 @@ a BSAT timeout repeats lines 14–16 *without incrementing* ``i``.
 This module holds that search exactly once.  The engine mutates the owning
 sampler's :class:`~repro.core.base.SamplerStats` in place so that the
 bsat-call / XOR-length / timeout accounting of Tables 1 and 2 keeps working
-unchanged no matter which sampler drives it.
+unchanged no matter which sampler drives it.  Timed-out draws that the
+Section 5 rule discards are accounted under ``xor_clauses_retried`` /
+``xor_literals_retried``, never under the ``*_added`` counters the
+"Avg XOR len" columns divide — a retried cell contributed no results, so
+folding its rows in would skew the table math.
+
+Two search modes share the acceptance logic:
+
+*fresh* (default, the paper's exact protocol)
+    Each ``i`` draws an independent ``(h, α)`` and Gauss-reduces the hashed
+    formula from scratch inside BSAT.
+
+*matrix reuse* (opt-in, ``matrix_reuse=True``)
+    One :meth:`HxorFamily.draw_matrix` draw per sweep; hash size ``i`` uses
+    the first ``i`` rows (prefix-consistent, as in ApproxMC2), and the
+    GF(2) elimination state is carried *incrementally* across the
+    ``{q−3..q}`` window in a :class:`~repro.sat.gf2.BitMatrix` — growing
+    ``i`` appends one row to already-eliminated state instead of
+    re-reducing ``i`` rows from scratch.  Distributionally each prefix is
+    an honest ``Hxor`` draw, but the prefixes of one sweep are coupled and
+    the RNG consumption differs from fresh mode, so the mode is off by
+    default to preserve fixed-seed streams.
 """
 
 from __future__ import annotations
@@ -21,8 +42,11 @@ from dataclasses import dataclass
 from ..cnf.formula import CNF
 from ..errors import BudgetExhausted
 from ..hashing import HxorFamily
+from ..hashing.xor_family import HashConstraint
 from ..rng import RandomSource
 from ..sat.enumerate import bsat
+from ..sat.gauss import rows_as_xors
+from ..sat.gf2 import BitMatrix
 from ..sat.types import Budget
 from .base import SamplerStats, Witness
 
@@ -47,6 +71,10 @@ class CellSearch:
 
     One instance is created per prepared sampler and reused for every
     sample; it is stateless between calls apart from the shared ``stats``.
+
+    ``matrix_reuse`` selects the prefix-consistent incremental search (see
+    the module docstring); ``gf2_backend`` picks the elimination kernel for
+    that mode (``python`` | ``numpy`` | ``auto``/None).
     """
 
     def __init__(
@@ -60,6 +88,8 @@ class CellSearch:
         stats: SamplerStats,
         bsat_budget: Budget | None = None,
         max_retries: int = 20,
+        matrix_reuse: bool = False,
+        gf2_backend: str | None = None,
     ):
         self._cnf = cnf
         self._family = family
@@ -70,6 +100,12 @@ class CellSearch:
         self._stats = stats
         self._budget = bsat_budget
         self._max_retries = max_retries
+        self._matrix_reuse = matrix_reuse
+        self._gf2_backend = gf2_backend
+        # Lazily eliminated base XOR system of ``cnf`` (matrix-reuse mode):
+        # copied at the start of each sweep so hash rows append onto
+        # already-reduced state.
+        self._base_matrix: BitMatrix | None = None
 
     def draw_cell(self, i: int) -> list[Witness]:
         """One ``(h, α)`` draw and bounded enumeration (lines 14–16).
@@ -90,11 +126,17 @@ class CellSearch:
                 budget=self._budget,
             )
             self._stats.bsat_calls += 1
-            self._stats.xor_clauses_added += len(constraint.xors)
-            self._stats.xor_literals_added += sum(len(x) for x in constraint.xors)
+            n_clauses = len(constraint.xors)
+            n_literals = sum(len(x) for x in constraint.xors)
             if not cell.budget_exhausted:
+                self._stats.xor_clauses_added += n_clauses
+                self._stats.xor_literals_added += n_literals
                 return cell.models
+            # Section 5 retry: this draw's cell is discarded, so its rows
+            # must not feed the Avg-XOR-len columns — book them separately.
             self._stats.bsat_timeouts += 1
+            self._stats.xor_clauses_retried += n_clauses
+            self._stats.xor_literals_retried += n_literals
             retries += 1
             if retries > self._max_retries:
                 raise BudgetExhausted(
@@ -109,6 +151,8 @@ class CellSearch:
         ApproxMC underestimated a count the easy case would normally have
         caught — is skipped rather than treated as "no hashing".
         """
+        if self._matrix_reuse:
+            return self._find_accepted_cell_prefix(q)
         i = q - 4
         while i < q:
             i += 1
@@ -118,3 +162,95 @@ class CellSearch:
             if self._lo <= len(models) <= self._hi:
                 return AcceptedCell(models=models, hash_size=i)
         return None
+
+    # -- matrix-reuse (prefix-consistent, incremental) mode -------------
+    def _base_state(self) -> BitMatrix:
+        """A fresh copy of ``cnf``'s eliminated XOR system."""
+        if self._base_matrix is None:
+            matrix = BitMatrix.create(self._cnf.num_vars, backend=self._gf2_backend)
+            matrix.extend_xors(self._cnf.xor_clauses)
+            self._base_matrix = matrix
+        return self._base_matrix.copy()
+
+    def _find_accepted_cell_prefix(self, q: int) -> AcceptedCell | None:
+        """The window sweep over prefixes of one ``draw_matrix`` draw.
+
+        Hash size ``i`` uses rows ``0..i`` of the matrix; the elimination
+        state grows with ``i`` instead of restarting.  A BSAT timeout
+        redraws the whole matrix and rebuilds the prefix at the same ``i``
+        (Section 5's fresh-``(h, α)``-same-``i`` rule carried over to the
+        prefix protocol); the retry counter is per ``i``, matching
+        :meth:`draw_cell`.
+        """
+        rows = max(q, 0)
+        constraint = self._family.draw_matrix(rows, self._rng)
+        state = self._base_state()
+        appended = 0
+        retries = 0
+        i = q - 4
+        while i < q:
+            i += 1
+            if i < 0:
+                continue
+            while appended < i:
+                state.append_xor(constraint.xors[appended])
+                appended += 1
+            models, timed_out = self._enumerate_prefix(state, constraint, i)
+            if timed_out:
+                retries += 1
+                if retries > self._max_retries:
+                    raise BudgetExhausted(
+                        f"BSAT timed out {retries} times at hash size {i}"
+                    )
+                constraint = self._family.draw_matrix(rows, self._rng)
+                state = self._base_state()
+                appended = 0
+                i -= 1
+                continue
+            retries = 0
+            if self._lo <= len(models) <= self._hi:
+                return AcceptedCell(models=models, hash_size=i)
+        return None
+
+    def _enumerate_prefix(
+        self, state: BitMatrix, constraint: HashConstraint, i: int
+    ) -> tuple[list[Witness], bool]:
+        """BSAT over the pre-reduced ``i``-row prefix; ``(models, timed_out)``.
+
+        The hashed formula is assembled from ``state``'s reduced rows and
+        solved with ``gauss=False`` — the elimination BSAT would redo per
+        call already happened incrementally.  Accounting counts the drawn
+        prefix rows (not the reduced ones) so fresh and reuse modes report
+        comparable Avg-XOR-len numbers.
+        """
+        prefix = constraint.xors[:i]
+        n_literals = sum(len(x) for x in prefix)
+        if state.inconsistent:
+            # The reduced system already contains 0 = 1: the cell is empty;
+            # account it like the (trivially UNSAT) bsat call it replaces.
+            self._stats.bsat_calls += 1
+            self._stats.xor_clauses_added += i
+            self._stats.xor_literals_added += n_literals
+            return [], False
+        hashed = CNF(self._cnf.num_vars, name=self._cnf.name)
+        hashed.clauses = list(self._cnf.clauses)
+        hashed.sampling_set = self._cnf.sampling_set
+        for xor in rows_as_xors(state.reduced_rows()):
+            hashed.add_xor(xor)
+        cell = bsat(
+            hashed,
+            self._hi + 1,
+            sampling_set=self._svars,
+            rng=self._rng,
+            budget=self._budget,
+            gauss=False,
+        )
+        self._stats.bsat_calls += 1
+        if cell.budget_exhausted:
+            self._stats.bsat_timeouts += 1
+            self._stats.xor_clauses_retried += i
+            self._stats.xor_literals_retried += n_literals
+            return [], True
+        self._stats.xor_clauses_added += i
+        self._stats.xor_literals_added += n_literals
+        return cell.models, False

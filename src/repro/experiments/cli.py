@@ -16,6 +16,10 @@ the sampling lifecycle as a tool:
   CI exercises (``--smoke --jobs 2`` adds the parallel-engine leg);
 * ``repro bench-throughput`` — witnesses/sec of the parallel engine across
   job counts on a suite benchmark or a DIMACS file;
+* ``repro bench --config sweep.json`` — the config-driven benchmark
+  runner: registered micro/end-to-end benchmarks swept over parameter
+  grids, CSVs with skip-existing, ``--emit BENCH_innerloop.json`` folds
+  the measured python-vs-numpy pairs into a trajectory artifact;
 * ``repro broker SPOOL FILE.cnf`` — submit a sampling job to a spool-
   directory chunk queue and wait for ``repro worker`` processes to drain
   it (``--workers N`` also spawns local ones); expired leases are retried
@@ -130,6 +134,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bsat-timeout", type=float, default=60.0)
     p.add_argument("--xor-count", type=int, default=None,
                    help="XOR count s (required by --sampler xorsample)")
+    p.add_argument("--matrix-reuse", action="store_true",
+                   help="prefix-consistent cell search: one hash matrix per"
+                        " window sweep with incremental GF(2) elimination"
+                        " across {q-3..q} (ApproxMC2-style); changes RNG"
+                        " consumption vs the paper's per-i protocol")
+    p.add_argument("--gf2-backend", choices=("python", "numpy"), default=None,
+                   help="GF(2) elimination kernel (default: "
+                        "$REPRO_GF2_BACKEND, then numpy when installed)")
     p.add_argument("--jobs", type=int, default=None, metavar="N",
                    help="sample through the parallel engine with N worker"
                         " processes (N=1 runs the identical chunked pipeline"
@@ -224,6 +236,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2014)
     p.add_argument("--epsilon", type=float, default=6.0)
     p.add_argument("--chunk-size", type=int, default=None)
+
+    p = sub.add_parser(
+        "bench",
+        help="run a config-driven benchmark sweep (CSV + BENCH_*.json)",
+    )
+    p.add_argument("--config", metavar="CONFIG_JSON",
+                   default="benchmarks/configs/innerloop.json",
+                   help="JSON sweep config: which registered benchmarks to"
+                        " run and which parameter lists to sweep"
+                        " (cartesian product)")
+    p.add_argument("--out-dir", metavar="DIR", default=None,
+                   help="CSV output directory (default: the config's"
+                        " out_dir, else benchmarks/out)")
+    p.add_argument("--emit", metavar="BENCH_JSON", default=None,
+                   help="also fold this run's measured points (plus"
+                        " python-vs-numpy speedup pairs) into one"
+                        " trajectory artifact")
+    p.add_argument("--no-skip-existing", action="store_true",
+                   help="re-measure combinations already present in the"
+                        " CSVs instead of skipping them")
+    p.add_argument("--list", action="store_true", dest="list_benchmarks",
+                   help="list the registered benchmarks and their"
+                        " parameters, then exit")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="log each combination as it completes")
 
     p = sub.add_parser(
         "broker",
@@ -1122,6 +1159,8 @@ def main(argv: list[str] | None = None) -> int:
                 bsat_timeout_s=args.bsat_timeout,
                 approxmc_search="galloping",
                 xor_count=args.xor_count,
+                matrix_reuse=args.matrix_reuse,
+                gf2_backend=args.gf2_backend,
             )
             if args.backend is not None:
                 from ..errors import WorkerFailure
@@ -1190,6 +1229,46 @@ def main(argv: list[str] | None = None) -> int:
             _serial_report_dict(get_entry(args.sampler).name, sampler,
                                 results, witnesses, args.num, args.seed),
         )
+        return 0
+
+    if args.command == "bench":
+        from ..bench import ALGORITHMS, emit_trajectory, load_config, run_config
+
+        if args.list_benchmarks:
+            for name in sorted(ALGORITHMS):
+                algorithm = ALGORITHMS[name]
+                print(f"{name:14s} {algorithm.summary}")
+                print(f"{'':14s} defaults: {algorithm.defaults}")
+                print(f"{'':14s} key: {', '.join(algorithm.key_cols)}")
+            return 0
+        say = (lambda msg: print(f"c {msg}", file=sys.stderr)) \
+            if args.verbose else None
+        try:
+            config = load_config(args.config)
+            rows = run_config(
+                config,
+                out_dir=args.out_dir,
+                skip_existing_override=(
+                    False if args.no_skip_existing else None
+                ),
+                log=say,
+            )
+        except (ValueError, OSError) as exc:
+            print(f"c error: {exc}", file=sys.stderr)
+            return 2
+        fresh = sum(1 for row in rows if not row.skipped)
+        skipped = len(rows) - fresh
+        print(f"c bench: {fresh} measured, {skipped} skipped "
+              f"(config={args.config})", file=sys.stderr)
+        if args.emit:
+            artifact = emit_trajectory(rows, args.emit, args.config)
+            for pair in artifact["speedups"]:
+                print(f"c gf2-elim vars={pair['vars']} rows={pair['rows']}: "
+                      f"python {pair['python_wall_s']}s / numpy "
+                      f"{pair['numpy_wall_s']}s = {pair['speedup']}x",
+                      file=sys.stderr)
+            print(f"c wrote {args.emit} ({len(artifact['points'])} points)",
+                  file=sys.stderr)
         return 0
 
     if args.command == "broker":

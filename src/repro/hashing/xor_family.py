@@ -25,6 +25,61 @@ from ..cnf.xor import XorClause
 from ..rng import RandomSource, as_random_source
 
 
+def density_digits(density: float) -> list[int]:
+    """Binary digits ``b1..bk`` of ``density`` (``0.b1b2…bk``), trailing
+    zeros trimmed — ``k`` is the number of RNG words one row consumes.
+
+    Every Python float is a dyadic rational, so the expansion is finite
+    (53 significant digits, more only for subnormals).  ``density == 0.5``
+    gives ``[1]``; ``density == 1.0`` is handled separately by
+    :func:`row_word` (zero draws).
+    """
+    if not 0.0 < density < 1.0:
+        raise ValueError("density must be in (0, 1) for a digit expansion")
+    digits: list[int] = []
+    x = density
+    while x:
+        x *= 2.0
+        bit = int(x)
+        digits.append(bit)
+        x -= bit
+    while digits and digits[-1] == 0:  # pragma: no cover - x==0 trims exactly
+        digits.pop()
+    return digits
+
+
+def row_word(rng: RandomSource, n: int, density: float = 0.5) -> int:
+    """Draw one row's variable-selection word: bit ``k`` set with
+    probability ``density``, independently, via whole-word RNG draws.
+
+    **RNG-consumption contract** — per row, exactly ``len(density_digits
+    (density))`` calls to ``rng.bits(n)`` and nothing else: a fixed
+    function of ``density`` alone, never of the drawn outcomes.  In
+    particular ``density == 0.5`` consumes exactly one word — the same
+    stream the historical fast path consumed, so fixed-seed goldens are
+    preserved — and ``density == 1.0`` consumes zero (the row is the full
+    mask).  The historical general path consumed ``n`` ``rng.random()``
+    floats per row, so the same root seed put density-ablation runs (A4)
+    on unrelated downstream streams; routing every density through this
+    primitive makes consumption shape uniform across the ablation grid.
+
+    The construction folds fair words over the binary expansion
+    ``density = 0.b1…bk``, least-significant digit first: starting from
+    the word for ``bk`` (always 1 after trimming), each earlier digit
+    ``b`` maps ``acc`` to ``word | acc`` (``b = 1``) or ``word & acc``
+    (``b = 0``), giving per-bit probability ``b/2 + q/2`` at each step —
+    exactly ``density`` after ``k`` steps.
+    """
+    if density == 1.0:
+        return (1 << n) - 1
+    digits = density_digits(density)
+    acc = rng.bits(n)
+    for b in reversed(digits[:-1]):
+        word = rng.bits(n)
+        acc = (word | acc) if b else (word & acc)
+    return acc
+
+
 @dataclass(frozen=True)
 class HashConstraint:
     """A sampled ``(h, α)`` pair lowered to XOR clauses over given variables.
@@ -82,13 +137,13 @@ class HxorFamily:
         if m < 0:
             raise ValueError("m must be non-negative")
         rows: list[XorClause] = []
+        variables = self.variables
+        n = self.n
         for _ in range(m):
-            if self.density == 0.5:
-                # Fast path: one random word selects the variable subset.
-                word = rng.bits(self.n)
-                vs = [v for k, v in enumerate(self.variables) if (word >> k) & 1]
-            else:
-                vs = [v for v in self.variables if rng.random() < self.density]
+            # Whole-word draw at every density (see row_word's contract):
+            # one rng.bits(n) word per binary digit of the density.
+            word = row_word(rng, n, self.density)
+            vs = [v for k, v in enumerate(variables) if (word >> k) & 1]
             a0 = rng.bit()
             alpha_i = rng.bit()
             rows.append(XorClause.from_vars(vs, bool(a0 ^ alpha_i)))

@@ -11,8 +11,14 @@ from .enumerate import bsat, enumerate_all, projections
 from .gauss import (
     GaussResult,
     gaussian_eliminate,
+    rows_as_xors,
     sample_xor_solution,
     xor_system_solutions,
+)
+from .gf2 import (
+    BitMatrix,
+    available_gf2_backends,
+    resolve_gf2_backend,
 )
 from .solver import Solver, luby
 from .types import (
@@ -57,4 +63,8 @@ __all__ = [
     "gaussian_eliminate",
     "xor_system_solutions",
     "sample_xor_solution",
+    "rows_as_xors",
+    "BitMatrix",
+    "available_gf2_backends",
+    "resolve_gf2_backend",
 ]

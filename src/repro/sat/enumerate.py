@@ -19,9 +19,8 @@ import time
 from typing import Iterable, Sequence
 
 from ..cnf.formula import CNF
-from ..cnf.xor import XorClause
 from ..rng import RandomSource, as_random_source
-from .gauss import gaussian_eliminate
+from .gauss import gaussian_eliminate, rows_as_xors
 from .solver import Solver
 from .types import SAT, UNKNOWN, UNSAT, Budget, EnumerationResult
 
@@ -45,14 +44,8 @@ def gauss_reduce_xors(cnf: CNF) -> CNF | None:
     out = CNF(cnf.num_vars, name=cnf.name)
     out.clauses = list(cnf.clauses)
     out.sampling_set = cnf.sampling_set
-    for mask, rhs in reduced.rows:
-        vs = []
-        rest = mask
-        while rest:
-            low = rest & -rest
-            vs.append(low.bit_length() - 1)
-            rest ^= low
-        out.add_xor(XorClause.from_vars(vs, bool(rhs)))
+    for xor in rows_as_xors(reduced.rows):
+        out.add_xor(xor)
     return out
 
 

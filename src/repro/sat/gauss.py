@@ -9,8 +9,11 @@ clauses; we provide the same capability as a preprocessing/analysis pass:
 * reduce a system to row-echelon form, exposing implied units and
   equivalences that can be handed to the CDCL solver.
 
-Rows are represented as Python ints used as bit masks (bit ``v`` = variable
-``v``), which makes row reduction effectively O(n/64) per operation.
+The row arithmetic lives in :mod:`repro.sat.gf2`: an incremental
+:class:`~repro.sat.gf2.BitMatrix` kernel with a pure-Python int-mask backend
+and a numpy ``uint64``-packed backend, selected per call via ``backend=`` or
+globally via ``REPRO_GF2_BACKEND``.  Both produce the same (unique) reduced
+row-echelon form, so results here are backend-independent.
 """
 
 from __future__ import annotations
@@ -18,6 +21,31 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..cnf.xor import XorClause
+from .gf2 import (
+    BitMatrix,
+    available_gf2_backends,
+    mask_of_vars,
+    resolve_gf2_backend,
+    vars_of_mask,
+)
+
+__all__ = [
+    "GaussResult",
+    "gaussian_eliminate",
+    "xor_system_solutions",
+    "sample_xor_solution",
+    "rows_as_xors",
+    "BitMatrix",
+    "available_gf2_backends",
+    "resolve_gf2_backend",
+]
+
+
+def rows_as_xors(rows: list[tuple[int, int]]) -> list[XorClause]:
+    """Convert ``(mask, rhs)`` reduced rows back into XOR clauses."""
+    return [
+        XorClause.from_vars(vars_of_mask(mask), bool(rhs)) for mask, rhs in rows
+    ]
 
 
 @dataclass
@@ -29,7 +57,8 @@ class GaussResult:
     ``inconsistent``
         True iff the system contains the row ``0 = 1``.
     ``rows``
-        Reduced rows as ``(mask, rhs)`` pairs, pivot variables distinct.
+        Reduced rows as ``(mask, rhs)`` pairs, pivot variables distinct,
+        ascending by pivot variable.
     ``units``
         Variables forced to a constant by single-variable rows.
     """
@@ -46,69 +75,58 @@ class GaussResult:
             return 0
         return 1 << (self.num_vars - self.rank)
 
+    @classmethod
+    def from_matrix(cls, matrix: BitMatrix) -> "GaussResult":
+        """Snapshot a :class:`BitMatrix`'s eliminated state."""
+        result = cls(
+            num_vars=matrix.num_vars,
+            rank=matrix.rank,
+            inconsistent=matrix.inconsistent,
+        )
+        for mask, rhs in matrix.reduced_rows():
+            result.rows.append((mask, rhs))
+            if mask.bit_count() == 1:
+                result.units[mask.bit_length() - 1] = bool(rhs)
+        return result
+
 
 def _mask_of(xor: XorClause) -> int:
-    mask = 0
-    for v in xor.vars:
-        mask |= 1 << v
-    return mask
+    return mask_of_vars(xor.vars)
 
 
-def gaussian_eliminate(xors: list[XorClause], num_vars: int) -> GaussResult:
-    """Reduce ``xors`` to reduced row-echelon form over GF(2)."""
-    # pivots[v] = (mask, rhs) with leading (highest) bit v.
-    pivots: dict[int, tuple[int, int]] = {}
-    inconsistent = False
-    for xor in xors:
-        mask = _mask_of(xor)
-        rhs = 1 if xor.rhs else 0
-        while mask:
-            lead = mask.bit_length() - 1
-            if lead in pivots:
-                pmask, prhs = pivots[lead]
-                mask ^= pmask
-                rhs ^= prhs
-            else:
-                pivots[lead] = (mask, rhs)
-                break
-        else:
-            if rhs:
-                inconsistent = True
-    # Back-substitute to reduced form (each pivot var in exactly one row).
-    for lead in sorted(pivots, reverse=True):
-        pmask, prhs = pivots[lead]
-        for other in sorted(pivots):
-            if other == lead:
-                continue
-            omask, orhs = pivots[other]
-            if (omask >> lead) & 1:
-                pivots[other] = (omask ^ pmask, orhs ^ prhs)
+def gaussian_eliminate(
+    xors: list[XorClause], num_vars: int, backend: str | None = None
+) -> GaussResult:
+    """Reduce ``xors`` to reduced row-echelon form over GF(2).
 
-    result = GaussResult(num_vars=num_vars, inconsistent=inconsistent)
-    result.rank = len(pivots)
-    for lead in sorted(pivots):
-        mask, rhs = pivots[lead]
-        result.rows.append((mask, rhs))
-        if mask.bit_count() == 1:
-            result.units[lead] = bool(rhs)
-    return result
+    ``backend`` picks the GF(2) kernel (``python`` | ``numpy`` | ``auto``);
+    unset defers to ``$REPRO_GF2_BACKEND``, then auto-detection.  The RREF
+    of a row space is unique, so the output is identical across backends.
+    """
+    matrix = BitMatrix.create(num_vars, backend=backend)
+    matrix.extend_xors(xors)
+    return GaussResult.from_matrix(matrix)
 
 
-def xor_system_solutions(xors: list[XorClause], num_vars: int) -> int:
+def xor_system_solutions(
+    xors: list[XorClause], num_vars: int, backend: str | None = None
+) -> int:
     """Exact number of assignments over ``num_vars`` vars satisfying all xors."""
-    return gaussian_eliminate(xors, num_vars).solution_count()
+    return gaussian_eliminate(xors, num_vars, backend=backend).solution_count()
 
 
 def sample_xor_solution(
-    xors: list[XorClause], num_vars: int, rng
+    xors: list[XorClause], num_vars: int, rng, backend: str | None = None
 ) -> dict[int, bool] | None:
     """Uniformly sample a solution of a pure XOR system (None if UNSAT).
 
     Free variables get independent fair coin flips; pivot variables are then
     determined by back-substitution — this is exactly uniform over the
-    affine solution space.
+    affine solution space.  RNG consumption depends only on the pivot set,
+    which is backend-independent, so a fixed seed yields the same sample on
+    every backend.
     """
-    reduced = gaussian_eliminate(xors, num_vars)
+    reduced = gaussian_eliminate(xors, num_vars, backend=backend)
     if reduced.inconsistent:
         return None
     pivot_vars = {mask.bit_length() - 1 for mask, _ in reduced.rows}
@@ -120,10 +138,7 @@ def sample_xor_solution(
     for mask, rhs in reduced.rows:
         lead = mask.bit_length() - 1
         acc = bool(rhs)
-        rest = mask & ~(1 << lead)
-        while rest:
-            v = rest & -rest
-            acc ^= assignment[v.bit_length() - 1]
-            rest ^= v
+        for v in vars_of_mask(mask & ~(1 << lead)):
+            acc ^= assignment[v]
         assignment[lead] = acc
     return assignment

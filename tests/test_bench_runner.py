@@ -1,0 +1,194 @@
+"""Tests for the config-driven benchmark runner (``repro.bench``).
+
+Exercises the registry/config/CSV machinery with tiny gf2-elim sweeps so
+the suite stays fast; the real measurement configs live under
+``benchmarks/configs/`` and are driven by ``repro bench`` / CI.
+"""
+
+import csv
+import json
+
+import pytest
+
+from repro.bench import runner as bench_runner
+from repro.bench.runner import (
+    ALGORITHMS,
+    BenchRow,
+    emit_trajectory,
+    iter_param_grid,
+    load_config,
+    run_config,
+)
+
+TINY = {"vars": [16], "rows": [8], "repeats": [1]}
+
+
+def write_config(tmp_path, data):
+    path = tmp_path / "config.json"
+    path.write_text(json.dumps(data))
+    return path
+
+
+class TestRegistry:
+    def test_expected_algorithms_registered(self):
+        assert {"gf2-elim", "unigen-sweep"} <= set(ALGORITHMS)
+
+    def test_columns_are_defaults_plus_metrics(self):
+        algorithm = ALGORITHMS["gf2-elim"]
+        assert algorithm.columns == list(algorithm.defaults) + list(
+            algorithm.metric_cols
+        )
+        assert set(algorithm.key_cols) <= set(algorithm.defaults)
+
+
+class TestConfigLoading:
+    def test_missing_algorithms_key_rejected(self, tmp_path):
+        path = write_config(tmp_path, {"out_dir": "x"})
+        with pytest.raises(ValueError, match="algorithms"):
+            load_config(path)
+
+    def test_unknown_benchmark_rejected(self, tmp_path):
+        path = write_config(tmp_path, {"algorithms": [{"name": "nope"}]})
+        with pytest.raises(ValueError, match="unknown benchmark 'nope'"):
+            load_config(path)
+
+    def test_unknown_parameter_rejected(self, tmp_path):
+        path = write_config(
+            tmp_path,
+            {"algorithms": [{"name": "gf2-elim", "parameters": {"cols": [1]}}]},
+        )
+        with pytest.raises(ValueError, match="no parameters \\['cols'\\]"):
+            load_config(path)
+
+    def test_valid_config_roundtrips(self, tmp_path):
+        data = {"algorithms": [{"name": "gf2-elim", "parameters": TINY}]}
+        assert load_config(write_config(tmp_path, data)) == data
+
+
+class TestParamGrid:
+    def test_empty_sweep_is_the_defaults(self):
+        defaults = {"a": 1, "b": 2}
+        assert iter_param_grid(defaults, {}) == [defaults]
+
+    def test_cartesian_product_over_defaults(self):
+        grid = iter_param_grid(
+            {"a": 0, "b": 0, "c": 9}, {"a": [1, 2], "b": [3, 4]}
+        )
+        assert len(grid) == 4
+        assert {(g["a"], g["b"]) for g in grid} == {(1, 3), (1, 4), (2, 3), (2, 4)}
+        assert all(g["c"] == 9 for g in grid)
+
+
+class TestRunConfig:
+    def config(self):
+        return {
+            "algorithms": [{"name": "gf2-elim", "parameters": dict(TINY)}]
+        }
+
+    def test_csv_written_with_header_and_metrics(self, tmp_path):
+        rows = run_config(self.config(), out_dir=tmp_path)
+        assert len(rows) == 1 and not rows[0].skipped
+        assert rows[0].metrics["rank"] <= 8
+        with (tmp_path / "gf2-elim.csv").open(newline="") as fh:
+            records = list(csv.DictReader(fh))
+        assert len(records) == 1
+        assert records[0]["vars"] == "16"
+        assert float(records[0]["wall_s"]) >= 0.0
+
+    def test_skip_existing_second_run(self, tmp_path):
+        run_config(self.config(), out_dir=tmp_path)
+        rows = run_config(self.config(), out_dir=tmp_path)
+        assert [row.skipped for row in rows] == [True]
+        # The CSV was not appended to.
+        with (tmp_path / "gf2-elim.csv").open(newline="") as fh:
+            assert len(list(csv.DictReader(fh))) == 1
+
+    def test_skip_existing_override_remeasures(self, tmp_path):
+        run_config(self.config(), out_dir=tmp_path)
+        rows = run_config(
+            self.config(), out_dir=tmp_path, skip_existing_override=False
+        )
+        assert not rows[0].skipped
+        with (tmp_path / "gf2-elim.csv").open(newline="") as fh:
+            assert len(list(csv.DictReader(fh))) == 2
+
+    def test_requires_numpy_block_skipped_without_numpy(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(
+            bench_runner, "available_gf2_backends", lambda: ["python"]
+        )
+        config = {
+            "algorithms": [
+                {"name": "gf2-elim", "parameters": dict(TINY),
+                 "requires": ["numpy"]},
+            ]
+        }
+        messages = []
+        rows = run_config(config, out_dir=tmp_path, log=messages.append)
+        assert rows == []
+        assert not (tmp_path / "gf2-elim.csv").exists()
+        assert any("numpy not installed" in msg for msg in messages)
+
+    def test_unknown_requirement_rejected(self, tmp_path):
+        config = {
+            "algorithms": [
+                {"name": "gf2-elim", "parameters": dict(TINY),
+                 "requires": ["cuda"]},
+            ]
+        }
+        with pytest.raises(ValueError, match="unknown requirement"):
+            run_config(config, out_dir=tmp_path)
+
+
+class TestEmitTrajectory:
+    def pair(self, backend, wall_s):
+        params = dict(ALGORITHMS["gf2-elim"].defaults)
+        params["backend"] = backend
+        return BenchRow(
+            "gf2-elim", params, {"wall_s": wall_s, "rank": 500,
+                                 "rows_per_s": 1.0}
+        )
+
+    def test_speedups_pair_python_with_numpy(self, tmp_path):
+        rows = [self.pair("python", 0.4), self.pair("numpy", 0.1)]
+        artifact = emit_trajectory(rows, tmp_path / "BENCH.json", "cfg.json")
+        assert len(artifact["points"]) == 2
+        (pair,) = artifact["speedups"]
+        assert pair["speedup"] == 4.0
+        assert pair["python_wall_s"] == 0.4
+        assert pair["numpy_wall_s"] == 0.1
+        # The artifact on disk parses back to the same structure.
+        assert json.loads((tmp_path / "BENCH.json").read_text()) == artifact
+
+    def test_unpaired_points_yield_no_speedup(self, tmp_path):
+        rows = [self.pair("python", 0.4)]
+        artifact = emit_trajectory(rows, tmp_path / "BENCH.json")
+        assert artifact["speedups"] == []
+
+    def test_skipped_rows_counted_not_listed(self, tmp_path):
+        rows = [
+            self.pair("python", 0.4),
+            BenchRow("gf2-elim", {}, {}, skipped=True),
+        ]
+        artifact = emit_trajectory(rows, tmp_path / "BENCH.json")
+        assert artifact["skipped_existing"] == 1
+        assert len(artifact["points"]) == 1
+
+
+class TestCommittedArtifact:
+    """The committed BENCH_innerloop.json must carry the measured >=2x
+    rank-500 evidence the back-substitution fix is gated on."""
+
+    def test_artifact_shape_and_headline(self):
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "BENCH_innerloop.json"
+        artifact = json.loads(path.read_text())
+        assert artifact["bench"] == "innerloop"
+        assert artifact["points"], "artifact must contain measured points"
+        rank500 = [
+            pair for pair in artifact["speedups"] if pair["rows"] >= 500
+        ]
+        assert rank500, "artifact must contain rank-500 python/numpy pairs"
+        assert max(pair["speedup"] for pair in rank500) >= 2.0

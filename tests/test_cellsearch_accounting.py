@@ -1,0 +1,123 @@
+"""Regression tests for the Section 5 retry accounting in CellSearch.
+
+A BSAT timeout repeats lines 14–16 with a *fresh* ``(h, α)`` at the same
+hash size; the discarded draw contributed no cell, so its rows must land in
+``xor_clauses_retried`` / ``xor_literals_retried`` — never in the
+``*_added`` counters that the Tables-1/2 "Avg XOR len" column divides.
+The old behaviour folded retried draws into ``*_added``, skewing the
+average toward however many times BSAT happened to time out.
+"""
+
+import pytest
+
+from repro.cnf.formula import CNF
+from repro.core.base import SamplerStats
+from repro.core.cellsearch import CellSearch
+from repro.errors import BudgetExhausted
+from repro.hashing import HxorFamily
+from repro.rng import RandomSource
+from repro.sat.types import EnumerationResult
+
+
+def make_search(monkeypatch, timeouts, max_retries=20, matrix_reuse=False):
+    """A CellSearch whose first ``timeouts`` BSAT calls exhaust the budget.
+
+    Returns ``(search, stats, calls)`` where ``calls`` records the hashed
+    formula of every bsat invocation (timed-out and successful alike).
+    """
+    cnf = CNF(6)
+    cnf.add_clauses([[1, 2], [3, 4], [5, 6]])
+    stats = SamplerStats()
+    search = CellSearch(
+        cnf=cnf,
+        family=HxorFamily([1, 2, 3, 4, 5, 6]),
+        sampling_set=[1, 2, 3, 4, 5, 6],
+        hi_thresh=64,
+        lo_thresh=1.0,
+        rng=RandomSource(7),
+        stats=stats,
+        max_retries=max_retries,
+        matrix_reuse=matrix_reuse,
+    )
+    calls = []
+
+    def fake_bsat(hashed, bound, **kwargs):
+        calls.append(hashed)
+        if len(calls) <= timeouts:
+            return EnumerationResult(models=[], budget_exhausted=True)
+        return EnumerationResult(
+            models=[{v: False for v in range(1, 7)}], complete=True
+        )
+
+    monkeypatch.setattr("repro.core.cellsearch.bsat", fake_bsat)
+    return search, stats, calls
+
+
+def drawn_xor_counts(cnf_calls):
+    """(clauses, literals) of the hash rows in each bsat call's formula."""
+    out = []
+    for hashed in cnf_calls:
+        xors = hashed.xor_clauses
+        out.append((len(xors), sum(len(x) for x in xors)))
+    return out
+
+
+class TestRetriedAccounting:
+    def test_timeouts_do_not_skew_avg_xor_len(self, monkeypatch):
+        search, stats, calls = make_search(monkeypatch, timeouts=2)
+        models = search.draw_cell(3)
+        assert len(models) == 1
+        assert len(calls) == 3
+        counts = drawn_xor_counts(calls)
+        # Only the final (successful) draw feeds the *_added counters...
+        assert stats.xor_clauses_added == counts[2][0] == 3
+        assert stats.xor_literals_added == counts[2][1]
+        # ...while both discarded draws are booked separately.
+        assert stats.bsat_timeouts == 2
+        assert stats.xor_clauses_retried == counts[0][0] + counts[1][0] == 6
+        assert stats.xor_literals_retried == counts[0][1] + counts[1][1]
+        # Avg XOR len is the successful draw's mean length, untouched by
+        # however many retries preceded it.
+        assert stats.avg_xor_length == pytest.approx(counts[2][1] / 3)
+
+    def test_no_timeout_leaves_retried_counters_zero(self, monkeypatch):
+        search, stats, _calls = make_search(monkeypatch, timeouts=0)
+        search.draw_cell(2)
+        assert stats.bsat_timeouts == 0
+        assert stats.xor_clauses_retried == 0
+        assert stats.xor_literals_retried == 0
+        assert stats.xor_clauses_added == 2
+
+    def test_retries_exhausted_raises(self, monkeypatch):
+        search, stats, _calls = make_search(
+            monkeypatch, timeouts=100, max_retries=4
+        )
+        with pytest.raises(BudgetExhausted):
+            search.draw_cell(3)
+        assert stats.bsat_timeouts == 5  # max_retries + the final attempt
+        assert stats.xor_clauses_added == 0
+        assert stats.xor_clauses_retried == 15
+
+    def test_matrix_reuse_mode_books_retries_identically(self, monkeypatch):
+        search, stats, _calls = make_search(
+            monkeypatch, timeouts=1, matrix_reuse=True
+        )
+        # q=4 sweeps i through {1..4}: the first (timed-out) call sees a
+        # one-row prefix, the retry at the same i succeeds and is accepted.
+        cell = search.find_accepted_cell(4)
+        assert cell is not None
+        assert cell.hash_size == 1
+        assert stats.bsat_timeouts == 1
+        # Prefix mode accounts the *drawn* prefix rows, same units as fresh
+        # mode: retried rows never reach the added counters.
+        assert stats.xor_clauses_retried == 1
+        assert stats.xor_clauses_added == 1
+        assert stats.xor_literals_retried > 0
+        assert stats.avg_xor_length == stats.xor_literals_added
+
+    def test_merge_accumulates_retried_counters(self):
+        a = SamplerStats(xor_clauses_retried=2, xor_literals_retried=7)
+        b = SamplerStats(xor_clauses_retried=3, xor_literals_retried=5)
+        a.merge(b)
+        assert a.xor_clauses_retried == 5
+        assert a.xor_literals_retried == 12

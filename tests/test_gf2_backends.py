@@ -1,0 +1,229 @@
+"""Backend-equivalence suite for the GF(2) kernel (``repro.sat.gf2``).
+
+The RREF of a row space is unique, so the python (int-mask) and numpy
+(packed ``uint64``) backends must agree *exactly* — reduced rows, rank,
+inconsistency, implied units, and the RNG stream of
+``sample_xor_solution``.  These properties pin that equivalence so a
+backend regression can never silently change a witness stream.
+
+All numpy-dependent tests skip cleanly when numpy is absent; the python
+backend is exercised unconditionally.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnf import XorClause
+from repro.hashing.xor_family import row_word
+from repro.rng import RandomSource
+from repro.sat.gauss import gaussian_eliminate, sample_xor_solution
+from repro.sat.gf2 import (
+    GF2_BACKEND_ENV,
+    BitMatrix,
+    available_gf2_backends,
+    mask_of_vars,
+    resolve_gf2_backend,
+    vars_of_mask,
+)
+
+needs_numpy = pytest.mark.skipif(
+    "numpy" not in available_gf2_backends(), reason="numpy not installed"
+)
+
+
+def xor_systems(max_vars=24, max_rows=20):
+    """Strategy: (num_vars, [(mask, rhs), ...]) with masks over 1..num_vars.
+
+    Drawing raw masks (rather than variable subsets) reaches empty rows and
+    duplicate rows easily, which is where inconsistency and rank-deficiency
+    live.
+    """
+
+    def build(num_vars):
+        row = st.tuples(
+            st.integers(min_value=0, max_value=(1 << (num_vars + 1)) - 2).map(
+                lambda m: m & ~1  # bit 0 is unused (variables start at 1)
+            ),
+            st.integers(min_value=0, max_value=1),
+        )
+        return st.tuples(
+            st.just(num_vars), st.lists(row, max_size=max_rows)
+        )
+
+    return st.integers(min_value=1, max_value=max_vars).flatmap(build)
+
+
+def snapshot(matrix):
+    return (matrix.rank, matrix.inconsistent, matrix.reduced_rows())
+
+
+class TestBackendEquality:
+    @needs_numpy
+    @settings(max_examples=150, deadline=None)
+    @given(xor_systems())
+    def test_extend_identical_across_backends(self, system):
+        num_vars, rows = system
+        py = BitMatrix.create(num_vars, backend="python")
+        np_ = BitMatrix.create(num_vars, backend="numpy")
+        py.extend(rows)
+        np_.extend(rows)
+        assert snapshot(py) == snapshot(np_)
+
+    @needs_numpy
+    @settings(max_examples=100, deadline=None)
+    @given(xor_systems(), st.lists(st.tuples(
+        st.integers(min_value=0, max_value=(1 << 25) - 2),
+        st.integers(min_value=0, max_value=1),
+    ), max_size=6))
+    def test_incremental_append_matches_batch(self, system, extra):
+        """Appends after a batch (and after reads) stay backend-identical —
+        the access pattern of the {q-3..q} matrix-reuse sweep."""
+        num_vars, rows = system
+        mask_limit = (1 << (num_vars + 1)) - 2
+        py = BitMatrix.create(num_vars, backend="python")
+        np_ = BitMatrix.create(num_vars, backend="numpy")
+        py.extend(rows)
+        np_.extend(rows)
+        for mask, rhs in extra:
+            mask &= mask_limit & ~1
+            # Interleave reads so deferred reduction paths are exercised.
+            assert snapshot(py) == snapshot(np_)
+            py.append(mask, rhs)
+            np_.append(mask, rhs)
+        assert snapshot(py) == snapshot(np_)
+
+    @needs_numpy
+    @settings(max_examples=80, deadline=None)
+    @given(xor_systems(max_vars=16, max_rows=14))
+    def test_gaussian_eliminate_result_equal(self, system):
+        num_vars, rows = system
+        xors = [
+            XorClause.from_vars(vars_of_mask(mask), bool(rhs))
+            for mask, rhs in rows
+        ]
+        a = gaussian_eliminate(xors, num_vars, backend="python")
+        b = gaussian_eliminate(xors, num_vars, backend="numpy")
+        assert a.rank == b.rank
+        assert a.inconsistent == b.inconsistent
+        assert a.rows == b.rows
+        assert a.units == b.units
+        assert a.solution_count() == b.solution_count()
+
+    @needs_numpy
+    @settings(max_examples=50, deadline=None)
+    @given(
+        xor_systems(max_vars=12, max_rows=10),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_sample_xor_solution_stream_identical(self, system, seed):
+        """Fixed seed => identical sample on both backends: RNG consumption
+        depends only on the (backend-independent) pivot set."""
+        num_vars, rows = system
+        xors = [
+            XorClause.from_vars(vars_of_mask(mask), bool(rhs))
+            for mask, rhs in rows
+        ]
+        a = sample_xor_solution(xors, num_vars, RandomSource(seed), backend="python")
+        b = sample_xor_solution(xors, num_vars, RandomSource(seed), backend="numpy")
+        assert a == b
+        if a is not None:
+            assert all(x.evaluate(a) for x in xors)
+
+    @needs_numpy
+    @settings(max_examples=60, deadline=None)
+    @given(xor_systems())
+    def test_copy_is_independent(self, system):
+        num_vars, rows = system
+        for backend in ("python", "numpy"):
+            matrix = BitMatrix.create(num_vars, backend=backend)
+            matrix.extend(rows)
+            frozen = snapshot(matrix)
+            clone = matrix.copy()
+            clone.append(mask_of_vars([1]), 1)
+            assert snapshot(matrix) == frozen
+
+
+class TestFixedSeedGolden:
+    """A pinned Hxor-style draw: catches *any* semantic drift of the kernel,
+    on either backend, including RNG-stream changes in row_word."""
+
+    NUM_VARS = 24
+    ROWS = 16
+    SEED = 2014
+
+    def _draw(self):
+        rng = RandomSource(self.SEED)
+        xors = []
+        for _ in range(self.ROWS):
+            word = row_word(rng, self.NUM_VARS, 0.5)
+            vs = [v for v in range(1, self.NUM_VARS + 1) if (word >> (v - 1)) & 1]
+            xors.append(XorClause.from_vars(vs, bool(rng.bit())))
+        return xors
+
+    def _check(self, backend):
+        result = gaussian_eliminate(self._draw(), self.NUM_VARS, backend=backend)
+        assert result.rank == 16
+        assert not result.inconsistent
+        assert result.rows[:4] == [(500, 1), (644, 0), (2152, 1), (4242, 0)]
+        sol = sample_xor_solution(
+            self._draw(), self.NUM_VARS, RandomSource(77), backend=backend
+        )
+        lits = [v if sol[v] else -v for v in sorted(sol)]
+        assert lits == [
+            1, -2, -3, -4, -5, -6, 7, -8, 9, 10, 11, -12,
+            -13, -14, 15, -16, -17, 18, -19, -20, 21, 22, -23, 24,
+        ]
+
+    def test_python_golden(self):
+        self._check("python")
+
+    @needs_numpy
+    def test_numpy_golden(self):
+        self._check("numpy")
+
+
+class TestBackendResolution:
+    def test_python_always_available(self):
+        assert "python" in available_gf2_backends()
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(GF2_BACKEND_ENV, "numpy")
+        assert resolve_gf2_backend("python") == "python"
+
+    def test_env_beats_auto(self, monkeypatch):
+        monkeypatch.setenv(GF2_BACKEND_ENV, "python")
+        assert resolve_gf2_backend() == "python"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown GF"):
+            resolve_gf2_backend("cupy")
+
+    def test_numpy_missing_is_loud(self, monkeypatch):
+        """Asking for numpy without numpy must raise, not silently fall
+        back — and auto must quietly pick python."""
+        import repro.sat.gf2 as gf2
+
+        monkeypatch.delenv(GF2_BACKEND_ENV, raising=False)
+        monkeypatch.setattr(gf2, "_NUMPY", None)
+        monkeypatch.setattr(gf2, "_NUMPY_CHECKED", True)
+        assert gf2.available_gf2_backends() == ["python"]
+        assert gf2.resolve_gf2_backend() == "python"
+        with pytest.raises(ValueError, match="numpy is not installed"):
+            gf2.resolve_gf2_backend("numpy")
+
+    @needs_numpy
+    def test_auto_prefers_numpy(self, monkeypatch):
+        monkeypatch.delenv(GF2_BACKEND_ENV, raising=False)
+        assert resolve_gf2_backend() == "numpy"
+
+
+class TestMaskHelpers:
+    @settings(max_examples=60, deadline=None)
+    @given(st.sets(st.integers(min_value=1, max_value=200)))
+    def test_mask_roundtrip(self, vs):
+        assert vars_of_mask(mask_of_vars(vs)) == sorted(vs)
+
+    def test_empty(self):
+        assert mask_of_vars([]) == 0
+        assert vars_of_mask(0) == []

@@ -127,3 +127,93 @@ class TestPrefix:
                     count += 1
             sizes.append(count)
         assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+
+class CountingSource(RandomSource):
+    """RandomSource that records every primitive draw (for RNG contracts)."""
+
+    def __init__(self, seed):
+        super().__init__(seed)
+        self.bits_calls = 0
+        self.bit_calls = 0
+        self.random_calls = 0
+
+    def bits(self, n):
+        self.bits_calls += 1
+        return super().bits(n)
+
+    def bit(self):
+        self.bit_calls += 1
+        return super().bit()
+
+    def random(self):
+        self.random_calls += 1
+        return super().random()
+
+
+class TestRowWordContract:
+    """The whole-word RNG-consumption contract of row_word (see its doc):
+    exactly ``len(density_digits(density))`` bits(n) draws per row, a
+    function of density alone — never of outcomes, never rng.random()."""
+
+    def test_density_digits_expansions(self):
+        from repro.hashing.xor_family import density_digits
+
+        assert density_digits(0.5) == [1]
+        assert density_digits(0.25) == [0, 1]
+        assert density_digits(0.75) == [1, 1]
+        assert density_digits(0.375) == [0, 1, 1]
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                density_digits(bad)
+
+    def test_half_density_is_one_word_stream_identical(self):
+        """density=0.5 consumes exactly one bits(n) word — the historical
+        fast path's stream, so fixed-seed goldens are preserved."""
+        from repro.hashing.xor_family import row_word
+
+        n = 40
+        counting = CountingSource(123)
+        word = row_word(counting, n, 0.5)
+        assert (counting.bits_calls, counting.bit_calls,
+                counting.random_calls) == (1, 0, 0)
+        assert word == RandomSource(123).bits(n)
+
+    def test_full_density_consumes_nothing(self):
+        from repro.hashing.xor_family import row_word
+
+        counting = CountingSource(9)
+        assert row_word(counting, 5, 1.0) == 0b11111
+        assert (counting.bits_calls, counting.bit_calls,
+                counting.random_calls) == (0, 0, 0)
+
+    def test_word_count_is_digit_count_for_any_density(self):
+        from repro.hashing.xor_family import density_digits, row_word
+
+        for density in (0.5, 0.25, 0.75, 0.125, 0.625, 0.3):
+            counting = CountingSource(3)
+            row_word(counting, 16, density)
+            assert counting.bits_calls == len(density_digits(density))
+            assert counting.random_calls == 0
+
+    def test_bit_probability_matches_density(self):
+        from repro.hashing.xor_family import row_word
+
+        n, draws = 64, 400
+        for density in (0.25, 0.5, 0.75):
+            rng = RandomSource(2014)
+            total = sum(
+                row_word(rng, n, density).bit_count() for _ in range(draws)
+            )
+            assert total / (n * draws) == pytest.approx(density, abs=0.02)
+
+    def test_family_draw_routes_through_row_word(self):
+        """Every density goes through the one word-draw primitive: the
+        family's per-row consumption equals digits + 2 single bits."""
+        from repro.hashing.xor_family import density_digits
+
+        for density in (0.5, 0.25):
+            counting = CountingSource(11)
+            HxorFamily(range(1, 13), density=density).draw(5, counting)
+            assert counting.bits_calls == 5 * len(density_digits(density))
+            assert counting.bit_calls == 5 * 2  # a_{i,0} and alpha_i per row

@@ -51,6 +51,12 @@ class SamplerConfig:
     ``gf2_backend``
         GF(2) elimination kernel: ``"python"`` | ``"numpy"`` | ``None``
         (defer to ``$REPRO_GF2_BACKEND``, then auto-detection).
+    ``solver_reuse``
+        Opt-in incremental CDCL sessions: one solver carried across all
+        BSAT calls of a window sweep, each cell's hash rows entering as a
+        releasable XOR group.  Composes with ``matrix_reuse`` (pre-reduced
+        prefix rows become the groups).  Off by default for the same
+        stream-pinning reason as ``matrix_reuse``.
 
     Baselines
     ---------
@@ -78,6 +84,7 @@ class SamplerConfig:
     hash_density: float = 0.5
     matrix_reuse: bool = False
     gf2_backend: str | None = None
+    solver_reuse: bool = False
     leapfrog: bool = False
     xor_count: int | None = None
     max_cell: int = 10_000

@@ -112,6 +112,14 @@ class SamplerStats:
     # so "Avg XOR len" reflects only cells that actually produced results.
     xor_clauses_retried: int = 0
     xor_literals_retried: int = 0
+    # Cumulative CDCL counters across every solver the sampler drove —
+    # fresh-per-call and shared-session modes book the same deltas, so
+    # reuse-vs-fresh wins show up directly in reports and /v1/stats.
+    solver_decisions: int = 0
+    solver_propagations: int = 0
+    solver_conflicts: int = 0
+    solver_restarts: int = 0
+    solver_learned_clauses: int = 0
     sample_time_seconds: float = 0.0
     setup_time_seconds: float = 0.0
 
@@ -135,6 +143,16 @@ class SamplerStats:
         if self.attempts == 0:
             return 0.0
         return self.sample_time_seconds / self.attempts
+
+    def book_solver(self, delta) -> None:
+        """Fold one enumeration's :class:`~repro.sat.SolverStats` deltas in."""
+        if delta is None:
+            return
+        self.solver_decisions += delta.decisions
+        self.solver_propagations += delta.propagations
+        self.solver_conflicts += delta.conflicts
+        self.solver_restarts += delta.restarts
+        self.solver_learned_clauses += delta.learned_clauses
 
     def merge(self, other: "SamplerStats") -> "SamplerStats":
         """Accumulate ``other``'s counters into this one (returns self).

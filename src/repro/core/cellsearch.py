@@ -33,6 +33,16 @@ Two search modes share the acceptance logic:
     an honest ``Hxor`` draw, but the prefixes of one sweep are coupled and
     the RNG consumption differs from fresh mode, so the mode is off by
     default to preserve fixed-seed streams.
+
+Orthogonally, *solver reuse* (opt-in, ``solver_reuse=True``) keeps one
+:class:`~repro.sat.enumerate.SolverSession` alive for all BSAT calls of a
+sweep: each cell's hash rows enter as a releasable XOR group, so learnt
+clauses / VSIDS activity / saved phases over the base formula carry from
+cell to cell instead of cold-starting.  It composes with either search
+mode — under ``matrix_reuse`` the pre-reduced prefix rows become the
+incremental groups.  Like matrix reuse it changes RNG consumption versus
+fresh mode, so it is off by default; with a fixed root seed its streams
+are still byte-deterministic and jobs-invariant.
 """
 
 from __future__ import annotations
@@ -44,7 +54,7 @@ from ..errors import BudgetExhausted
 from ..hashing import HxorFamily
 from ..hashing.xor_family import HashConstraint
 from ..rng import RandomSource
-from ..sat.enumerate import bsat
+from ..sat.enumerate import SolverSession, bsat
 from ..sat.gauss import rows_as_xors
 from ..sat.gf2 import BitMatrix
 from ..sat.types import Budget
@@ -90,6 +100,7 @@ class CellSearch:
         max_retries: int = 20,
         matrix_reuse: bool = False,
         gf2_backend: str | None = None,
+        solver_reuse: bool = False,
     ):
         self._cnf = cnf
         self._family = family
@@ -102,30 +113,44 @@ class CellSearch:
         self._max_retries = max_retries
         self._matrix_reuse = matrix_reuse
         self._gf2_backend = gf2_backend
+        self._solver_reuse = solver_reuse
         # Lazily eliminated base XOR system of ``cnf`` (matrix-reuse mode):
         # copied at the start of each sweep so hash rows append onto
         # already-reduced state.
         self._base_matrix: BitMatrix | None = None
 
-    def draw_cell(self, i: int) -> list[Witness]:
+    def draw_cell(
+        self, i: int, session: SolverSession | None = None
+    ) -> list[Witness]:
         """One ``(h, α)`` draw and bounded enumeration (lines 14–16).
 
         Retries a fresh draw at the same ``i`` on BSAT timeout (Section 5),
         raising :class:`~repro.errors.BudgetExhausted` after
-        ``max_retries`` consecutive timeouts.
+        ``max_retries`` consecutive timeouts.  With a ``session`` the rows
+        enter the shared solver as a releasable group instead of building
+        a fresh conjoined formula.
         """
         retries = 0
         while True:
             constraint = self._family.draw(i, self._rng)
-            hashed = self._cnf.conjoined_with(xors=constraint.xors)
-            cell = bsat(
-                hashed,
-                self._hi + 1,
-                sampling_set=self._svars,
-                rng=self._rng,
-                budget=self._budget,
-            )
+            if session is not None:
+                cell = session.bsat(
+                    constraint.xors,
+                    self._hi + 1,
+                    sampling_set=self._svars,
+                    budget=self._budget,
+                )
+            else:
+                hashed = self._cnf.conjoined_with(xors=constraint.xors)
+                cell = bsat(
+                    hashed,
+                    self._hi + 1,
+                    sampling_set=self._svars,
+                    rng=self._rng,
+                    budget=self._budget,
+                )
             self._stats.bsat_calls += 1
+            self._stats.book_solver(cell.solver)
             n_clauses = len(constraint.xors)
             n_literals = sum(len(x) for x in constraint.xors)
             if not cell.budget_exhausted:
@@ -151,17 +176,22 @@ class CellSearch:
         ApproxMC underestimated a count the easy case would normally have
         caught — is skipped rather than treated as "no hashing".
         """
+        session = self._make_session() if self._solver_reuse else None
         if self._matrix_reuse:
-            return self._find_accepted_cell_prefix(q)
+            return self._find_accepted_cell_prefix(q, session)
         i = q - 4
         while i < q:
             i += 1
             if i < 0:
                 continue
-            models = self.draw_cell(i)
+            models = self.draw_cell(i, session)
             if self._lo <= len(models) <= self._hi:
                 return AcceptedCell(models=models, hash_size=i)
         return None
+
+    def _make_session(self) -> SolverSession:
+        """A fresh per-sweep solver session over the base formula."""
+        return SolverSession(self._cnf, rng=self._rng)
 
     # -- matrix-reuse (prefix-consistent, incremental) mode -------------
     def _base_state(self) -> BitMatrix:
@@ -172,7 +202,9 @@ class CellSearch:
             self._base_matrix = matrix
         return self._base_matrix.copy()
 
-    def _find_accepted_cell_prefix(self, q: int) -> AcceptedCell | None:
+    def _find_accepted_cell_prefix(
+        self, q: int, session: SolverSession | None = None
+    ) -> AcceptedCell | None:
         """The window sweep over prefixes of one ``draw_matrix`` draw.
 
         Hash size ``i`` uses rows ``0..i`` of the matrix; the elimination
@@ -195,7 +227,9 @@ class CellSearch:
             while appended < i:
                 state.append_xor(constraint.xors[appended])
                 appended += 1
-            models, timed_out = self._enumerate_prefix(state, constraint, i)
+            models, timed_out = self._enumerate_prefix(
+                state, constraint, i, session
+            )
             if timed_out:
                 retries += 1
                 if retries > self._max_retries:
@@ -213,15 +247,20 @@ class CellSearch:
         return None
 
     def _enumerate_prefix(
-        self, state: BitMatrix, constraint: HashConstraint, i: int
+        self,
+        state: BitMatrix,
+        constraint: HashConstraint,
+        i: int,
+        session: SolverSession | None = None,
     ) -> tuple[list[Witness], bool]:
         """BSAT over the pre-reduced ``i``-row prefix; ``(models, timed_out)``.
 
         The hashed formula is assembled from ``state``'s reduced rows and
         solved with ``gauss=False`` — the elimination BSAT would redo per
-        call already happened incrementally.  Accounting counts the drawn
-        prefix rows (not the reduced ones) so fresh and reuse modes report
-        comparable Avg-XOR-len numbers.
+        call already happened incrementally.  With a ``session`` the
+        reduced rows become an incremental group on the shared solver.
+        Accounting counts the drawn prefix rows (not the reduced ones) so
+        fresh and reuse modes report comparable Avg-XOR-len numbers.
         """
         prefix = constraint.xors[:i]
         n_literals = sum(len(x) for x in prefix)
@@ -232,20 +271,30 @@ class CellSearch:
             self._stats.xor_clauses_added += i
             self._stats.xor_literals_added += n_literals
             return [], False
-        hashed = CNF(self._cnf.num_vars, name=self._cnf.name)
-        hashed.clauses = list(self._cnf.clauses)
-        hashed.sampling_set = self._cnf.sampling_set
-        for xor in rows_as_xors(state.reduced_rows()):
-            hashed.add_xor(xor)
-        cell = bsat(
-            hashed,
-            self._hi + 1,
-            sampling_set=self._svars,
-            rng=self._rng,
-            budget=self._budget,
-            gauss=False,
-        )
+        if session is not None:
+            cell = session.bsat(
+                rows_as_xors(state.reduced_rows()),
+                self._hi + 1,
+                sampling_set=self._svars,
+                budget=self._budget,
+                gauss=False,
+            )
+        else:
+            hashed = CNF(self._cnf.num_vars, name=self._cnf.name)
+            hashed.clauses = list(self._cnf.clauses)
+            hashed.sampling_set = self._cnf.sampling_set
+            for xor in rows_as_xors(state.reduced_rows()):
+                hashed.add_xor(xor)
+            cell = bsat(
+                hashed,
+                self._hi + 1,
+                sampling_set=self._svars,
+                rng=self._rng,
+                budget=self._budget,
+                gauss=False,
+            )
         self._stats.bsat_calls += 1
+        self._stats.book_solver(cell.solver)
         if cell.budget_exhausted:
             self._stats.bsat_timeouts += 1
             self._stats.xor_clauses_retried += i

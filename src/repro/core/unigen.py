@@ -109,6 +109,7 @@ class UniGen(WitnessSampler):
         prepared=None,
         matrix_reuse: bool = False,
         gf2_backend: str | None = None,
+        solver_reuse: bool = False,
     ):
         super().__init__()
         self.cnf = cnf
@@ -132,6 +133,9 @@ class UniGen(WitnessSampler):
         # streams byte-identical to the paper's per-i protocol.
         self._matrix_reuse = matrix_reuse
         self._gf2_backend = gf2_backend
+        # Opt-in incremental CDCL sessions (see CellSearch): same pinning
+        # rationale as matrix_reuse.
+        self._solver_reuse = solver_reuse
         self._approxmc_iterations = approxmc_iterations
         self._approxmc_search = approxmc_search
         # prepare() outputs:
@@ -243,6 +247,7 @@ class UniGen(WitnessSampler):
             budget=self._bsat_budget,
         )
         self.stats.bsat_calls += 1
+        self.stats.book_solver(first.solver)
         if first.budget_exhausted:
             raise BudgetExhausted("initial BSAT call exceeded its budget")
         if len(first.models) == 0:
@@ -287,6 +292,7 @@ class UniGen(WitnessSampler):
                 max_retries=self._max_retries,
                 matrix_reuse=self._matrix_reuse,
                 gf2_backend=self._gf2_backend,
+                solver_reuse=self._solver_reuse,
             )
         cell = self._engine.find_accepted_cell(self._q)
         if cell is not None:

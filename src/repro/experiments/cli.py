@@ -139,6 +139,12 @@ def build_parser() -> argparse.ArgumentParser:
                         " window sweep with incremental GF(2) elimination"
                         " across {q-3..q} (ApproxMC2-style); changes RNG"
                         " consumption vs the paper's per-i protocol")
+    p.add_argument("--solver-reuse", action="store_true",
+                   help="incremental CDCL sessions: one solver carried"
+                        " across each window sweep's BSAT calls, hash rows"
+                        " entering as releasable XOR groups; composes with"
+                        " --matrix-reuse; changes RNG consumption vs the"
+                        " paper's fresh-solver protocol")
     p.add_argument("--gf2-backend", choices=("python", "numpy"), default=None,
                    help="GF(2) elimination kernel (default: "
                         "$REPRO_GF2_BACKEND, then numpy when installed)")
@@ -1161,6 +1167,7 @@ def main(argv: list[str] | None = None) -> int:
                 xor_count=args.xor_count,
                 matrix_reuse=args.matrix_reuse,
                 gf2_backend=args.gf2_backend,
+                solver_reuse=args.solver_reuse,
             )
             if args.backend is not None:
                 from ..errors import WorkerFailure
@@ -1266,6 +1273,12 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"c gf2-elim vars={pair['vars']} rows={pair['rows']}: "
                       f"python {pair['python_wall_s']}s / numpy "
                       f"{pair['numpy_wall_s']}s = {pair['speedup']}x",
+                      file=sys.stderr)
+            for pair in artifact.get("bsat_speedups", []):
+                print(f"c bsat-sweep {pair['benchmark']}/{pair['scale']} "
+                      f"i={pair['i_lo']}..{pair['i_hi']}: fresh "
+                      f"{pair['fresh_wall_s']}s / reuse "
+                      f"{pair['reuse_wall_s']}s = {pair['speedup']}x",
                       file=sys.stderr)
             print(f"c wrote {args.emit} ({len(artifact['points'])} points)",
                   file=sys.stderr)

@@ -7,7 +7,7 @@ from .brute import (
     is_satisfiable,
     model_set,
 )
-from .enumerate import bsat, enumerate_all, projections
+from .enumerate import SolverSession, bsat, enumerate_all, projections
 from .gauss import (
     GaussResult,
     gaussian_eliminate,
@@ -38,6 +38,7 @@ from .types import (
 
 __all__ = [
     "Solver",
+    "SolverSession",
     "luby",
     "bsat",
     "enumerate_all",

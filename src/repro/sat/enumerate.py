@@ -16,13 +16,14 @@ does for its threshold tests.
 from __future__ import annotations
 
 import time
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..cnf.formula import CNF
+from ..cnf.xor import XorClause
 from ..rng import RandomSource, as_random_source
 from .gauss import gaussian_eliminate, rows_as_xors
 from .solver import Solver
-from .types import SAT, UNKNOWN, UNSAT, Budget, EnumerationResult
+from .types import SAT, UNKNOWN, UNSAT, Budget, EnumerationResult, SolverStats
 
 
 def gauss_reduce_xors(cnf: CNF) -> CNF | None:
@@ -87,13 +88,6 @@ def bsat(
         raise ValueError("bound must be non-negative")
     rng = as_random_source(rng)
     budget = budget or Budget()
-    deadline = (
-        time.monotonic() + budget.timeout_seconds
-        if budget.timeout_seconds is not None
-        else None
-    )
-    conflicts_left = budget.max_conflicts
-
     if sampling_set is None:
         svars: list[int] = list(cnf.sampling_set_or_support())
     else:
@@ -108,44 +102,208 @@ def bsat(
         reduced = gauss_reduce_xors(cnf)
         if reduced is None:
             result.complete = True
+            result.solver = SolverStats()
             return result
         cnf = reduced
     solver = Solver(cnf, rng=rng)
 
-    while len(result.models) < bound:
-        call_budget = Budget(
-            max_conflicts=conflicts_left,
-            timeout_seconds=(
-                max(deadline - time.monotonic(), 0.0) if deadline is not None else None
-            ),
+    def block(lits: list[int]) -> bool:
+        solver.add_clause(lits)
+        return solver.ok
+
+    return _enumerate(solver, bound, svars, budget, cnf.num_vars, block=block)
+
+
+def _enumerate(
+    solver: Solver,
+    bound: int,
+    svars: Sequence[int],
+    budget: Budget,
+    num_vars: int,
+    assumptions: Sequence[int] = (),
+    block: Callable[[list[int]], bool] | None = None,
+) -> EnumerationResult:
+    """The shared blocking-clause enumeration loop.
+
+    ``block`` installs one blocking clause and reports whether the formula
+    can still have witnesses; fresh-solver mode adds a plain root clause,
+    session mode adds a group-scoped clause.  Models are truncated to the
+    first ``num_vars`` variables so session auxiliaries never leak into
+    witnesses.  ``result.solver`` carries the solver-counter deltas this
+    call spent, whichever exit is taken.
+    """
+    deadline = (
+        time.monotonic() + budget.timeout_seconds
+        if budget.timeout_seconds is not None
+        else None
+    )
+    conflicts_left = budget.max_conflicts
+    result = EnumerationResult()
+    before = solver.stats.snapshot()
+    try:
+        while len(result.models) < bound:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    # Deadline fully elapsed: report exhaustion now rather
+                    # than issuing one more solve() with a zero timeout.
+                    result.budget_exhausted = True
+                    return result
+            else:
+                remaining = None
+            call_budget = Budget(
+                max_conflicts=conflicts_left,
+                timeout_seconds=remaining,
+            )
+            res = solver.solve(assumptions=assumptions, budget=call_budget)
+            if conflicts_left is not None:
+                conflicts_left = max(conflicts_left - res.conflicts, 0)
+            if res.status == UNKNOWN:
+                result.budget_exhausted = True
+                return result
+            if res.status == UNSAT:
+                result.complete = True
+                return result
+            assert res.status == SAT and res.model is not None
+            model = {v: res.model[v] for v in range(1, num_vars + 1)}
+            result.models.append(model)
+            if not svars:
+                # Empty projection space: one point only.
+                result.complete = True
+                return result
+            blocking = [-v if model[v] else v for v in svars]
+            if not block(blocking):
+                result.complete = True
+                return result
+            if conflicts_left is not None and conflicts_left == 0:
+                result.budget_exhausted = True
+                return result
+        return result
+    finally:
+        result.solver = solver.stats.since(before)
+
+
+class SolverSession:
+    """One CDCL solver carried across the BSAT calls of a sweep.
+
+    Construction loads the *base* formula (clauses plus its own XOR
+    clauses) once.  Each :meth:`bsat` call installs that call's hash rows
+    as a releasable group (:meth:`~repro.sat.solver.Solver.add_xor_group`),
+    enumerates under the group's assumptions with group-scoped blocking
+    clauses, and releases the group on the way out — so learnt clauses,
+    VSIDS activity, and saved phases over base variables survive from cell
+    to cell, the way the paper's CryptoMiniSAT deployment rides the
+    incremental interface.
+
+    ``budget`` is an optional *session* allowance shared by every call:
+    remaining conflicts / wall-clock are layered under each call's own
+    ``Budget`` slice, i.e. the effective per-call limit is the minimum of
+    the slice and what the session has left.
+    """
+
+    def __init__(
+        self,
+        cnf: CNF,
+        rng: RandomSource | int | None = None,
+        budget: Budget | None = None,
+    ):
+        self._num_vars = cnf.num_vars
+        self._default_svars: list[int] = list(cnf.sampling_set_or_support())
+        self._solver = Solver(cnf, rng=as_random_source(rng))
+        self._next_tag = 0
+        shared = budget or Budget()
+        self._conflicts_left = shared.max_conflicts
+        self._deadline = (
+            time.monotonic() + shared.timeout_seconds
+            if shared.timeout_seconds is not None
+            else None
         )
-        res = solver.solve(budget=call_budget)
-        if conflicts_left is not None:
-            conflicts_left = max(conflicts_left - res.conflicts, 0)
-        if res.status == UNKNOWN:
-            result.budget_exhausted = True
+
+    @property
+    def solver(self) -> Solver:
+        return self._solver
+
+    @property
+    def stats(self) -> SolverStats:
+        """Cumulative solver counters for the whole session."""
+        return self._solver.stats
+
+    def bsat(
+        self,
+        xors: Iterable[XorClause],
+        bound: int,
+        sampling_set: Sequence[int] | None = None,
+        budget: Budget | None = None,
+        gauss: bool = True,
+    ) -> EnumerationResult:
+        """Enumerate up to ``bound`` witnesses of base ∧ ``xors``.
+
+        Same contract as :func:`bsat`, but the hash rows come in as a
+        group on the shared solver instead of a fresh conjoined formula.
+        With ``gauss=True`` the rows are reduced standalone before
+        grouping (matrix-reuse callers pass pre-reduced rows and
+        ``gauss=False``).
+        """
+        if bound < 0:
+            raise ValueError("bound must be non-negative")
+        budget = budget or Budget()
+        if sampling_set is None:
+            svars = list(self._default_svars)
+        else:
+            svars = sorted(set(sampling_set))
+        result = EnumerationResult()
+        if bound == 0:
             return result
-        if res.status == UNSAT:
-            result.complete = True
-            return result
-        assert res.status == SAT and res.model is not None
-        result.models.append(res.model)
-        if not svars:
-            # Empty projection space: one point only.
-            result.complete = True
-            return result
-        blocking = [-v if res.model[v] else v for v in svars]
-        solver.add_clause(blocking)
-        if not solver.ok:
-            result.complete = True
-            return result
-        if deadline is not None and time.monotonic() > deadline:
-            result.budget_exhausted = True
-            return result
-        if conflicts_left is not None and conflicts_left == 0:
-            result.budget_exhausted = True
-            return result
-    return result
+        rows = list(xors)
+        if gauss and rows:
+            reduced = gaussian_eliminate(rows, self._num_vars)
+            if reduced.inconsistent:
+                result.complete = True
+                result.solver = SolverStats()
+                return result
+            rows = list(rows_as_xors(reduced.rows))
+        sliced = self._slice(budget)
+        tag = self._next_tag
+        self._next_tag += 1
+        solver = self._solver
+        assumptions = solver.add_xor_group(rows, tag)
+
+        def block(lits: list[int]) -> bool:
+            solver.add_group_clause(tag, lits)
+            return solver.ok
+
+        try:
+            result = _enumerate(
+                solver,
+                bound,
+                svars,
+                sliced,
+                self._num_vars,
+                assumptions=assumptions,
+                block=block,
+            )
+        finally:
+            solver.release_group(tag)
+        if self._conflicts_left is not None and result.solver is not None:
+            self._conflicts_left = max(
+                self._conflicts_left - result.solver.conflicts, 0
+            )
+        return result
+
+    def _slice(self, call_budget: Budget) -> Budget:
+        """The per-call budget capped by what the session has left."""
+        max_conflicts = call_budget.max_conflicts
+        if self._conflicts_left is not None:
+            max_conflicts = (
+                self._conflicts_left
+                if max_conflicts is None
+                else min(max_conflicts, self._conflicts_left)
+            )
+        timeout = call_budget.timeout_seconds
+        if self._deadline is not None:
+            remaining = max(self._deadline - time.monotonic(), 0.0)
+            timeout = remaining if timeout is None else min(timeout, remaining)
+        return Budget(max_conflicts=max_conflicts, timeout_seconds=timeout)
 
 
 def enumerate_all(

@@ -6,11 +6,23 @@ This is the library's stand-in for CryptoMiniSAT, which the paper uses as the
 * two-watched-literal propagation over regular clauses;
 * watched-variable propagation over native XOR (parity) constraints, with
   lazily materialized reason clauses feeding the standard conflict analysis —
-  so hash constraints from :mod:`repro.hashing` never need CNF expansion;
+  so hash constraints from :mod:`repro.hashing` never need CNF expansion.
+  Each XOR's variable set is additionally packed into a gf2-style word mask
+  (bit ``v`` = variable ``v``, the :mod:`repro.sat.gf2` convention), so
+  parity evaluation and watch replacement are whole-word AND/popcount
+  operations instead of python list scans;
 * first-UIP clause learning with VSIDS variable activities, phase saving,
   Luby restarts, and activity-driven learnt-clause database reduction;
 * solving under assumptions, and incremental top-level clause addition
   between solve calls (used by ``BSAT`` to add blocking clauses);
+* assumption-guarded *constraint groups* (:meth:`Solver.add_xor_group` /
+  :meth:`Solver.release_group`): each hash row carries a fresh activation
+  variable folded into its parity, so one solver can carry learnt clauses,
+  VSIDS activity, and saved phases across the cells of a UniGen sweep —
+  the CryptoMiniSAT incremental interface the paper's deployments use.
+  Releasing a group permanently assigns its activators, detaches the rows,
+  and drops the learnt clauses that mention them; learnt clauses a released
+  group merely *satisfies* are reaped by the next DB reduction;
 * deterministic conflict budgets plus wall-clock timeouts, reported as
   :data:`~repro.sat.types.UNKNOWN` — the signal UniGen interprets as a BSAT
   timeout (Section 5 of the paper).
@@ -28,6 +40,7 @@ from typing import Iterable, Sequence
 from ..cnf.formula import CNF
 from ..cnf.xor import XorClause
 from ..rng import RandomSource, as_random_source
+from .gf2 import mask_of_vars
 from .types import (
     FALSE,
     SAT,
@@ -98,8 +111,22 @@ class Solver:
         self._clauses: list[list[int]] = []
         self._learnts: list[list[int]] = []
         self._cla_activity: dict[int, float] = {}
-        self._xors: list[list] = []  # [vars, rhs, watch_pos_a, watch_pos_b]
+        # XOR records: [vars, rhs, watch_var_a, watch_var_b, var_mask].
+        # ``vars`` stays sorted ascending and ``var_mask`` packs it with
+        # bit v = variable v (the sat.gf2 convention), so watch replacement
+        # is a single AND/lowest-bit step and parity evaluation is one
+        # popcount against the assignment masks below.
+        self._xors: list[list] = []
         self._pending_xors: list[int] = []
+        # Whole-assignment word masks: bit v set iff var v is assigned
+        # (resp. assigned TRUE).  Kept in lockstep with ``_assigns`` by the
+        # enqueue/backtrack paths.
+        self._assigned_mask = 0
+        self._true_mask = 0
+        # Assumption-guarded constraint groups (incremental sessions):
+        # tag -> {"aux": [guard + activator vars], "xids": [...],
+        #         "clauses": [clause objects]}.
+        self._groups: dict[object, dict] = {}
         self._trail: list[int] = []
         self._trail_lim: list[int] = []
         self._qhead = 0
@@ -204,10 +231,143 @@ class Solver:
             return False
         if xor.vars:
             self.ensure_vars(max(xor.vars))
-        record = [list(xor.vars), bool(xor.rhs), 0, min(1, len(xor.vars) - 1)]
-        self._xors.append(record)
-        self._pending_xors.append(len(self._xors) - 1)
+        self._new_xor_record(list(xor.vars), bool(xor.rhs))
         return True
+
+    def _new_xor_record(self, xvars: list[int], rhs: bool) -> int:
+        """Append one XOR record (vars sorted ascending) and queue it."""
+        wa = xvars[0] if xvars else 0
+        wb = xvars[min(1, len(xvars) - 1)] if xvars else 0
+        record = [xvars, rhs, wa, wb, mask_of_vars(xvars)]
+        self._xors.append(record)
+        xid = len(self._xors) - 1
+        self._pending_xors.append(xid)
+        return xid
+
+    # ------------------------------------------------------------------
+    # Assumption-guarded constraint groups (incremental sessions)
+    # ------------------------------------------------------------------
+    def add_xor_group(self, xors: Iterable[XorClause], tag) -> list[int]:
+        """Register ``xors`` as a releasable group; returns its assumptions.
+
+        Each row gets a fresh *activation variable* folded into its parity:
+        the stored constraint is ``xor(vars ∪ {a}) = rhs``, which merely
+        *defines* ``a`` while it is free (a conservative extension — it
+        constrains nothing else), and collapses to ``xor(vars) = rhs`` under
+        the assumption ``¬a``.  A per-group *guard variable* plays the same
+        role for clauses added via :meth:`add_group_clause`.  The returned
+        external literals (all negative) activate the group when passed to
+        :meth:`solve`; dropping them deactivates it without unsoundness,
+        and :meth:`release_group` retires it for good.
+        """
+        if tag in self._groups:
+            raise ValueError(f"group {tag!r} already exists")
+        if self._trail_lim:
+            self.cancel_until(0)
+        self.ensure_vars(self._nvars + 1)
+        guard = self._nvars
+        group = {"aux": [guard], "guard": guard, "xids": [], "clauses": []}
+        self._groups[tag] = group
+        for xor in xors:
+            if xor.vars:
+                self.ensure_vars(max(xor.vars))
+            self.ensure_vars(self._nvars + 1)
+            activator = self._nvars
+            group["aux"].append(activator)
+            # The activator is the largest allocated var, so appending it
+            # keeps the record's vars sorted ascending.
+            group["xids"].append(
+                self._new_xor_record(list(xor.vars) + [activator], bool(xor.rhs))
+            )
+        return self.group_assumptions(tag)
+
+    def group_assumptions(self, tag) -> list[int]:
+        """The (external) assumption literals that activate group ``tag``."""
+        return [-v for v in self._groups[tag]["aux"]]
+
+    def add_group_clause(self, tag, ext_lits: Iterable[int]) -> bool:
+        """Add a clause scoped to group ``tag`` (e.g. a blocking clause).
+
+        The group's guard variable is appended, so the clause binds only
+        while the group's assumptions hold and dies with the group.
+        """
+        group = self._groups[tag]
+        before = len(self._clauses)
+        ok = self.add_clause(list(ext_lits) + [group["guard"]])
+        if len(self._clauses) > before:
+            group["clauses"].append(self._clauses[-1])
+        return ok
+
+    def release_group(self, tag) -> None:
+        """Retire group ``tag``: detach its rows and clauses for good.
+
+        The activators and the guard are permanently assigned (TRUE unless
+        root propagation already fixed them), which keeps every root-level
+        consequence consistent; learnt clauses that *mention* a group
+        variable are dropped immediately — the rest are implied by the base
+        formula alone (the group constraints are definitional while their
+        activators are free) and stay, which is exactly the carried-over
+        learning the incremental session is for.  Learnt clauses a released
+        guard merely satisfies are reaped by the next :meth:`_reduce_db`.
+        """
+        group = self._groups.pop(tag)
+        if self._trail_lim:
+            self.cancel_until(0)
+        xidset = set(group["xids"])
+        if self._pending_xors:
+            self._pending_xors = [
+                x for x in self._pending_xors if x not in xidset
+            ]
+        xwatches = self._xwatches
+        for xid in group["xids"]:
+            rec = self._xors[xid]
+            for wv in {rec[2], rec[3]}:
+                ws = xwatches[wv]
+                if xid in ws:
+                    ws.remove(xid)
+            rec[0], rec[4] = [], 0  # dead record; xid stays allocated
+        # Permanently assign every still-free group variable.
+        for v in group["aux"]:
+            if self._assigns[v] == UNDEF:
+                self._unchecked_enqueue(v << 1, None)
+        # Drop the group's own clauses and every learnt clause that
+        # mentions a group variable (either polarity).
+        aux_mask = mask_of_vars(group["aux"])
+        removed: set[int] = set()
+        for c in group["clauses"]:
+            self._detach_clause(c)
+            removed.add(id(c))
+        if removed:
+            self._clauses = [c for c in self._clauses if id(c) not in removed]
+        kept: list[list[int]] = []
+        for c in self._learnts:
+            dead = False
+            for lit in c:
+                if aux_mask >> (lit >> 1) & 1:
+                    dead = True
+                    break
+            if dead:
+                self._detach_clause(c)
+                self._cla_activity.pop(id(c), None)
+                removed.add(id(c))
+                self.stats.removed_clauses += 1
+            else:
+                kept.append(c)
+        self._learnts = kept
+        # Root-assigned literals may hold reasons pointing at what we just
+        # removed; root reasons are never dereferenced by analysis, but
+        # clear them so nothing dangles.
+        reason = self._reason
+        for lit in self._trail:
+            v = lit >> 1
+            r = reason[v]
+            if r is None:
+                continue
+            if isinstance(r, list):
+                if id(r) in removed:
+                    reason[v] = None
+            elif r[1] in xidset:
+                reason[v] = None
 
     # ------------------------------------------------------------------
     # Public solving API
@@ -250,6 +410,13 @@ class Solver:
                 self.stats.conflicts += 1
                 if not self._trail_lim:
                     self._ok = False
+                    return self._result(UNSAT, start, start_conflicts)
+                if iassumps and len(self._trail_lim) == 1:
+                    # Only the shared assumption level is decided: the
+                    # conflict follows from root + assumptions alone, so
+                    # the formula is UNSAT *under these assumptions* (the
+                    # base instance may still be fine — don't touch ok).
+                    self.cancel_until(0)
                     return self._result(UNSAT, start, start_conflicts)
                 learnt, btlevel = self._analyze(confl)
                 self.cancel_until(btlevel)
@@ -325,13 +492,17 @@ class Solver:
         phase = self._phase
         heap = self._heap
         activity = self._activity
+        undone = 0
         for k in range(len(trail) - 1, lim - 1, -1):
             lit = trail[k]
             v = lit >> 1
             phase[v] = not (lit & 1)
             assigns[v] = UNDEF
             reason[v] = None
+            undone |= 1 << v
             heappush(heap, (-activity[v], v))
+        self._assigned_mask &= ~undone
+        self._true_mask &= ~undone
         del trail[lim:]
         del self._trail_lim[level:]
         self._qhead = len(trail)
@@ -349,6 +520,9 @@ class Solver:
         self._assigns[v] = (lit & 1) ^ 1  # positive lit -> TRUE
         self._level[v] = len(self._trail_lim)
         self._reason[v] = reason
+        self._assigned_mask |= 1 << v
+        if not lit & 1:
+            self._true_mask |= 1 << v
         self._trail.append(lit)
         return True
 
@@ -404,6 +578,9 @@ class Solver:
                     self._assigns[v] = (first & 1) ^ 1
                     self._level[v] = len(self._trail_lim)
                     self._reason[v] = c
+                    self._assigned_mask |= 1 << v
+                    if not first & 1:
+                        self._true_mask |= 1 << v
                     trail.append(first)
                 else:
                     # Conflict: compact the rest of the watch list and stop.
@@ -417,6 +594,9 @@ class Solver:
                 return confl
 
             # --- XOR constraints watching var(p) ----------------------------
+            # All parity/watch work below is whole-word arithmetic on the
+            # packed masks: a free replacement watch is the lowest set bit
+            # of vars & ~assigned, and a parity is one AND + popcount.
             var = p >> 1
             xws = xwatches[var]
             if not xws:
@@ -428,42 +608,34 @@ class Solver:
                 xid = xws[i]
                 i += 1
                 rec = xors[xid]
-                xvars = rec[0]
-                if xvars[rec[3]] == var:
+                if rec[3] == var:
                     rec[2], rec[3] = rec[3], rec[2]
-                other_pos = rec[3]
-                trigger_pos = rec[2]
-                replaced = False
-                for k in range(len(xvars)):
-                    if k == other_pos or k == trigger_pos:
-                        continue
-                    if assigns[xvars[k]] == UNDEF:
-                        rec[2] = k
-                        xwatches[xvars[k]].append(xid)
-                        replaced = True
-                        break
-                if replaced:
+                other = rec[3]
+                free = rec[4] & ~self._assigned_mask & ~(1 << other)
+                if free:
+                    # Lowest free var == the first unassigned position of
+                    # the (sorted) var list, matching the list-scan order.
+                    nv = (free & -free).bit_length() - 1
+                    rec[2] = nv
+                    xwatches[nv].append(xid)
                     continue
                 xws[j] = xid
                 j += 1
-                other = xvars[other_pos]
-                parity = False
                 if assigns[other] == UNDEF:
-                    for u in xvars:
-                        if u != other and assigns[u] == TRUE:
-                            parity = not parity
-                    value = rec[1] ^ parity
+                    parity = (rec[4] & self._true_mask).bit_count() & 1
+                    value = rec[1] ^ bool(parity)
                     lit = (other << 1) | (not value)
                     self._assigns[other] = 1 if value else 0
                     self._level[other] = len(self._trail_lim)
                     self._reason[other] = ("x", xid)
+                    self._assigned_mask |= 1 << other
+                    if value:
+                        self._true_mask |= 1 << other
                     trail.append(lit)
                     self.stats.xor_propagations += 1
                 else:
-                    for u in xvars:
-                        if assigns[u] == TRUE:
-                            parity = not parity
-                    if parity != rec[1]:
+                    parity = (rec[4] & self._true_mask).bit_count() & 1
+                    if bool(parity) != rec[1]:
                         while i < n:
                             xws[j] = xws[i]
                             j += 1
@@ -660,20 +832,31 @@ class Solver:
 
     def _decide(self, iassumps: list[int]) -> str:
         """Push the next decision; returns SAT (all assigned), UNSAT
-        (assumption contradicted), or '' (decided)."""
+        (assumption contradicted), or '' (decided).
+
+        All assumptions share a single *assumption level* (level 1) so
+        that re-establishing them after a backtrack to root costs one
+        propagation round, not one per assumption — the difference shows
+        on incremental sessions that solve under the same group
+        assumptions thousands of times.  A conflict while only the
+        assumption level is decided means the assumptions are inconsistent
+        with the formula (handled in :meth:`solve`).
+        """
         assigns = self._assigns
-        while len(self._trail_lim) < len(iassumps):
-            p = iassumps[len(self._trail_lim)]
-            val = assigns[p >> 1]
-            if val != UNDEF:
-                if val ^ (p & 1) == TRUE:
-                    self._trail_lim.append(len(self._trail))
-                    continue
-                return UNSAT
+        if iassumps and not self._trail_lim:
             self._trail_lim.append(len(self._trail))
-            self._unchecked_enqueue(p, None)
-            self.stats.decisions += 1
-            return ""
+            decided = False
+            for p in iassumps:
+                val = assigns[p >> 1]
+                if val != UNDEF:
+                    if val ^ (p & 1) == TRUE:
+                        continue
+                    return UNSAT
+                self._unchecked_enqueue(p, None)
+                self.stats.decisions += 1
+                decided = True
+            if decided:
+                return ""
         v = self._pick_branch_var()
         if v == 0:
             return SAT
@@ -684,18 +867,39 @@ class Solver:
         return ""
 
     def _reduce_db(self) -> None:
-        """Throw away the less active half of the learnt clauses."""
+        """Throw away the less active half of the learnt clauses.
+
+        Learnt clauses satisfied at the root level are reaped regardless
+        of activity — this is what makes ``release_group`` effective: the
+        released group's activators become root-true, so every learnt
+        clause guarded by them dies on the next reduction.
+        """
         self.stats.db_reductions += 1
         locked: set[int] = set()
         for lit in self._trail:
             reason = self._reason[lit >> 1]
             if isinstance(reason, list):
                 locked.add(id(reason))
+        assigns = self._assigns
+        level = self._level
         cla_act = self._cla_activity
         ordered = sorted(self._learnts, key=lambda c: cla_act.get(id(c), 0.0))
         keep_from = len(ordered) // 2
         kept: list[list[int]] = []
         for pos, c in enumerate(ordered):
+            if id(c) not in locked:
+                root_sat = False
+                for lit in c:
+                    v = lit >> 1
+                    val = assigns[v]
+                    if val != UNDEF and val ^ (lit & 1) == TRUE and not level[v]:
+                        root_sat = True
+                        break
+                if root_sat:
+                    self._detach_clause(c)
+                    cla_act.pop(id(c), None)
+                    self.stats.removed_clauses += 1
+                    continue
             if pos >= keep_from or id(c) in locked or len(c) <= 2:
                 kept.append(c)
                 continue
@@ -723,27 +927,25 @@ class Solver:
         Must run at decision level 0.  Handles XORs that are already fully
         or almost fully assigned by root-level propagation.
         """
-        assigns = self._assigns
         for xid in self._pending_xors:
             rec = self._xors[xid]
-            xvars = rec[0]
-            unassigned = [k for k, u in enumerate(xvars) if assigns[u] == UNDEF]
-            if len(unassigned) >= 2:
-                rec[2], rec[3] = unassigned[0], unassigned[1]
-                self._xwatches[xvars[rec[2]]].append(xid)
-                self._xwatches[xvars[rec[3]]].append(xid)
+            free = rec[4] & ~self._assigned_mask
+            nfree = free.bit_count()
+            if nfree >= 2:
+                wa = (free & -free).bit_length() - 1
+                rest = free & (free - 1)
+                wb = (rest & -rest).bit_length() - 1
+                rec[2], rec[3] = wa, wb
+                self._xwatches[wa].append(xid)
+                self._xwatches[wb].append(xid)
                 continue
-            parity = False
-            for u in xvars:
-                if assigns[u] == TRUE:
-                    parity = not parity
-            if not unassigned:
+            parity = bool((rec[4] & self._true_mask).bit_count() & 1)
+            if not nfree:
                 if parity != rec[1]:
                     self._ok = False
                     return False
                 continue
-            k = unassigned[0]
-            u = xvars[k]
+            u = (free & -free).bit_length() - 1
             value = rec[1] ^ parity
             lit = (u << 1) | (not value)
             if not self._unchecked_enqueue(lit, ("x", xid)):
@@ -751,7 +953,7 @@ class Solver:
             # Watch it anyway so backtracking past this point re-engages it
             # (can only happen if it was enqueued above level 0 — impossible
             # here, but keep the record consistent).
-            rec[2] = rec[3] = k
+            rec[2] = rec[3] = u
             self._xwatches[u].append(xid)
         self._pending_xors.clear()
         return True

@@ -49,6 +49,12 @@ class SolverStats:
     def snapshot(self) -> "SolverStats":
         return SolverStats(**self.__dict__)
 
+    def since(self, earlier: "SolverStats") -> "SolverStats":
+        """The counter deltas accumulated after ``earlier`` was snapshot."""
+        return SolverStats(
+            **{k: v - earlier.__dict__[k] for k, v in self.__dict__.items()}
+        )
+
 
 @dataclass
 class SolveResult:
@@ -106,11 +112,16 @@ class EnumerationResult:
     ``budget_exhausted``
         True iff a solver call gave up before the bound was reached; the
         caller (UniGen) must treat this as a BSAT timeout and retry.
+    ``solver``
+        The :class:`SolverStats` deltas this enumeration spent (conflicts,
+        propagations, ...); ``None`` only for the trivial ``bound == 0``
+        exit that never touched a solver.
     """
 
     models: list[dict[int, bool]] = field(default_factory=list)
     complete: bool = False
     budget_exhausted: bool = False
+    solver: SolverStats | None = None
 
     def __len__(self) -> int:
         return len(self.models)

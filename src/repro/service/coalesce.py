@@ -40,7 +40,7 @@ import threading
 from dataclasses import dataclass, replace
 from typing import NamedTuple
 
-from ..core.base import SampleResult
+from ..core.base import SampleResult, SamplerStats
 from ..execution.base import ExecutionPlan, build_plan
 from ..rng import fresh_root_seed
 from ..sinks.writers import jsonl_witness_line
@@ -151,6 +151,10 @@ class CoalesceGroup:
         self.max_attempts_factor = max_attempts_factor
         self.members: list[WitnessSlice] = []
         self.outcome = GroupOutcome()
+        #: Cumulative :class:`~repro.core.base.SamplerStats` of the group
+        #: run (solver counters included) — captured from the backend's
+        #: incremental fold even when the run errors partway.
+        self.stats = SamplerStats()
         self._sealed = False
         self._lock = threading.Lock()
 
@@ -205,6 +209,11 @@ class CoalesceGroup:
         except BaseException as exc:
             self.outcome = GroupOutcome(plan=plan, error=exc)
             raise
+        finally:
+            # Whatever chunks landed before an error still count: the
+            # backend folds stats incrementally, so this is mid-stream
+            # safe.
+            self.stats = backend.stream_stats
         self.outcome = GroupOutcome(plan=plan)
         return plan
 

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from ..api.config import SamplerConfig
 from ..api.prepared import PreparedFormula, prepare
 from ..cnf.dimacs import parse_dimacs
+from ..core.base import SamplerStats
 from ..errors import (
     DimacsParseError,
     DistributedError,
@@ -193,6 +194,11 @@ class Gateway:
         #: First failure swallowed while draining group runs in
         #: :meth:`close` (surfaced in ``/v1/stats``; ``None`` = clean).
         self.close_failure: str | None = None
+        #: Cumulative sampler counters across every group this gateway
+        #: ran (solver conflicts/propagations/decisions included) —
+        #: folded on the event loop in :meth:`_run_group`, surfaced under
+        #: ``"sampler"`` in ``/v1/stats``.
+        self.sampler_stats = SamplerStats()
         self._buckets: dict[str, TokenBucket] = {}
         #: Group sequence number → its member jobs, pending dispatch.
         #: Keyed by :attr:`CoalesceGroup.seq` — a monotonic id — never by
@@ -531,6 +537,10 @@ class Gateway:
             for job in jobs:
                 job.finish(DONE)
         finally:
+            # Safe without a lock: this coroutine runs on the event loop,
+            # and the group's own run (which wrote ``group.stats``) has
+            # already returned from the executor.
+            self.sampler_stats.merge(group.stats)
             self._group_sem.release()
             self._work.set()
 
@@ -652,6 +662,7 @@ class Gateway:
             },
             "jobs": states,
             "counters": dict(self.counters),
+            "sampler": self.sampler_stats.to_dict(),
             "backend": self.config.backend,
             "tenants": {
                 name: {"tokens": round(bucket.tokens, 3)}

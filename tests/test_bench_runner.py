@@ -31,7 +31,9 @@ def write_config(tmp_path, data):
 
 class TestRegistry:
     def test_expected_algorithms_registered(self):
-        assert {"gf2-elim", "unigen-sweep"} <= set(ALGORITHMS)
+        assert {
+            "gf2-elim", "unigen-sweep", "bsat-sweep", "solver-micro"
+        } <= set(ALGORITHMS)
 
     def test_columns_are_defaults_plus_metrics(self):
         algorithm = ALGORITHMS["gf2-elim"]
@@ -175,6 +177,35 @@ class TestEmitTrajectory:
         assert artifact["skipped_existing"] == 1
         assert len(artifact["points"]) == 1
 
+    def bsat_point(self, mode, wall_s, **overrides):
+        params = dict(ALGORITHMS["bsat-sweep"].defaults)
+        params["mode"] = mode
+        params.update(overrides)
+        return BenchRow(
+            "bsat-sweep",
+            params,
+            {"wall_s": wall_s, "cells": 40, "models": 120,
+             "conflicts": 999, "cells_per_s": 1.0},
+        )
+
+    def test_bsat_speedups_pair_fresh_with_reuse(self, tmp_path):
+        rows = [self.bsat_point("fresh", 0.9), self.bsat_point("reuse", 0.6)]
+        artifact = emit_trajectory(rows, tmp_path / "BENCH.json")
+        (pair,) = artifact["bsat_speedups"]
+        assert pair["speedup"] == 1.5
+        assert pair["fresh_wall_s"] == 0.9
+        assert pair["reuse_wall_s"] == 0.6
+        assert pair["models"] == 120
+        assert pair["benchmark"] == "squaring7"
+
+    def test_bsat_pairs_require_matching_identity(self, tmp_path):
+        rows = [
+            self.bsat_point("fresh", 0.9),
+            self.bsat_point("reuse", 0.6, seed=999),  # different identity
+        ]
+        artifact = emit_trajectory(rows, tmp_path / "BENCH.json")
+        assert artifact["bsat_speedups"] == []
+
 
 class TestCommittedArtifact:
     """The committed BENCH_innerloop.json must carry the measured >=2x
@@ -192,3 +223,14 @@ class TestCommittedArtifact:
         ]
         assert rank500, "artifact must contain rank-500 python/numpy pairs"
         assert max(pair["speedup"] for pair in rank500) >= 2.0
+
+    def test_artifact_carries_the_solver_reuse_headline(self):
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "BENCH_innerloop.json"
+        artifact = json.loads(path.read_text())
+        pairs = artifact["bsat_speedups"]
+        assert pairs, "artifact must contain bsat-sweep fresh/reuse pairs"
+        for pair in pairs:
+            assert pair["fresh_wall_s"] > 0 and pair["reuse_wall_s"] > 0
+        assert max(pair["speedup"] for pair in pairs) >= 1.3

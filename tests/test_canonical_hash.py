@@ -99,9 +99,17 @@ def test_semantic_changes_change_the_hash(cnf):
     flipped = cnf.copy()
     first = flipped.clauses[0]
     flipped.clauses = [(-first[0],) + first[1:]] + list(flipped.clauses[1:])
-    if sorted(set(flipped.clauses[0]), key=lambda l: (abs(l), l)) != sorted(
-        set(first), key=lambda l: (abs(l), l)
-    ):
+
+    def clause_set(clauses):
+        return {
+            tuple(sorted(set(c), key=lambda l: (abs(l), l))) for c in clauses
+        }
+
+    # The flip may leave the canonical clause *set* unchanged — flipping a
+    # literal can turn the clause into a duplicate of another (e.g. [1]
+    # -> [-1] with [-1] already present), and duplicates collapse.  Only a
+    # changed set must change the digest.
+    if clause_set(flipped.clauses) != clause_set(cnf.clauses):
         assert flipped.canonical_hash() != base
 
     grown = cnf.conjoined_with(clauses=[(cnf.num_vars + 1,)])

@@ -101,6 +101,46 @@ class ChunkLost(DistributedError):
         super().__init__(message)
 
 
+class OverwriteRefused(SamplingError):
+    """Raised when ``--out`` points at an existing non-empty file.
+
+    Silently truncating an existing witness file destroys exactly the
+    partial stream a checkpointed run could have resumed from, so the
+    writers refuse by default.  ``--overwrite`` opts back into clobbering;
+    ``--resume`` appends to the file instead of destroying it.
+    """
+
+    def __init__(self, message: str, *, path=None):
+        self.path = path
+        super().__init__(message)
+
+
+class ResumeError(SamplingError):
+    """Base class for checkpoint/resume failures (:mod:`repro.runs`).
+
+    Anything that stops a ``--resume`` run before a single chunk executes:
+    a missing or unreadable manifest, a partial file whose records cannot
+    be attributed to chunks, an output format that carries no chunk
+    boundaries.  Distinct from :class:`ManifestMismatch`, which means the
+    manifest loaded fine but disagrees with the live run.
+    """
+
+
+class ManifestMismatch(ResumeError):
+    """Raised when a run manifest disagrees with the live formula/config.
+
+    Resuming under a different formula, sampler, seed, or sampler config
+    would splice two *different* deterministic streams into one file —
+    the result would be well-formed and silently wrong.  ``mismatches``
+    lists the offending fields, one ``"field: manifest=… live=…"`` string
+    per disagreement.
+    """
+
+    def __init__(self, message: str, *, mismatches: list[str] | None = None):
+        self.mismatches = list(mismatches or [])
+        super().__init__(message)
+
+
 class GateTripped(SamplingError):
     """Raised by an online uniformity gate that rejected the stream mid-run.
 

@@ -84,6 +84,7 @@ def build_plan(
     sampler: str = "unigen",
     chunk_size: int | None = None,
     max_attempts_factor: int = 10,
+    only_chunks=None,
 ) -> ExecutionPlan:
     """The shared front half of every execution path.
 
@@ -93,6 +94,14 @@ def build_plan(
     the artifact, a missing ``xor_count`` — fail here with a clean error
     instead of inside every worker.  Samplers without a prepare phase
     accept an artifact by adopting its embedded formula.
+
+    ``only_chunks``
+        Optional iterable of chunk indices to keep.  The *full* chunk
+        plan is always cut first, so surviving tasks carry exactly the
+        derived seeds they would under the whole run — this is what lets
+        a resumed run (:mod:`repro.runs`) re-execute the missing chunks
+        and still land on the byte-identical stream.  Unknown indices
+        are a ``ValueError``.
     """
     from ..api.config import SamplerConfig
     from ..api.prepared import PreparedFormula
@@ -115,6 +124,16 @@ def build_plan(
         sampler=entry.name, chunk_size=chunk_size
     ).resolve_chunk_size(n)
     tasks = chunk_plan(n, resolved_chunk_size, root_seed, max_attempts_factor)
+    if only_chunks is not None:
+        wanted = set(only_chunks)
+        known = {task.index for task in tasks}
+        unknown = wanted - known
+        if unknown:
+            raise ValueError(
+                f"only_chunks names chunk indices {sorted(unknown)} outside "
+                f"the plan's 0..{len(tasks) - 1} range"
+            )
+        tasks = [task for task in tasks if task.index in wanted]
     payload = build_payload(cnf_or_prepared, entry, config)
     return ExecutionPlan(
         sampler=entry.name,

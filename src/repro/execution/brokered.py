@@ -117,19 +117,26 @@ class BrokerBackend(SampleBackend):
         holding the :class:`~repro.distributed.broker.JobSpec` can stream.
         """
         window = self.resolved_window()
-        n_tasks = len(spec.tasks)
+        # A resumed job's task list is a *subset* of the original chunk
+        # plan, so chunk indices need not be contiguous or 0-based; the
+        # cursor walks positions in the task list and maps results (keyed
+        # by chunk index on every transport) back through `pos_of`.
+        order = [task.index for task in spec.tasks]
+        pos_of = {index: pos for pos, index in enumerate(order)}
+        n_tasks = len(order)
         start = self._clock()
-        next_index = 0
+        next_pos = 0
         seen: set[int] = set()  # indices whose arrival we have recorded
         staged: dict[int, dict] = {}  # reorder buffer, bounded by window
-        while next_index < n_tasks:
+        while next_pos < n_tasks:
             self.broker.requeue_expired()
             # The full index census is O(delivered) on remote transports;
             # only take it on ticks where the O(1) done counter says
             # something actually arrived since we last looked.
             if self.broker.done_count() != len(seen):
                 for index in sorted(self.broker.result_indices() - seen):
-                    if not (next_index <= index < next_index + window):
+                    pos = pos_of.get(index)
+                    if pos is None or not (next_pos <= pos < next_pos + window):
                         # Beyond the reorder window: record the arrival
                         # but leave the payload on the transport —
                         # fetching it now only to discard it would ship
@@ -157,20 +164,21 @@ class BrokerBackend(SampleBackend):
                 )
             if self._on_progress is not None:
                 self._on_progress(self.broker.progress())
-            while next_index < n_tasks:
-                raw = staged.pop(next_index, None)
-                if raw is None and next_index in seen:
+            while next_pos < n_tasks:
+                index = order[next_pos]
+                raw = staged.pop(index, None)
+                if raw is None and index in seen:
                     # Arrived beyond the window earlier; its one and only
                     # fetch (and error check) happens here.
-                    raw = self.broker.fetch_result(next_index)
+                    raw = self.broker.fetch_result(index)
                 if raw is None:
                     break
                 if raw["error"] is not None:
                     raise_worker_failure(raw)
                 yield raw
                 self._track(len(staged) + 1)
-                next_index += 1
-            if next_index >= n_tasks:
+                next_pos += 1
+            if next_pos >= n_tasks:
                 break
             # About to wait: make sure the job still exists.  A purged
             # spool or a brokerd that reaped the job mid-stream must be a
@@ -180,7 +188,7 @@ class BrokerBackend(SampleBackend):
             if current is None or current.job_id != spec.job_id:
                 raise DistributedError(
                     f"job {spec.job_id} vanished from the broker "
-                    f"mid-stream (purged or reaped) after {next_index}/"
+                    f"mid-stream (purged or reaped) after {next_pos}/"
                     f"{n_tasks} chunks were consumed"
                 )
             if (

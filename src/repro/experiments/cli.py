@@ -119,9 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sample", help="sample witnesses of a DIMACS file")
     p.add_argument("cnf_file", nargs="?", default=None)
-    p.add_argument("-n", "--num", type=int, default=1,
+    p.add_argument("-n", "--num", type=int, default=None,
                    help="witnesses to deliver (failed draws are retried, up"
-                        " to 10x n attempts; undelivered ones print BOT)")
+                        " to 10x n attempts; undelivered ones print BOT);"
+                        " default 1, or the manifest's n under --resume")
     p.add_argument("--sampler", default="unigen",
                    help=f"algorithm name, one of {available_samplers()}")
     p.add_argument("--prepared", metavar="STATE_JSON", default=None,
@@ -194,11 +195,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gate-bound", type=float, default=2.0,
                    help="allowed multiplicative deviation of per-witness"
                         " counts from uniform (default 2.0)")
+    p.add_argument("--gate-spending", action="store_true",
+                   help="alpha-spending mode of the online gate: geometric"
+                        " look cadence (--gate-every doubling up to"
+                        " --gate-cap) with per-look significance halving,"
+                        " so the total false-alarm mass over any run"
+                        " length stays below --gate-alpha")
+    p.add_argument("--gate-cap", type=int, default=65536, metavar="N",
+                   help="largest draws-between-looks interval the"
+                        " --gate-spending cadence grows to (default 65536)")
     p.add_argument("--out", metavar="PATH", default=None,
                    help="stream witnesses to PATH instead of stdout, one"
                         " per line as it arrives (.jsonl -> JSON records,"
-                        " anything else -> DIMACS v lines); the file never"
-                        " holds more than the draws completed so far")
+                        " anything else -> DIMACS v lines, with 'c chunk"
+                        " K' markers); the file never holds more than the"
+                        " draws completed so far, and a run manifest"
+                        " (PATH.manifest.json) pins the run identity for"
+                        " --resume.  An existing non-empty PATH is refused"
+                        " (exit 2) unless --overwrite or --resume says"
+                        " what to do with it")
+    p.add_argument("--overwrite", action="store_true",
+                   help="discard an existing non-empty --out file instead"
+                        " of refusing (exit 2) to clobber it")
+    p.add_argument("--resume", metavar="PATH", default=None,
+                   help="complete an interrupted --out run: validate"
+                        " PATH.manifest.json against the live formula and"
+                        " flags (any disagreement exits 2), trim the torn"
+                        " tail, re-run only the missing chunks under their"
+                        " original derived seeds, and append — the"
+                        " finished file is byte-identical to an"
+                        " uninterrupted run")
+    p.add_argument("--fsync-every", type=int, default=None, metavar="N",
+                   help="fsync the --out file every N witness lines so a"
+                        " checkpoint survives power loss, not just a"
+                        " process kill (default: 64 whenever --out writes"
+                        " a run manifest; 0 disables)")
     p.add_argument("--broker", metavar="TARGET", default=None,
                    help="sample through a chunk queue: a spool directory"
                         " or tcp://host:port of a `repro brokerd`."
@@ -722,17 +753,31 @@ def _gate_universe(args, target) -> int:
     )
 
 
+#: Default --out fsync cadence (witness lines between fsyncs) whenever a
+#: run manifest makes the file resume-capable; --fsync-every overrides,
+#: 0 disables.  Checkpoints a resume believes in must survive power loss,
+#: not just a killed process — page-cache flushes alone do not.
+DEFAULT_FSYNC_EVERY = 64
+
+
 def _build_sinks(args, target):
-    """The ``--gate-online`` / ``--out`` sink pipeline (or ``(None, …)``)."""
+    """The ``--gate-online`` / ``--out`` sink pipeline.
+
+    Returns ``(composed_sink, gate, writer)`` — any of them ``None`` when
+    the matching flag is off; the writer is surfaced separately so the
+    coordinator can fold a resumed file's retained draws into its
+    delivered count.
+    """
     from ..sinks import (
         DimacsWitnessWriter,
         JsonlWitnessWriter,
         OnlineUniformityGate,
         compose,
     )
-    from ..stats import witness_key
+    from ..stats import AlphaSpendingSchedule, witness_key
 
     gate = None
+    writer = None
     sinks = []
     if args.out is not None:
         # The writer sits ahead of the gate on purpose: sinks see each
@@ -744,20 +789,82 @@ def _build_sinks(args, target):
             if args.out.endswith(".jsonl")
             else DimacsWitnessWriter
         )
-        sinks.append(writer_cls(args.out))
+        fsync_every = args.fsync_every
+        if fsync_every is None:
+            fsync_every = DEFAULT_FSYNC_EVERY
+        writer = writer_cls(
+            args.out,
+            overwrite=args.overwrite,
+            resume=args.resume is not None,
+            fsync_every=fsync_every,
+        )
+        sinks.append(writer)
     if args.gate_online:
         # Both a CNF and a PreparedFormula expose the sampling set; empty
         # means "no c-ind projection" and the gate keys on full witnesses.
         svars = list(target.sampling_set or ())
+        schedule = None
+        if args.gate_spending:
+            schedule = AlphaSpendingSchedule(
+                alpha=args.gate_alpha,
+                first_interval=args.gate_every,
+                max_interval=args.gate_cap,
+            )
         gate = OnlineUniformityGate(
             _gate_universe(args, target),
             key=(lambda w: witness_key(w, svars)) if svars else None,
             alpha=args.gate_alpha,
             ratio_bound=args.gate_bound,
             check_every=args.gate_every,
+            schedule=schedule,
         )
         sinks.append(gate)
-    return (compose(*sinks) if sinks else None), gate
+    return (compose(*sinks) if sinks else None), gate, writer
+
+
+def _formula_hash(target) -> str:
+    """Canonical hash of the formula behind a CNF-or-artifact target."""
+    cnf = target.cnf if isinstance(target, PreparedFormula) else target
+    return cnf.canonical_hash()
+
+
+def _prepare_resume(args, target, config):
+    """Load + validate the manifest of ``--resume``, scan the partial file.
+
+    Adopts the manifest's ``n``/``chunk_size``/root seed into the live
+    args/config (anything the user *did* spell explicitly was already
+    compared), and returns ``(manifest, scan, pending_chunks)`` —
+    ``pending_chunks`` is ``None`` when the manifest says the run already
+    completed and there is nothing to do.
+    """
+    from ..runs import RunManifest, manifest_path, out_format, scan_out_file
+
+    manifest = RunManifest.load(manifest_path(args.out))
+    manifest.validate_against(
+        formula_hash=_formula_hash(target),
+        sampler=args.sampler,
+        config=config.to_dict(),
+        n=args.num,
+        seed=args.seed,
+        chunk_size=args.chunk_size,
+        out_format=out_format(args.out),
+    )
+    args.num = manifest.n
+    args.chunk_size = manifest.chunk_size
+    config.seed = manifest.root_seed
+    if manifest.status == "complete":
+        return manifest, None, None
+    scan = scan_out_file(args.out, manifest.out_format)
+    if manifest.n_chunks and scan.resume_chunk >= manifest.n_chunks:
+        from ..errors import ResumeError
+
+        raise ResumeError(
+            f"{args.out} carries chunk {scan.resume_chunk} but the "
+            f"manifest's plan has chunks 0..{manifest.n_chunks - 1} — "
+            "this is not the file the manifest describes"
+        )
+    pending = list(range(scan.resume_chunk, manifest.n_chunks))
+    return manifest, scan, pending
 
 
 def _run_backend_sample(args, target, config) -> int:
@@ -771,20 +878,48 @@ def _run_backend_sample(args, target, config) -> int:
     ``--gate-online`` the uniformity gate rides the stream; a trip
     cancels the run (pool chunks terminated, broker job purged) and exits
     with code 3 — the partial ``--out`` file stays well-formed.
+
+    Every ``--out`` run writes ``<out>.manifest.json`` at start and flips
+    it to ``status="complete"`` after a full stream, so ``--resume`` can
+    later prove which deterministic stream the partial file belongs to
+    and re-run exactly the chunks it is missing.
     """
     import time as _time
 
     from ..errors import GateTripped
     from ..execution import build_plan, make_backend
+    from ..runs import RunManifest, manifest_path, out_format
     from ..stats import ProgressMeter
 
+    resume = args.resume is not None
+    manifest = scan = None
+    pending = None
+    if resume:
+        manifest, scan, pending = _prepare_resume(args, target, config)
+        if pending is None:
+            print(f"c resume: {args.out} already completed its "
+                  f"{manifest.n}-witness run; nothing to do",
+                  file=sys.stderr)
+            return 0
     plan = build_plan(
         target,
         args.num,
         config,
         sampler=args.sampler,
         chunk_size=args.chunk_size,
+        only_chunks=pending,
     )
+    if resume:
+        kept = (
+            f"chunks 0..{scan.resume_chunk - 1}"
+            if scan.resume_chunk else "no complete chunks"
+        )
+        print(
+            f"c resume: {args.out} retains {scan.retained_draws} witnesses "
+            f"({kept}); re-running {len(pending)} of {manifest.n_chunks} "
+            f"chunks (seed={plan.root_seed})",
+            file=sys.stderr,
+        )
     broker = None
     workers = 0
     # Filled in below once the meter exists; the broker backend calls it
@@ -827,7 +962,18 @@ def _run_backend_sample(args, target, config) -> int:
             in_flight=lambda: backend.in_flight,
         )
         meter_box.append(meter)
-    sink, gate = _build_sinks(args, target)
+    sink, gate, writer = _build_sinks(args, target)
+    if args.out is not None and not resume:
+        # The writer just vetted the path (no silent clobbering), so the
+        # manifest can safely claim it.  Written before the first chunk
+        # runs: a run killed at any instant leaves a manifest that proves
+        # which deterministic stream the partial file is a prefix of.
+        manifest = RunManifest.for_plan(
+            plan,
+            formula_hash=_formula_hash(target),
+            out_format=out_format(args.out),
+        )
+        manifest.write(manifest_path(args.out))
     buffered = []  # witnesses, only when not streaming and not --out
     results = [] if args.report_json else None
     delivered = 0
@@ -896,16 +1042,20 @@ def _run_backend_sample(args, target, config) -> int:
             file=sys.stderr,
         )
         return 3
+    # A resumed writer's retained prefix counts toward the -n contract:
+    # those draws were delivered (by the interrupted run) and live in the
+    # completed file.
+    total = delivered + (writer.resumed_draws if writer is not None else 0)
     if args.stream or args.out is not None:
         # Witnesses already went to stdout (streamed) or to --out; the -n
         # contract still marks every undelivered draw with a BOT line on
         # stdout, so a shortfall is machine-visible either way.
-        _print_witnesses([], args.num - delivered)
+        _print_witnesses([], args.num - total)
     else:
-        _print_witnesses(buffered, args.num - delivered)
+        _print_witnesses(buffered, args.num - total)
     stats = backend.stream_stats
     print(
-        f"c {delivered}/{args.num} witnesses via {plan.sampler} "
+        f"c {total}/{args.num} witnesses via {plan.sampler} "
         f"[backend={args.backend}, window={backend.resolved_window()}, "
         f"{plan.n_chunks} chunks × {plan.chunk_size}, "
         f"seed={plan.root_seed}] in {wall:.2f}s "
@@ -915,8 +1065,13 @@ def _run_backend_sample(args, target, config) -> int:
         file=sys.stderr,
     )
     if args.out is not None:
-        print(f"c wrote {delivered} witnesses to {args.out}",
+        print(f"c wrote {total} witnesses to {args.out}",
               file=sys.stderr)
+        # The stream ran to exhaustion and the writer closed (flushed,
+        # fsynced): flip the manifest so a later --resume knows there is
+        # nothing left to re-run.
+        manifest.status = "complete"
+        manifest.write(manifest_path(args.out))
     verdict = None
     if gate is not None:
         # The completed-run verdict: byte-identical to the offline
@@ -1117,6 +1272,27 @@ def main(argv: list[str] | None = None) -> int:
             print("c error: need a CNF file, --prepared, or --smoke",
                   file=sys.stderr)
             return 2
+        if args.resume is not None:
+            # --resume PATH *is* the witness file; the manifest beside it
+            # supplies n/chunk-size/seed, so --out is redundant at best.
+            if args.out is not None and args.out != args.resume:
+                print(f"c error: --resume {args.resume} conflicts with "
+                      f"--out {args.out} (resume names the witness file "
+                      "itself; drop --out)", file=sys.stderr)
+                return 2
+            if args.overwrite:
+                print("c error: --resume completes the existing file; "
+                      "--overwrite discards it — pick one", file=sys.stderr)
+                return 2
+            if args.gate_online:
+                print("c error: --gate-online cannot ride a resumed run "
+                      "(the gate's counts over the retained prefix cannot "
+                      "be replayed); re-run from scratch with --overwrite",
+                      file=sys.stderr)
+                return 2
+            args.out = args.resume
+        if args.num is None and args.resume is None:
+            args.num = 1  # under --resume the manifest supplies n
         # --broker and the streaming flags route through the execution
         # layer; pick the backend they imply when --backend itself was
         # not spelled out.  (--broker unconditionally: the backend path

@@ -1,0 +1,42 @@
+"""Checkpointed, resumable sampling runs.
+
+The determinism stack below this package (derived chunk seeds in
+:mod:`repro.parallel.plan`, the pure :class:`~repro.execution.ExecutionPlan`,
+stream-order-stable sinks) means an aborted run's partial ``--out`` file is
+not garbage — it is a byte-exact prefix-plus-holes of the one stream the
+plan defines.  This package turns that property into an operational
+feature:
+
+* :class:`RunManifest` — the run's identity (formula hash, sampler +
+  config, root seed, n, chunk size), written atomically next to ``--out``
+  as ``<out>.manifest.json`` and validated on resume
+  (:class:`~repro.errors.ManifestMismatch` on any drift);
+* :func:`scan_out_file` — recover the set of provably complete chunks
+  from a partial (possibly torn) witness file, plus the byte offset the
+  file must be cut at before appending;
+* the coordinator glue (``repro sample --resume PATH``) re-executes only
+  the missing chunks *with their original derived seeds* and completes
+  the file to the byte-identical stream an uninterrupted run produces.
+"""
+
+from .manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    manifest_path,
+)
+from .scan import (
+    RESUMABLE_FORMATS,
+    OutFileScan,
+    out_format,
+    scan_out_file,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "RunManifest",
+    "manifest_path",
+    "RESUMABLE_FORMATS",
+    "OutFileScan",
+    "out_format",
+    "scan_out_file",
+]

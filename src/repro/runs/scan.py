@@ -1,0 +1,171 @@
+"""Recover the resumable prefix of a partial witness file.
+
+The writers' truncation-safety contract (:mod:`repro.sinks.writers`) says a
+killed run leaves a *prefix of well-formed lines*, possibly followed by one
+torn line.  This module turns such a file back into checkpoint state: which
+chunks of the deterministic plan are provably complete, where the file must
+be cut so a resumed run can append, and how many witnesses the retained
+prefix already delivered.
+
+The completeness argument leans on the stream contract alone: every
+backend yields chunks in ascending index order, so the moment any record
+of chunk ``K`` hits the file, every chunk ``< K`` has fully flushed —
+*including* chunks that delivered zero witnesses and therefore wrote no
+lines at all.  The highest chunk seen is the one that may have died
+mid-write; its lines are dropped (:attr:`OutFileScan.truncate_offset`) and
+the chunk re-runs under its original derived seed, which rewrites those
+lines byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ResumeError
+
+#: Formats the resume layer can attribute to chunks.  JSONL records carry
+#: an explicit ``"chunk"`` field; DIMACS files rely on the ``c chunk K``
+#: marker lines :class:`~repro.sinks.DimacsWitnessWriter` emits.
+RESUMABLE_FORMATS = ("jsonl", "dimacs")
+
+
+def out_format(path) -> str:
+    """The witness file format implied by ``path`` — the CLI's rule."""
+    return "jsonl" if str(path).endswith(".jsonl") else "dimacs"
+
+
+@dataclass
+class OutFileScan:
+    """What a partial witness file proves about the run that wrote it."""
+
+    path: Path
+    format: str
+    #: First chunk index a resumed run must execute: the highest chunk
+    #: with any trace in the file (it may be incomplete), 0 for an empty
+    #: file.  Chunks below it are complete — present lines and absent
+    #: (zero-witness) chunks alike.
+    resume_chunk: int = 0
+    #: Byte length of the retained prefix; everything past it (the torn
+    #: final line plus every line of :attr:`resume_chunk`) is dropped
+    #: before appending.
+    truncate_offset: int = 0
+    #: Witness lines in the retained prefix (markers excluded).
+    retained_draws: int = 0
+    #: Witness lines per retained chunk (complete chunks only).
+    chunk_counts: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.truncate_offset == 0 and self.resume_chunk == 0
+
+
+def _jsonl_chunk_of(line: bytes) -> int | None:
+    """Chunk index of one complete JSONL record, ``None`` if malformed."""
+    try:
+        record = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(record, dict):
+        return None
+    chunk = record.get("chunk")
+    if not isinstance(chunk, int) or isinstance(chunk, bool) or chunk < 0:
+        return None
+    return chunk
+
+
+def _dimacs_chunk_of(line: bytes, current: int | None):
+    """Classify one DIMACS line: ``("marker", K)``, ``("witness", K)``,
+    or ``(None, None)`` for anything unattributable."""
+    text = line.decode("utf-8", errors="replace").strip()
+    if text.startswith("c chunk "):
+        try:
+            return "marker", int(text.split()[2])
+        except (IndexError, ValueError):
+            return None, None
+    if text.startswith("v ") and text.endswith(" 0"):
+        if current is None:
+            # A witness with no preceding marker: a pre-marker file (or a
+            # foreign one).  There is no way to attribute it to a chunk.
+            raise ResumeError(
+                "DIMACS witness file carries no 'c chunk K' markers — "
+                "written before chunk markers existed, or not by this "
+                "tool; it cannot be resumed (re-run with --overwrite)"
+            )
+        return "witness", current
+    return None, None
+
+
+def scan_out_file(path, fmt: str | None = None) -> OutFileScan:
+    """Scan a (possibly partial, possibly torn) witness file for resume.
+
+    Walks complete lines front to back, attributing each to its chunk,
+    and stops at the first thing the truncation-safety contract allows at
+    a crash point — a torn final line — or at anything it does not (a
+    malformed or out-of-order record mid-file raises
+    :class:`~repro.errors.ResumeError`: the file was not written by an
+    ascending chunk stream and gives no safe resume point).
+    """
+    path = Path(path)
+    fmt = fmt or out_format(path)
+    if fmt not in RESUMABLE_FORMATS:
+        raise ResumeError(
+            f"witness format {fmt!r} is not resumable "
+            f"(one of {RESUMABLE_FORMATS} required)"
+        )
+    scan = OutFileScan(path=path, format=fmt)
+    if not path.exists():
+        return scan
+    data = path.read_bytes()
+    if not data:
+        return scan
+
+    # Per-line walk with byte offsets.  `entries` records, for every
+    # retained line, (start_offset, chunk_index, is_witness).
+    entries: list[tuple[int, int, bool]] = []
+    offset = 0
+    current: int | None = None
+    while offset < len(data):
+        end = data.find(b"\n", offset)
+        if end < 0:
+            break  # torn final line: trimmed, never an error
+        line = data[offset:end]
+        if fmt == "jsonl":
+            chunk = _jsonl_chunk_of(line)
+            if chunk is None:
+                raise ResumeError(
+                    f"{path}: malformed JSONL record at byte {offset} — "
+                    "not a truncation artifact (only the final line may "
+                    "be torn); refusing to guess a resume point"
+                )
+            kind = "witness"
+        else:
+            kind, chunk = _dimacs_chunk_of(line, current)
+            if kind is None:
+                raise ResumeError(
+                    f"{path}: unrecognized line at byte {offset} — "
+                    "refusing to guess a resume point"
+                )
+        if current is not None and chunk < current:
+            raise ResumeError(
+                f"{path}: chunk {chunk} follows chunk {current} — the "
+                "file was not written by an ascending chunk stream"
+            )
+        current = chunk
+        entries.append((offset, chunk, kind == "witness"))
+        offset = end + 1
+
+    if not entries:
+        return scan
+    max_chunk = entries[-1][1]
+    scan.resume_chunk = max_chunk
+    for start, chunk, is_witness in entries:
+        if chunk == max_chunk:
+            # First trace of the possibly-incomplete chunk: cut here.
+            scan.truncate_offset = start
+            break
+        if is_witness:
+            scan.retained_draws += 1
+            scan.chunk_counts[chunk] = scan.chunk_counts.get(chunk, 0) + 1
+    return scan

@@ -15,9 +15,12 @@ Sequential testing caveat: early prefixes of a perfectly uniform stream
 fail χ² routinely (expected counts below ~5 make the statistic
 meaningless), so checks are suppressed until ``min_expected`` draws per
 witness have accumulated.  Repeated looks also inflate the false-alarm
-rate above the single-look ``alpha``; size ``check_every`` and ``alpha``
-accordingly (the default cadence of one check per 64 draws keeps the
-multiplier small for typical runs).
+rate above the single-look ``alpha``: at a fixed cadence the spent mass
+grows linearly with the number of looks, which is fine for short runs
+and badly miscalibrated for million-draw ones.  Pass a
+:class:`~repro.stats.uniformity.AlphaSpendingSchedule` to replace the
+fixed cadence with geometric looks whose per-look alphas sum below the
+configured budget — the gate then stays honest at any ``n``.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ from typing import Callable, Hashable
 from ..core.base import SampleResult, Witness, witness_to_lits
 from ..errors import GateTripped
 from ..stats.uniformity import (
+    AlphaSpendingSchedule,
     UniformityGateReport,
     uniformity_gate_from_counts,
 )
@@ -56,6 +60,19 @@ class OnlineUniformityGate(StreamSink):
     ``check_every``
         Successful draws between sequential checks; the run's early-abort
         latency is at most this many draws past the decisive one.
+    ``schedule``
+        Optional :class:`~repro.stats.uniformity.AlphaSpendingSchedule`.
+        When given it replaces the fixed ``check_every`` cadence *and*
+        the per-look significance: look ``k`` happens after the
+        schedule's geometric interval and tests χ² at its spent
+        ``alpha_k``, so the total false-alarm mass over any number of
+        looks stays below the schedule's ``alpha`` — the honest mode for
+        very long runs.  The completed-run :meth:`verdict`/:meth:`finalize`
+        still applies the gate's own full ``alpha``, preserving the
+        offline-equivalence invariant.  (The ratio check runs at every
+        look in both modes; its false-alarm mass under a healthy stream
+        decays geometrically with the draw count, so the doubling
+        cadence keeps its total bounded too.)
     ``min_expected``
         Suppress checks until the uniform expectation per witness
         (``n_draws / universe_size``) reaches this.  The default (30)
@@ -90,6 +107,7 @@ class OnlineUniformityGate(StreamSink):
         ratio_bound: float = 2.0,
         check_every: int = 64,
         min_expected: float = 30.0,
+        schedule: AlphaSpendingSchedule | None = None,
     ):
         if universe_size <= 1:
             raise ValueError("universe must contain at least 2 witnesses")
@@ -103,6 +121,7 @@ class OnlineUniformityGate(StreamSink):
         self.ratio_bound = ratio_bound
         self.check_every = check_every
         self.min_expected = min_expected
+        self.schedule = schedule
         #: Incremental per-witness frequency counts (the gate's only
         #: stream-dependent state: O(universe), never O(n)).
         self.counts: Counter = Counter()
@@ -111,6 +130,10 @@ class OnlineUniformityGate(StreamSink):
         #: Sequential checks actually run (cadence hits past warm-up).
         self.checks_run = 0
         self._since_check = 0
+        self._next_check = (
+            schedule.interval_before(1) if schedule is not None
+            else check_every
+        )
 
     # ------------------------------------------------------------------
     def accept(self, chunk_index: int, result: SampleResult) -> None:
@@ -119,7 +142,7 @@ class OnlineUniformityGate(StreamSink):
         self.counts[self.key(result.witness)] += 1
         self.n_draws += 1
         self._since_check += 1
-        if self._since_check >= self.check_every:
+        if self._since_check >= self._next_check:
             self._since_check = 0
             self.check(chunk_index=chunk_index)
 
@@ -132,20 +155,48 @@ class OnlineUniformityGate(StreamSink):
             ratio_bound=self.ratio_bound,
         )
 
+    @property
+    def alpha_spent(self) -> float:
+        """Upper bound on the false-alarm mass of the looks run so far.
+
+        Under a spending schedule this is the schedule's closed-form
+        partial sum (always below its ``alpha``); at a fixed cadence it
+        is the union-bound accumulation ``checks_run · alpha`` — the
+        quantity the schedule exists to keep from growing without bound.
+        """
+        if self.schedule is not None:
+            return self.schedule.spent_through(self.checks_run)
+        return min(1.0, self.checks_run * self.alpha)
+
     def check(self, chunk_index: int | None = None) -> UniformityGateReport | None:
         """One sequential look: verdict now, or ``None`` inside warm-up.
 
         Raises :class:`~repro.errors.GateTripped` when the verdict fails —
-        the same verdict the offline gate would reach on these counts.
+        at a fixed cadence the same verdict the offline gate would reach
+        on these counts; under a spending schedule the χ² half tests at
+        the look's spent ``alpha_k`` instead.  Warm-up looks neither
+        count nor spend.
         """
         if self.n_draws < self.min_expected * self.universe_size:
             return None
-        report = self.verdict()
-        self.checks_run += 1
+        look = self.checks_run + 1
+        if self.schedule is not None:
+            look_alpha = self.schedule.look_alpha(look)
+            report = uniformity_gate_from_counts(
+                self.counts,
+                self.universe_size,
+                alpha=look_alpha,
+                ratio_bound=self.ratio_bound,
+            )
+        else:
+            report = self.verdict()
+        self.checks_run = look
+        if self.schedule is not None:
+            self._next_check = self.schedule.interval_before(look + 1)
         if not report.passed:
             raise GateTripped(
-                f"online uniformity gate tripped after {self.n_draws} "
-                f"draws ({report.describe()})",
+                f"online uniformity gate tripped at look {look} after "
+                f"{self.n_draws} draws ({report.describe()})",
                 report=report,
                 n_draws=self.n_draws,
                 chunk_index=chunk_index,

@@ -7,14 +7,34 @@ contract the chaos tests pin: whenever the run dies — a tripped gate, a
 worker failure, a killed coordinator between flushes — everything a reader
 finds in the file is a prefix of well-formed records, never half a JSON
 object spliced to the next.
+
+The checkpoint/resume layer (:mod:`repro.runs`) builds on three guards
+here:
+
+* **No silent clobbering.**  Opening a non-empty existing path raises
+  :class:`~repro.errors.OverwriteRefused` unless ``overwrite=True`` —
+  the partial file of an aborted run is exactly what ``resume=True``
+  needs, and mode ``"w"`` used to destroy it.
+* **Append-mode resume.**  ``resume=True`` scans the existing file
+  (:func:`repro.runs.scan_out_file`), trims the torn tail plus every
+  line of the possibly-incomplete last chunk, and reopens in append
+  mode; the coordinator then re-runs only the missing chunks and the
+  file completes to the byte-identical uninterrupted stream.
+* **Real durability.**  ``flush()`` hands lines to the OS page cache,
+  where power loss can still eat them; ``fsync_every=N`` forces them to
+  stable storage every N records (and ``close()`` always fsyncs when any
+  fsync cadence is set), so a checkpoint a resume believes in actually
+  survived.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from ..core.base import SampleResult, witness_to_lits
+from ..errors import OverwriteRefused, ResumeError
 from .base import StreamSink
 
 
@@ -41,39 +61,117 @@ def dimacs_witness_line(chunk_index: int, result: SampleResult) -> str:
 
 
 class _LineWriter(StreamSink):
-    """Shared open/format/flush/close plumbing of the two writers."""
+    """Shared open/format/flush/fsync/resume plumbing of the two writers."""
 
-    #: Flush after every Nth written record (1 = every record).
-    def __init__(self, path, *, flush_every: int = 1):
+    #: Whether the on-disk format carries enough chunk structure to be
+    #: scanned back into checkpoint state (both shipped formats do).
+    supports_resume = True
+
+    def __init__(
+        self,
+        path,
+        *,
+        flush_every: int = 1,
+        overwrite: bool = False,
+        resume: bool = False,
+        fsync_every: int = 0,
+    ):
         if flush_every < 1:
             raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        if fsync_every < 0:
+            raise ValueError(f"fsync_every must be >= 0, got {fsync_every}")
+        if resume and overwrite:
+            raise ValueError("resume and overwrite are mutually exclusive")
         self.path = Path(path)
         self.flush_every = flush_every
-        #: Successful witnesses written so far.
+        self.fsync_every = fsync_every
+        #: Successful witnesses written by *this* writer (a resumed
+        #: writer's retained prefix is counted in :attr:`resumed_draws`).
         self.written = 0
-        self._handle = open(self.path, "w", encoding="utf-8")
+        #: Witness lines retained from a previous run (``resume=True``).
+        self.resumed_draws = 0
+        #: The scan the resume was based on, for coordinator bookkeeping.
+        self.resume_scan = None
+        if resume:
+            if not self.supports_resume:
+                raise ResumeError(
+                    f"{self.name} ({self.path}) writes a format without "
+                    "chunk structure and cannot resume"
+                )
+            self._handle = self._open_resume()
+        else:
+            if not overwrite and self._exists_nonempty():
+                raise OverwriteRefused(
+                    f"refusing to overwrite existing non-empty {self.path} "
+                    "(pass --overwrite to clobber it, or --resume to "
+                    "complete it)",
+                    path=self.path,
+                )
+            self._handle = open(self.path, "w", encoding="utf-8")
+
+    def _exists_nonempty(self) -> bool:
+        try:
+            return self.path.stat().st_size > 0
+        except FileNotFoundError:
+            return False
+
+    def _open_resume(self):
+        """Trim the unresumable tail, then reopen for appending."""
+        from ..runs.scan import scan_out_file
+
+        scan = scan_out_file(self.path, self._resume_format())
+        self.resume_scan = scan
+        self.resumed_draws = scan.retained_draws
+        if self.path.exists():
+            with open(self.path, "r+b") as raw:
+                raw.truncate(scan.truncate_offset)
+                raw.flush()
+                os.fsync(raw.fileno())
+        return open(self.path, "a", encoding="utf-8")
+
+    def _resume_format(self) -> str:
+        """The :mod:`repro.runs` scan format this writer produces."""
+        raise NotImplementedError
 
     def _format(self, chunk_index: int, result: SampleResult) -> str:
         raise NotImplementedError
+
+    def _prelude(self, chunk_index: int) -> str:
+        """Text emitted ahead of a record (chunk markers); usually none."""
+        return ""
 
     def accept(self, chunk_index: int, result: SampleResult) -> None:
         if not result.ok:
             return
         if self._handle is None:
             raise ValueError(f"{self.name} sink for {self.path} is closed")
-        # One write per record, newline included: a crash can truncate the
-        # *last* line mid-write but can never interleave two records.
-        self._handle.write(self._format(chunk_index, result) + "\n")
+        # One write per record (any chunk marker rides in the same call),
+        # newline included: a crash can truncate the *last* line mid-write
+        # but can never interleave two records.
+        text = self._prelude(chunk_index)
+        text += self._format(chunk_index, result) + "\n"
+        self._handle.write(text)
         self.written += 1
         if self.written % self.flush_every == 0:
             self._handle.flush()
+        if self.fsync_every and self.written % self.fsync_every == 0:
+            # fsync pushes the OS page cache to stable storage; flush
+            # first so the python-level buffer is actually in that cache.
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
 
     def finalize(self) -> dict:
         self.close()
-        return {"path": str(self.path), "written": self.written}
+        return {
+            "path": str(self.path),
+            "written": self.written + self.resumed_draws,
+        }
 
     def close(self) -> None:
         if self._handle is not None:
+            if self.fsync_every:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
             self._handle.close()
             self._handle = None
 
@@ -88,14 +186,36 @@ class JsonlWitnessWriter(_LineWriter):
 
     name = "jsonl-writer"
 
+    def _resume_format(self) -> str:
+        return "jsonl"
+
     def _format(self, chunk_index: int, result: SampleResult) -> str:
         return jsonl_witness_line(chunk_index, result)
 
 
 class DimacsWitnessWriter(_LineWriter):
-    """One DIMACS-style ``v`` line per witness, as the CLI prints them."""
+    """One DIMACS-style ``v`` line per witness, as the CLI prints them.
+
+    Chunk boundaries are recorded as ``c chunk K`` comment lines ahead of
+    each chunk's first witness (readers of DIMACS output skip ``c`` lines
+    anyway) — without them a partial file's lines could not be attributed
+    to plan chunks and the format would be unresumable.
+    """
 
     name = "dimacs-writer"
+
+    def __init__(self, path, **kwargs):
+        super().__init__(path, **kwargs)
+        self._current_chunk: int | None = None
+
+    def _resume_format(self) -> str:
+        return "dimacs"
+
+    def _prelude(self, chunk_index: int) -> str:
+        if chunk_index == self._current_chunk:
+            return ""
+        self._current_chunk = chunk_index
+        return f"c chunk {chunk_index}\n"
 
     def _format(self, chunk_index: int, result: SampleResult) -> str:
         return dimacs_witness_line(chunk_index, result)

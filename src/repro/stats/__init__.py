@@ -2,6 +2,7 @@
 
 from .progress import ProgressMeter
 from .uniformity import (
+    AlphaSpendingSchedule,
     ChiSquareResult,
     EnvelopeCheck,
     FrequencyRatioCheck,
@@ -22,6 +23,7 @@ from .uniformity import (
 
 __all__ = [
     "ProgressMeter",
+    "AlphaSpendingSchedule",
     "occurrence_histogram",
     "chi_square_uniform",
     "chi_square_from_counts",

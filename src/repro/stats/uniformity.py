@@ -300,6 +300,79 @@ def frequency_ratio_check(
     return frequency_ratio_from_counts(Counter(draws), universe_size, bound)
 
 
+@dataclass(frozen=True)
+class AlphaSpendingSchedule:
+    """Sequential-look budgeting: geometric cadence, halving look alphas.
+
+    A fixed-cadence sequential gate checking every ``c`` draws at
+    significance ``alpha`` runs ``n/c`` looks over an ``n``-draw stream,
+    and its false-alarm mass grows like ``(n/c)·alpha`` — fine at the
+    default cadence on short runs, badly miscalibrated at ``n`` in the
+    millions.  This schedule bounds the *total* spent mass by ``alpha``
+    no matter how long the stream runs, with two standard moves:
+
+    * **Geometric cadence.**  The gap before look ``k`` is
+      ``first_interval · growth^(k-1)``, capped at ``max_interval`` — a
+      run of ``n`` draws takes ``O(log n)`` looks until the cap, then one
+      look per ``max_interval`` draws.
+    * **Alpha spending.**  Look ``k`` tests at
+      ``alpha_k = alpha · 2^(-k)``, so by the union bound the mass spent
+      through any prefix of looks is ``alpha·(1 − 2^(-k)) < alpha`` —
+      the classic halving spending sequence (Pocock-style sequences and
+      the O'Brien–Fleming spending function are the group-sequential
+      ancestors; halving is the simplest member with a closed form).
+
+    The two compose deliberately: halving alphas alone would leave late
+    looks testing at homeopathic significance on a *fixed* cadence, but
+    under a doubling cadence look ``k`` sees roughly twice the draws of
+    look ``k−1``, and the χ² statistic's power grows with sample size
+    faster than the threshold tightens — drift still trips, only honest.
+    """
+
+    alpha: float
+    #: Successful draws before the first look; also the unit the cadence
+    #: doubles from.
+    first_interval: int = 64
+    #: Cadence multiplier per look (2.0 = the doubling schedule).
+    growth: float = 2.0
+    #: Cadence cap: the gap between looks never exceeds this many draws.
+    max_interval: int = 1 << 16
+
+    def __post_init__(self):
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {self.alpha}")
+        if self.first_interval < 1:
+            raise ValueError(
+                f"first_interval must be >= 1, got {self.first_interval}"
+            )
+        if self.growth < 1.0:
+            raise ValueError(f"growth must be >= 1, got {self.growth}")
+        if self.max_interval < self.first_interval:
+            raise ValueError(
+                f"max_interval ({self.max_interval}) must be >= "
+                f"first_interval ({self.first_interval})"
+            )
+
+    def look_alpha(self, k: int) -> float:
+        """Significance of the ``k``-th look (1-based): ``alpha·2^(-k)``."""
+        if k < 1:
+            raise ValueError(f"looks are 1-based, got {k}")
+        return self.alpha * (0.5 ** k)
+
+    def spent_through(self, k: int) -> float:
+        """Total alpha mass spent by looks ``1..k`` — always < ``alpha``."""
+        if k < 0:
+            raise ValueError(f"look count must be >= 0, got {k}")
+        return self.alpha * (1.0 - 0.5 ** k)
+
+    def interval_before(self, k: int) -> int:
+        """Successful draws between look ``k-1`` and look ``k`` (1-based)."""
+        if k < 1:
+            raise ValueError(f"looks are 1-based, got {k}")
+        interval = self.first_interval * (self.growth ** (k - 1))
+        return int(min(interval, float(self.max_interval)))
+
+
 @dataclass
 class UniformityGateReport:
     """Combined verdict of the χ² test and the frequency-ratio check.

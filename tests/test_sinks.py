@@ -335,8 +335,14 @@ class TestWriters:
         path = tmp_path / "w.txt"
         writer = DimacsWitnessWriter(path)
         writer.accept(0, SampleResult(witness={2: False, 1: True}))
+        writer.accept(0, SampleResult(witness={2: True, 1: True}))
+        writer.accept(1, SampleResult(witness={2: False, 1: False}))
         writer.finalize()
-        assert path.read_text() == "v 1 -2 0\n"
+        # One `c chunk K` marker ahead of each chunk's first witness —
+        # the structure the resume scan attributes v lines with.
+        assert path.read_text() == (
+            "c chunk 0\nv 1 -2 0\nv 1 2 0\nc chunk 1\nv -1 -2 0\n"
+        )
 
     def test_accept_after_close_is_an_error(self, tmp_path):
         writer = JsonlWitnessWriter(tmp_path / "w.jsonl")
@@ -743,5 +749,10 @@ class TestSinkCli:
         captured = capsys.readouterr()
         assert "v " not in captured.out
         lines = out.read_text().splitlines()
-        assert len(lines) == 4
-        assert all(l.startswith("v ") and l.endswith(" 0") for l in lines)
+        witnesses = [l for l in lines if not l.startswith("c ")]
+        assert len(witnesses) == 4
+        assert all(
+            l.startswith("v ") and l.endswith(" 0") for l in witnesses
+        )
+        # Chunk markers interleave the v lines (resume structure).
+        assert lines[0].startswith("c chunk ")
